@@ -1,0 +1,286 @@
+// Package core implements the StreamWorks continuous query engine: the
+// component that ties the dynamic graph, the summarization layer, the query
+// planner and the per-query SJ-Trees together (paper §4).
+//
+// Users register graph queries; the engine then consumes a stream of
+// timestamped edges and, for every arriving edge, runs a local search for
+// each registered query's leaf primitives that the edge can participate in,
+// inserts the resulting primitive matches into the query's SJ-Tree and
+// reports every complete match that emerges within the query's time window.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/stats"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// MatchEvent is one complete match reported by the engine.
+type MatchEvent struct {
+	// Query is the name of the registered query that matched.
+	Query string
+	// Match is the complete binding of the query graph in the data graph.
+	Match *match.Match
+	// DetectedAt is the stream watermark at the moment of detection; the
+	// detection latency of an event is DetectedAt minus the event's last
+	// edge timestamp (zero for in-order streams).
+	DetectedAt graph.Timestamp
+}
+
+// String renders the event compactly.
+func (e MatchEvent) String() string {
+	return fmt.Sprintf("[%s] %s (detected at %d)", e.Query, e.Match, e.DetectedAt)
+}
+
+// Config controls engine-wide behaviour.
+type Config struct {
+	// Retention is the width of the dynamic graph's sliding window. Zero
+	// retains every edge; registrations with time windows extend it
+	// automatically so no query can miss a match because data expired early.
+	Retention time.Duration
+	// Slack is the tolerated out-of-order arrival lag.
+	Slack time.Duration
+	// EnableSummaries turns on continuous statistics collection (degree,
+	// type and triad distributions) used by the selective planner.
+	EnableSummaries bool
+	// TriadSampling is the 1-in-n sampling rate for triad statistics
+	// (0 disables triads, 1 counts every edge). Only used when summaries
+	// are enabled.
+	TriadSampling int
+	// PruneInterval is the number of processed edges between partial-match
+	// pruning sweeps. Zero uses the default of 1024.
+	PruneInterval int
+}
+
+// DefaultConfig returns the configuration used by New when nil is passed.
+func DefaultConfig() Config {
+	return Config{
+		EnableSummaries: true,
+		TriadSampling:   10,
+		PruneInterval:   1024,
+	}
+}
+
+// Engine is the continuous query processor. It is not safe for concurrent
+// use; callers stream edges from a single goroutine (shard streams across
+// engines for parallelism).
+type Engine struct {
+	cfg     Config
+	dyn     *graph.Dynamic
+	summary *stats.Summary
+	planner *decompose.Planner
+
+	registrations map[string]*Registration
+	order         []string // registration order, for deterministic iteration
+
+	metrics Metrics
+}
+
+// New constructs an engine. cfg may be nil to use DefaultConfig.
+func New(cfg *Config) *Engine {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.PruneInterval <= 0 {
+		c.PruneInterval = 1024
+	}
+	e := &Engine{
+		cfg:           c,
+		dyn:           graph.NewDynamic(c.Retention, graph.WithSlack(c.Slack)),
+		registrations: make(map[string]*Registration),
+	}
+	if c.EnableSummaries {
+		e.summary = stats.NewSummary(stats.WithTriadSampling(c.TriadSampling))
+	}
+	e.planner = decompose.NewPlanner(stats.NewEstimator(e.summary))
+	return e
+}
+
+// Graph exposes the engine's dynamic data graph (read-only use).
+func (e *Engine) Graph() *graph.Dynamic { return e.dyn }
+
+// Summary returns the engine's stream summary, or nil when summaries are
+// disabled.
+func (e *Engine) Summary() *stats.Summary { return e.summary }
+
+// Registrations returns the names of all registered queries in registration
+// order.
+func (e *Engine) Registrations() []string {
+	out := make([]string, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+// Registration returns the named registration.
+func (e *Engine) Registration(name string) (*Registration, bool) {
+	r, ok := e.registrations[name]
+	return r, ok
+}
+
+// Registration errors.
+var (
+	// ErrDuplicateQuery is returned when a query with the same name is
+	// already registered.
+	ErrDuplicateQuery = errors.New("core: query already registered")
+	// ErrUnknownQuery is returned by Unregister for unknown names.
+	ErrUnknownQuery = errors.New("core: unknown query")
+	// ErrNilQuery is returned when RegisterQuery is called with nil.
+	ErrNilQuery = errors.New("core: nil query")
+)
+
+// RegisterQuery registers a continuous query. The query is decomposed with
+// the configured strategy (selective by default, using whatever summary
+// statistics have been collected so far) and an SJ-Tree is instantiated for
+// it. Matches are reported both from ProcessEdge return values and through
+// the registration's callback, if any.
+func (e *Engine) RegisterQuery(q *query.Graph, opts ...RegistrationOption) (*Registration, error) {
+	if q == nil {
+		return nil, ErrNilQuery
+	}
+	name := q.Name()
+	if name == "" {
+		name = fmt.Sprintf("query-%d", len(e.registrations)+1)
+	}
+	if _, dup := e.registrations[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateQuery, name)
+	}
+	reg, err := newRegistration(e, name, q, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e.registrations[name] = reg
+	e.order = append(e.order, name)
+	e.metrics.Registrations++
+	e.extendRetention(q.Window())
+	return reg, nil
+}
+
+// UnregisterQuery removes a registered query and discards its partial state.
+func (e *Engine) UnregisterQuery(name string) error {
+	if _, ok := e.registrations[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownQuery, name)
+	}
+	delete(e.registrations, name)
+	for i, n := range e.order {
+		if n == name {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// extendRetention grows the dynamic graph's window so it is never smaller
+// than the largest registered query window. A zero (unbounded) window always
+// suffices. Growth only happens before the first edge is ingested; queries
+// registered mid-stream use whatever retention is already in force, which is
+// conservative only when it is at least as large as their own window.
+func (e *Engine) extendRetention(w time.Duration) {
+	if w <= 0 || e.dyn.Window() == 0 || w <= e.dyn.Window() {
+		return
+	}
+	if e.dyn.AddedTotal() == 0 {
+		e.dyn = graph.NewDynamic(w, graph.WithSlack(e.cfg.Slack))
+	}
+}
+
+// ProcessEdge ingests one stream edge and returns the complete matches it
+// produced across all registered queries. Out-of-order edges beyond the
+// configured slack and duplicate edge IDs are counted and skipped rather
+// than aborting the stream.
+func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
+	stored, err := e.dyn.Apply(se)
+	if err != nil {
+		e.metrics.EdgesDropped++
+		return nil
+	}
+	e.metrics.EdgesProcessed++
+	if e.summary != nil {
+		e.summary.Observe(se, e.dyn.Graph())
+	}
+
+	var events []MatchEvent
+	for _, name := range e.order {
+		reg := e.registrations[name]
+		events = append(events, reg.processEdge(stored)...)
+	}
+	e.metrics.MatchesEmitted += uint64(len(events))
+
+	if e.metrics.EdgesProcessed%uint64(e.cfg.PruneInterval) == 0 {
+		e.pruneAll()
+	}
+	return events
+}
+
+// ProcessBatch ingests a batch of edges (one time step) and returns the
+// incremental matches produced by the batch, i.e. the paper's
+// f(Gd, Gq, E(k+1)).
+func (e *Engine) ProcessBatch(b stream.Batch) []MatchEvent {
+	var events []MatchEvent
+	for _, se := range b.Edges {
+		events = append(events, e.ProcessEdge(se)...)
+	}
+	return events
+}
+
+// Run drains a stream source through the engine. fn, when non-nil, is
+// invoked for every match event as it is produced. Run returns the total
+// number of match events.
+func (e *Engine) Run(src stream.Source, fn func(MatchEvent)) (int, error) {
+	total := 0
+	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
+		for _, ev := range e.ProcessEdge(se) {
+			total++
+			if fn != nil {
+				fn(ev)
+			}
+		}
+		return true
+	})
+	return total, err
+}
+
+// pruneAll removes partial matches that can no longer complete within their
+// query windows given the current watermark.
+func (e *Engine) pruneAll() {
+	e.metrics.PruneRuns++
+	wm := e.dyn.Watermark()
+	for _, name := range e.order {
+		reg := e.registrations[name]
+		w := reg.query.Window()
+		if w <= 0 {
+			continue
+		}
+		cutoff := wm - graph.Timestamp(w)
+		e.metrics.PartialsPruned += uint64(reg.tree.Prune(cutoff))
+	}
+}
+
+// Metrics returns a snapshot of engine counters, including per-query detail.
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.LiveEdges = e.dyn.NumEdges()
+	m.LiveVertices = e.dyn.NumVertices()
+	m.ExpiredEdges = e.dyn.ExpiredTotal()
+	for _, name := range e.order {
+		reg := e.registrations[name]
+		m.PartialMatches += reg.tree.PartialMatchCount()
+		m.LocalSearches += reg.localSearches
+		m.Queries = append(m.Queries, QueryMetrics{
+			Name:           name,
+			Strategy:       reg.plan.Strategy,
+			Matches:        reg.matches,
+			PartialMatches: reg.tree.PartialMatchCount(),
+			LocalSearches:  reg.localSearches,
+		})
+	}
+	return m
+}

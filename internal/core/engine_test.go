@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/isomorphism"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+func smurfQuery(window time.Duration) *query.Graph {
+	return query.NewBuilder("smurf").
+		Window(window).
+		Vertex("attacker", "Host").
+		Vertex("amplifier", "Host").
+		Vertex("victim", "Host").
+		Edge("attacker", "amplifier", "icmp_echo_req").
+		Edge("amplifier", "victim", "icmp_echo_reply").
+		MustBuild()
+}
+
+func hostEdge(id graph.EdgeID, src, dst graph.VertexID, typ string, ts graph.Timestamp) graph.StreamEdge {
+	return graph.StreamEdge{
+		Edge:       graph.Edge{ID: id, Source: src, Target: dst, Type: typ, Timestamp: ts},
+		SourceType: "Host",
+		TargetType: "Host",
+	}
+}
+
+func TestEngineDetectsSmurfPattern(t *testing.T) {
+	e := New(nil)
+	var fromCallback []MatchEvent
+	reg, err := e.RegisterQuery(smurfQuery(time.Minute), WithCallback(func(ev MatchEvent) {
+		fromCallback = append(fromCallback, ev)
+	}))
+	if err != nil {
+		t.Fatalf("RegisterQuery: %v", err)
+	}
+	base := graph.TimestampFromTime(time.Unix(1000, 0))
+	edges := []graph.StreamEdge{
+		hostEdge(1, 1, 2, "icmp_echo_req", base),
+		hostEdge(2, 5, 6, "dns", base.Add(time.Second)),
+		hostEdge(3, 2, 3, "icmp_echo_reply", base.Add(2*time.Second)),
+	}
+	var events []MatchEvent
+	for _, se := range edges {
+		events = append(events, e.ProcessEdge(se)...)
+	}
+	if len(events) != 1 {
+		t.Fatalf("expected 1 match event, got %d", len(events))
+	}
+	if len(fromCallback) != 1 {
+		t.Fatalf("callback not invoked")
+	}
+	ev := events[0]
+	if ev.Query != "smurf" {
+		t.Fatalf("event query = %q", ev.Query)
+	}
+	amp, _ := ev.Match.Vertex(1)
+	if amp != 2 {
+		t.Fatalf("amplifier binding = %v", amp)
+	}
+	if reg.Matches() != 1 {
+		t.Fatalf("registration match counter = %d", reg.Matches())
+	}
+	if ev.String() == "" {
+		t.Fatalf("event String() empty")
+	}
+}
+
+func TestEngineWindowPreventsStaleMatch(t *testing.T) {
+	e := New(nil)
+	if _, err := e.RegisterQuery(smurfQuery(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(2000, 0))
+	var events []MatchEvent
+	events = append(events, e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))...)
+	// The reply arrives 10s later: outside the 1s query window.
+	events = append(events, e.ProcessEdge(hostEdge(2, 2, 3, "icmp_echo_reply", base.Add(10*time.Second)))...)
+	if len(events) != 0 {
+		t.Fatalf("stale match reported: %v", events)
+	}
+	// A fresh request followed quickly by a reply still matches.
+	events = append(events, e.ProcessEdge(hostEdge(3, 7, 8, "icmp_echo_req", base.Add(20*time.Second)))...)
+	events = append(events, e.ProcessEdge(hostEdge(4, 8, 9, "icmp_echo_reply", base.Add(20*time.Second+500*time.Millisecond)))...)
+	if len(events) != 1 {
+		t.Fatalf("fresh match not reported: %v", events)
+	}
+}
+
+func TestEngineRegistrationErrors(t *testing.T) {
+	e := New(nil)
+	if _, err := e.RegisterQuery(nil); !errors.Is(err, ErrNilQuery) {
+		t.Fatalf("nil query: %v", err)
+	}
+	q := smurfQuery(0)
+	if _, err := e.RegisterQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery(q); !errors.Is(err, ErrDuplicateQuery) {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+	if err := e.UnregisterQuery("smurf"); err != nil {
+		t.Fatalf("UnregisterQuery: %v", err)
+	}
+	if err := e.UnregisterQuery("smurf"); !errors.Is(err, ErrUnknownQuery) {
+		t.Fatalf("double unregister: %v", err)
+	}
+	if _, err := e.RegisterQuery(q); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+	if _, err := e.RegisterQuery(smurfQuery(0), WithStrategy(decompose.Strategy("bogus"))); err == nil {
+		t.Fatalf("bogus strategy accepted")
+	}
+}
+
+func TestEngineAnonymousQueryGetsName(t *testing.T) {
+	e := New(nil)
+	q := query.NewBuilder("").
+		Vertex("a", "Host").Vertex("b", "Host").
+		Edge("a", "b", "flow").
+		MustBuild()
+	reg, err := e.RegisterQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Name() == "" {
+		t.Fatalf("anonymous query not assigned a name")
+	}
+	if got := e.Registrations(); len(got) != 1 || got[0] != reg.Name() {
+		t.Fatalf("Registrations() = %v", got)
+	}
+	if _, ok := e.Registration(reg.Name()); !ok {
+		t.Fatalf("Registration lookup failed")
+	}
+}
+
+func TestEngineWithExplicitPlan(t *testing.T) {
+	e := New(nil)
+	q := smurfQuery(0)
+	plan, err := decompose.NewPlanner(nil).Plan(q, decompose.StrategyEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := e.RegisterQuery(q, WithPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Plan() != plan {
+		t.Fatalf("explicit plan not used")
+	}
+	// A plan for a different query object must be rejected.
+	other := smurfQuery(0)
+	e2 := New(nil)
+	if _, err := e2.RegisterQuery(other, WithPlan(plan)); err == nil {
+		t.Fatalf("foreign plan accepted")
+	}
+}
+
+func TestEngineDropsBadEdges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retention = time.Minute
+	e := New(&cfg)
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(3000, 0))
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))
+	// Duplicate ID.
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base.Add(time.Second)))
+	// Very late edge, far beyond slack.
+	e.ProcessEdge(hostEdge(2, 3, 4, "icmp_echo_req", base.Add(-time.Hour)))
+	m := e.Metrics()
+	if m.EdgesProcessed != 1 {
+		t.Fatalf("EdgesProcessed = %d", m.EdgesProcessed)
+	}
+	if m.EdgesDropped != 2 {
+		t.Fatalf("EdgesDropped = %d", m.EdgesDropped)
+	}
+}
+
+func TestEngineMetricsAndString(t *testing.T) {
+	e := New(nil)
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(4000, 0))
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))
+	e.ProcessEdge(hostEdge(2, 2, 3, "icmp_echo_reply", base.Add(time.Second)))
+	m := e.Metrics()
+	if m.EdgesProcessed != 2 || m.MatchesEmitted != 1 {
+		t.Fatalf("metrics wrong: %+v", m)
+	}
+	if len(m.Queries) != 1 || m.Queries[0].Name != "smurf" || m.Queries[0].Matches != 1 {
+		t.Fatalf("per-query metrics wrong: %+v", m.Queries)
+	}
+	if m.LocalSearches == 0 {
+		t.Fatalf("local searches not counted")
+	}
+	if !strings.Contains(m.String(), "smurf") {
+		t.Fatalf("Metrics.String() missing query name")
+	}
+	if e.Summary() == nil {
+		t.Fatalf("summaries enabled by default")
+	}
+	if e.Graph().NumEdges() != 2 {
+		t.Fatalf("dynamic graph size wrong")
+	}
+}
+
+func TestEngineSummariesDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableSummaries = false
+	e := New(&cfg)
+	if e.Summary() != nil {
+		t.Fatalf("summary should be nil when disabled")
+	}
+	if _, err := e.RegisterQuery(smurfQuery(0)); err != nil {
+		t.Fatalf("registration without summaries failed: %v", err)
+	}
+	base := graph.TimestampFromTime(time.Unix(5000, 0))
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))
+	e.ProcessEdge(hostEdge(2, 2, 3, "icmp_echo_reply", base.Add(time.Second)))
+	if e.Metrics().MatchesEmitted != 1 {
+		t.Fatalf("engine without summaries missed the match")
+	}
+}
+
+func TestEngineProcessBatchAndRun(t *testing.T) {
+	base := graph.TimestampFromTime(time.Unix(6000, 0))
+	edges := []graph.StreamEdge{
+		hostEdge(1, 1, 2, "icmp_echo_req", base),
+		hostEdge(2, 2, 3, "icmp_echo_reply", base.Add(time.Second)),
+		hostEdge(3, 10, 11, "icmp_echo_req", base.Add(2*time.Second)),
+		hostEdge(4, 11, 12, "icmp_echo_reply", base.Add(3*time.Second)),
+	}
+	e := New(nil)
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	events := e.ProcessBatch(stream.Batch{Seq: 0, Edges: edges})
+	if len(events) != 2 {
+		t.Fatalf("ProcessBatch found %d matches, want 2", len(events))
+	}
+
+	e2 := New(nil)
+	if _, err := e2.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	total, err := e2.Run(stream.NewSliceSource(edges), func(MatchEvent) { streamed++ })
+	if err != nil || total != 2 || streamed != 2 {
+		t.Fatalf("Run = %d, %d, %v", total, streamed, err)
+	}
+}
+
+func TestEnginePruningBoundsPartialState(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retention = 10 * time.Second
+	cfg.PruneInterval = 50
+	e := New(&cfg)
+	// Use the eager strategy so each lone request edge becomes a stored
+	// partial match (the selective plan folds this two-edge query into a
+	// single primitive and would store nothing for unmatched requests).
+	if _, err := e.RegisterQuery(smurfQuery(5*time.Second), WithStrategy(decompose.StrategyEager)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(7000, 0))
+	// A long stream of only requests: partial matches accumulate but must be
+	// pruned as the window slides.
+	for i := 0; i < 500; i++ {
+		ts := base.Add(time.Duration(i) * time.Second)
+		e.ProcessEdge(hostEdge(graph.EdgeID(i+1), graph.VertexID(i), graph.VertexID(i+10000), "icmp_echo_req", ts))
+	}
+	m := e.Metrics()
+	if m.PartialsPruned == 0 {
+		t.Fatalf("no partial matches pruned: %+v", m)
+	}
+	if m.PartialMatches > 100 {
+		t.Fatalf("partial state unbounded: %d live partials", m.PartialMatches)
+	}
+	if m.ExpiredEdges == 0 {
+		t.Fatalf("window never expired edges")
+	}
+}
+
+func TestEngineMultipleQueriesShareStream(t *testing.T) {
+	e := New(nil)
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	scan := query.NewBuilder("fanout").
+		Window(time.Minute).
+		Vertex("src", "Host").
+		Vertex("d1", "Host").
+		Vertex("d2", "Host").
+		Edge("src", "d1", "icmp_echo_req").
+		Edge("src", "d2", "icmp_echo_req").
+		MustBuild()
+	if _, err := e.RegisterQuery(scan); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(8000, 0))
+	var perQuery = map[string]int{}
+	edges := []graph.StreamEdge{
+		hostEdge(1, 1, 2, "icmp_echo_req", base),
+		hostEdge(2, 1, 3, "icmp_echo_req", base.Add(time.Second)),
+		hostEdge(3, 2, 9, "icmp_echo_reply", base.Add(2*time.Second)),
+	}
+	for _, se := range edges {
+		for _, ev := range e.ProcessEdge(se) {
+			perQuery[ev.Query]++
+		}
+	}
+	if perQuery["smurf"] != 1 {
+		t.Fatalf("smurf matches = %d, want 1", perQuery["smurf"])
+	}
+	// Fan-out of two requests from host 1: orderings (d1=2,d2=3) and (d1=3,d2=2).
+	if perQuery["fanout"] != 2 {
+		t.Fatalf("fanout matches = %d, want 2", perQuery["fanout"])
+	}
+}
+
+// TestEngineMatchesOfflineGroundTruth streams a random multi-relational
+// graph through the engine (all strategies) and compares the reported
+// matches with an offline exhaustive search over the final graph, with the
+// query window disabled so the two result sets must coincide exactly.
+func TestEngineMatchesOfflineGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	types := []string{"flow", "dns", "login"}
+	const nVertices = 40
+	const nEdges = 300
+	edges := make([]graph.StreamEdge, 0, nEdges)
+	for i := 0; i < nEdges; i++ {
+		src := graph.VertexID(rng.Intn(nVertices))
+		dst := graph.VertexID(rng.Intn(nVertices))
+		for dst == src {
+			dst = graph.VertexID(rng.Intn(nVertices))
+		}
+		edges = append(edges, hostEdge(graph.EdgeID(i+1), src, dst, types[rng.Intn(len(types))], graph.Timestamp(i)))
+	}
+	q := query.NewBuilder("wedge").
+		Vertex("a", "Host").
+		Vertex("b", "Host").
+		Vertex("c", "Host").
+		Edge("a", "b", "flow").
+		Edge("b", "c", "dns").
+		MustBuild()
+
+	// Offline ground truth.
+	g := graph.New(graph.WithAutoVertices())
+	for _, se := range edges {
+		if _, err := g.AddStreamEdge(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offline := isomorphism.New(q).FindAll(g, q.EdgeIDs(), 0)
+	truth := make(map[string]bool, len(offline))
+	for _, m := range offline {
+		truth[m.Signature()] = true
+	}
+	if len(truth) == 0 {
+		t.Fatalf("degenerate fixture: no offline matches")
+	}
+
+	for _, strategy := range decompose.Strategies() {
+		t.Run(string(strategy), func(t *testing.T) {
+			e := New(nil)
+			if _, err := e.RegisterQuery(q, WithStrategy(strategy)); err != nil {
+				t.Fatal(err)
+			}
+			found := make(map[string]bool)
+			for _, se := range edges {
+				for _, ev := range e.ProcessEdge(se) {
+					found[ev.Match.Signature()] = true
+				}
+			}
+			if len(found) != len(truth) {
+				t.Fatalf("strategy %s: incremental %d vs offline %d matches", strategy, len(found), len(truth))
+			}
+			for sig := range truth {
+				if !found[sig] {
+					t.Fatalf("strategy %s: missing match %s", strategy, sig)
+				}
+			}
+		})
+	}
+}

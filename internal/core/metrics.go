@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+)
+
+// Metrics is a snapshot of engine counters. Obtain one with Engine.Metrics.
+type Metrics struct {
+	// EdgesProcessed is the number of stream edges admitted into the graph.
+	EdgesProcessed uint64
+	// EdgesDropped counts edges rejected for timestamp regression beyond the
+	// slack or duplicate IDs.
+	EdgesDropped uint64
+	// MatchesEmitted is the total number of complete matches across queries.
+	MatchesEmitted uint64
+	// LocalSearches is the total number of primitive local searches run.
+	LocalSearches uint64
+	// PartialMatches is the number of partial matches currently stored
+	// across all SJ-Trees (memory pressure proxy).
+	PartialMatches int
+	// PartialsPruned is the cumulative number of partial matches discarded
+	// because they could no longer complete within their query windows.
+	PartialsPruned uint64
+	// PruneRuns is the number of pruning sweeps executed.
+	PruneRuns uint64
+	// Registrations is the number of queries ever registered.
+	Registrations uint64
+	// LiveEdges / LiveVertices describe the current dynamic graph size.
+	LiveEdges    int
+	LiveVertices int
+	// ExpiredEdges is the number of edges evicted from the sliding window.
+	ExpiredEdges uint64
+	// Queries holds per-registration detail.
+	Queries []QueryMetrics
+}
+
+// QueryMetrics is the per-registration portion of a metrics snapshot.
+type QueryMetrics struct {
+	Name           string
+	Strategy       decompose.Strategy
+	Matches        uint64
+	PartialMatches int
+	LocalSearches  uint64
+}
+
+// String renders the snapshot as a small fixed-width report.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "edges=%d dropped=%d matches=%d partials=%d localSearches=%d liveEdges=%d liveVertices=%d expired=%d\n",
+		m.EdgesProcessed, m.EdgesDropped, m.MatchesEmitted, m.PartialMatches,
+		m.LocalSearches, m.LiveEdges, m.LiveVertices, m.ExpiredEdges)
+	for _, q := range m.Queries {
+		fmt.Fprintf(&sb, "  %-24s strategy=%-10s matches=%-8d partials=%-8d searches=%d\n",
+			q.Name, q.Strategy, q.Matches, q.PartialMatches, q.LocalSearches)
+	}
+	return sb.String()
+}

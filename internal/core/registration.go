@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/isomorphism"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/sjtree"
+)
+
+// RegistrationOption configures how a query is registered.
+type RegistrationOption func(*registrationConfig)
+
+type registrationConfig struct {
+	strategy decompose.Strategy
+	plan     *decompose.Plan
+	callback func(MatchEvent)
+}
+
+// WithStrategy selects the decomposition strategy for the query (default:
+// the paper's selectivity-ordered decomposition).
+func WithStrategy(s decompose.Strategy) RegistrationOption {
+	return func(c *registrationConfig) { c.strategy = s }
+}
+
+// WithPlan supplies a pre-built decomposition plan, bypassing the planner.
+// Used by the plan-comparison experiments and by callers that persist plans.
+func WithPlan(p *decompose.Plan) RegistrationOption {
+	return func(c *registrationConfig) { c.plan = p }
+}
+
+// WithCallback registers fn to be invoked synchronously for every complete
+// match of this query.
+func WithCallback(fn func(MatchEvent)) RegistrationOption {
+	return func(c *registrationConfig) { c.callback = fn }
+}
+
+// leafCandidate identifies one (leaf node, pattern edge) pair whose local
+// search an arriving data edge may seed.
+type leafCandidate struct {
+	leaf *sjtree.Node
+	qe   query.EdgeID
+}
+
+// Registration is the runtime state of one registered continuous query.
+type Registration struct {
+	engine  *Engine
+	name    string
+	query   *query.Graph
+	plan    *decompose.Plan
+	tree    *sjtree.Tree
+	matcher *isomorphism.Matcher
+
+	// candidatesByType indexes leaf pattern edges by their required edge
+	// type; the empty key holds wildcard pattern edges that every arriving
+	// edge must be tested against.
+	candidatesByType map[string][]leafCandidate
+
+	callback      func(MatchEvent)
+	matches       uint64
+	localSearches uint64
+}
+
+func newRegistration(e *Engine, name string, q *query.Graph, opts ...RegistrationOption) (*Registration, error) {
+	cfg := registrationConfig{strategy: decompose.StrategySelective}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	plan := cfg.plan
+	if plan == nil {
+		var err error
+		plan, err = e.planner.Plan(q, cfg.strategy)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning %q: %w", name, err)
+		}
+	} else if plan.Query != q {
+		return nil, fmt.Errorf("core: supplied plan is for a different query")
+	}
+	tree, err := sjtree.New(plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: building SJ-Tree for %q: %w", name, err)
+	}
+	r := &Registration{
+		engine:           e,
+		name:             name,
+		query:            q,
+		plan:             plan,
+		tree:             tree,
+		matcher:          isomorphism.New(q),
+		candidatesByType: make(map[string][]leafCandidate),
+		callback:         cfg.callback,
+	}
+	for _, leaf := range tree.Leaves() {
+		for _, qe := range leaf.Edges() {
+			t := q.Edge(qe).Type
+			r.candidatesByType[t] = append(r.candidatesByType[t], leafCandidate{leaf: leaf, qe: qe})
+		}
+	}
+	return r, nil
+}
+
+// Name returns the registration name.
+func (r *Registration) Name() string { return r.name }
+
+// Query returns the registered query graph.
+func (r *Registration) Query() *query.Graph { return r.query }
+
+// Plan returns the decomposition plan in use.
+func (r *Registration) Plan() *decompose.Plan { return r.plan }
+
+// Tree returns the registration's SJ-Tree (read-only use: stats, display).
+func (r *Registration) Tree() *sjtree.Tree { return r.tree }
+
+// Matches returns the number of complete matches reported so far.
+func (r *Registration) Matches() uint64 { return r.matches }
+
+// LocalSearches returns the number of primitive local searches executed.
+func (r *Registration) LocalSearches() uint64 { return r.localSearches }
+
+// processEdge runs the per-edge incremental step for this query: for every
+// leaf pattern edge the new data edge could match, perform a local search of
+// the leaf's primitive seeded by the edge and push the resulting primitive
+// matches into the SJ-Tree.
+func (r *Registration) processEdge(de *graph.Edge) []MatchEvent {
+	var events []MatchEvent
+	process := func(cands []leafCandidate) {
+		for _, c := range cands {
+			qe := r.query.Edge(c.qe)
+			if !qe.MatchesEdge(de) {
+				continue
+			}
+			r.localSearches++
+			prims := r.matcher.LocalSearch(r.engine.dyn.Graph(), c.leaf.Edges(), c.qe, de)
+			for _, pm := range prims {
+				for _, cm := range r.tree.Insert(c.leaf, pm) {
+					ev := MatchEvent{
+						Query:      r.name,
+						Match:      cm,
+						DetectedAt: r.engine.dyn.Watermark(),
+					}
+					r.matches++
+					if r.callback != nil {
+						r.callback(ev)
+					}
+					events = append(events, ev)
+				}
+			}
+		}
+	}
+	process(r.candidatesByType[de.Type])
+	if de.Type != "" {
+		process(r.candidatesByType[""])
+	}
+	return events
+}

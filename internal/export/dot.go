@@ -1,0 +1,162 @@
+// Package export renders graphs, query plans and match results in formats a
+// person (or an external tool) can inspect: Graphviz DOT for graph snapshots
+// and SJ-Trees (the library-level substitute for the paper's Gephi-based
+// visualization), JSON for programmatic consumers, and fixed-width tables
+// for terminals (the substitute for the demo's tabular event view).
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// DOTOptions control graph rendering.
+type DOTOptions struct {
+	// Name is the digraph name.
+	Name string
+	// Highlight marks the data vertices/edges bound by the given matches;
+	// they are drawn filled red, partial context in black.
+	Highlight []*match.Match
+	// MaxVertices bounds output size; 0 means unlimited. Vertices beyond the
+	// bound (in ID order) and their edges are omitted with a trailing
+	// comment.
+	MaxVertices int
+}
+
+// WriteGraphDOT renders a snapshot of the data graph in DOT format.
+func WriteGraphDOT(w io.Writer, g *graph.Graph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "streamworks"
+	}
+	highlightV := make(map[graph.VertexID]bool)
+	highlightE := make(map[graph.EdgeID]bool)
+	for _, m := range opts.Highlight {
+		if m == nil {
+			continue
+		}
+		for _, dv := range m.Vertices {
+			highlightV[dv] = true
+		}
+		for _, de := range m.Edges {
+			highlightE[de] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n", name)
+	ids := g.VertexIDs()
+	truncated := false
+	if opts.MaxVertices > 0 && len(ids) > opts.MaxVertices {
+		ids = ids[:opts.MaxVertices]
+		truncated = true
+	}
+	include := make(map[graph.VertexID]bool, len(ids))
+	for _, id := range ids {
+		include[id] = true
+	}
+	for _, id := range ids {
+		v, _ := g.Vertex(id)
+		style := ""
+		if highlightV[id] {
+			style = ", style=filled, fillcolor=salmon"
+		}
+		fmt.Fprintf(&b, "  v%d [label=%q%s];\n", id, fmt.Sprintf("%s #%d", v.Type, id), style)
+	}
+	g.Edges(func(e *graph.Edge) bool {
+		if !include[e.Source] || !include[e.Target] {
+			return true
+		}
+		attrs := fmt.Sprintf("label=%q", e.Type)
+		if highlightE[e.ID] {
+			attrs += ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(&b, "  v%d -> v%d [%s];\n", e.Source, e.Target, attrs)
+		return true
+	})
+	if truncated {
+		fmt.Fprintf(&b, "  // truncated to %d vertices\n", opts.MaxVertices)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteQueryDOT renders a query graph in DOT format.
+func WriteQueryDOT(w io.Writer, q *query.Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", "query_"+q.Name())
+	for _, v := range q.Vertices() {
+		label := v.Name
+		if v.Type != "" {
+			label += ":" + v.Type
+		}
+		fmt.Fprintf(&b, "  q%d [label=%q];\n", v.ID, label)
+	}
+	for _, e := range q.Edges() {
+		label := e.Type
+		if label == "" {
+			label = "*"
+		}
+		dir := ""
+		if e.AnyDirection {
+			dir = ", dir=none"
+		}
+		fmt.Fprintf(&b, "  q%d -> q%d [label=%q%s];\n", e.Source, e.Target, label, dir)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePlanDOT renders a decomposition plan (SJ-Tree shape) in DOT format:
+// one box per node labelled with its pattern edges, leaves double-bordered.
+func WritePlanDOT(w io.Writer, p *decompose.Plan) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  node [shape=box, fontsize=10];\n", "plan_"+p.Query.Name())
+	counter := 0
+	var walk func(n *decompose.Node) int
+	walk = func(n *decompose.Node) int {
+		id := counter
+		counter++
+		label := describePlanEdges(p.Query, n.Edges)
+		shape := ""
+		if n.IsLeaf() {
+			shape = ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q%s];\n", id, label, shape)
+		if n.Left != nil {
+			child := walk(n.Left)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, child)
+		}
+		if n.Right != nil {
+			child := walk(n.Right)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, child)
+		}
+		return id
+	}
+	walk(p.Root)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func describePlanEdges(q *query.Graph, edges []query.EdgeID) string {
+	parts := make([]string, 0, len(edges))
+	for _, eid := range edges {
+		e := q.Edge(eid)
+		label := e.Type
+		if label == "" {
+			label = "*"
+		}
+		parts = append(parts, fmt.Sprintf("%s-%s->%s", q.Vertex(e.Source).Name, label, q.Vertex(e.Target).Name))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\\n")
+}

@@ -1,0 +1,243 @@
+package gen
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// AttackKind enumerates the injectable cyber-attack patterns, mirroring the
+// example queries of the paper's Fig. 3.
+type AttackKind string
+
+const (
+	// AttackSmurf is a Smurf DDoS: the attacker sends spoofed echo requests
+	// to many amplifier hosts, which all reply to the victim.
+	AttackSmurf AttackKind = "smurf"
+	// AttackWorm is a worm propagation chain: an infected host scans,
+	// connects to and infects a neighbour, which repeats the pattern.
+	AttackWorm AttackKind = "worm"
+	// AttackExfiltration is a data exfiltration: a suspicious login is
+	// followed by a sensitive file read and a large outbound flow.
+	AttackExfiltration AttackKind = "exfiltration"
+)
+
+// AttackInstance records the ground truth for one injected attack: the edges
+// that constitute it and the key actors, so experiments can measure recall
+// and time-to-detection.
+type AttackInstance struct {
+	Kind AttackKind
+	// Start and End bound the attack's edge timestamps.
+	Start graph.Timestamp
+	End   graph.Timestamp
+	// Actors are the principal vertices: attacker/victim for smurf, the
+	// infection chain for worm, the compromised host for exfiltration.
+	Actors []graph.VertexID
+	// EdgeIDs are the injected edges in emission order.
+	EdgeIDs []graph.EdgeID
+}
+
+// InjectorConfig parameterizes attack injection into a background stream.
+type InjectorConfig struct {
+	// Seed controls actor selection and timing jitter.
+	Seed int64
+	// SmurfAmplifiers is the number of amplifier hosts per Smurf attack.
+	SmurfAmplifiers int
+	// WormChainLength is the number of hops in a worm propagation chain.
+	WormChainLength int
+	// Spread is the time over which one attack instance unfolds.
+	Spread time.Duration
+}
+
+// DefaultInjectorConfig returns sensible laptop-scale defaults.
+func DefaultInjectorConfig() InjectorConfig {
+	return InjectorConfig{
+		Seed:            7,
+		SmurfAmplifiers: 8,
+		WormChainLength: 4,
+		Spread:          30 * time.Second,
+	}
+}
+
+// Injector fabricates attack edges over the host population of a NetFlow
+// generator, sharing its ID sequence so edge IDs never collide.
+type Injector struct {
+	cfg   InjectorConfig
+	rng   *rand.Rand
+	seq   *Sequence
+	hosts []graph.VertexID
+}
+
+// NewInjector constructs an injector over the given host population.
+func NewInjector(cfg InjectorConfig, hosts []graph.VertexID, seq *Sequence) *Injector {
+	if cfg.SmurfAmplifiers < 2 {
+		cfg.SmurfAmplifiers = 2
+	}
+	if cfg.WormChainLength < 2 {
+		cfg.WormChainLength = 2
+	}
+	if cfg.Spread <= 0 {
+		cfg.Spread = time.Second
+	}
+	if seq == nil {
+		seq = &Sequence{}
+	}
+	return &Injector{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		seq:   seq,
+		hosts: hosts,
+	}
+}
+
+func (in *Injector) pickHosts(n int) []graph.VertexID {
+	picked := make([]graph.VertexID, 0, n)
+	seen := make(map[graph.VertexID]struct{}, n)
+	for len(picked) < n && len(seen) < len(in.hosts) {
+		h := in.hosts[in.rng.Intn(len(in.hosts))]
+		if _, dup := seen[h]; dup {
+			continue
+		}
+		seen[h] = struct{}{}
+		picked = append(picked, h)
+	}
+	return picked
+}
+
+func (in *Injector) hostEdge(src, dst graph.VertexID, typ string, ts graph.Timestamp, attrs graph.Attributes) graph.StreamEdge {
+	return graph.StreamEdge{
+		Edge: graph.Edge{
+			ID:        in.seq.NextEdge(),
+			Source:    src,
+			Target:    dst,
+			Type:      typ,
+			Timestamp: ts,
+			Attrs:     attrs,
+		},
+		SourceType: TypeHost,
+		TargetType: TypeHost,
+	}
+}
+
+// Smurf fabricates one Smurf DDoS instance starting at the given time.
+func (in *Injector) Smurf(start graph.Timestamp) ([]graph.StreamEdge, AttackInstance) {
+	actors := in.pickHosts(in.cfg.SmurfAmplifiers + 2)
+	attacker, victim := actors[0], actors[1]
+	amplifiers := actors[2:]
+	step := in.cfg.Spread / time.Duration(2*len(amplifiers)+1)
+	var edges []graph.StreamEdge
+	ts := start
+	for _, amp := range amplifiers {
+		ts = ts.Add(step/2 + jitter(in.rng, step))
+		edges = append(edges, in.hostEdge(attacker, amp, EdgeICMPReq, ts,
+			graph.Attributes{"bytes": graph.Int(1024), "spoofed": graph.Bool(true)}))
+		ts = ts.Add(step / 4)
+		edges = append(edges, in.hostEdge(amp, victim, EdgeICMPReply, ts,
+			graph.Attributes{"bytes": graph.Int(1024)}))
+	}
+	inst := AttackInstance{
+		Kind:   AttackSmurf,
+		Start:  edges[0].Edge.Timestamp,
+		End:    edges[len(edges)-1].Edge.Timestamp,
+		Actors: append([]graph.VertexID{attacker, victim}, amplifiers...),
+	}
+	for _, e := range edges {
+		inst.EdgeIDs = append(inst.EdgeIDs, e.Edge.ID)
+	}
+	return edges, inst
+}
+
+// Worm fabricates one worm propagation chain starting at the given time:
+// each hop scans, opens a flow to, and infects the next host.
+func (in *Injector) Worm(start graph.Timestamp) ([]graph.StreamEdge, AttackInstance) {
+	chain := in.pickHosts(in.cfg.WormChainLength + 1)
+	step := in.cfg.Spread / time.Duration(3*in.cfg.WormChainLength+1)
+	var edges []graph.StreamEdge
+	ts := start
+	for i := 0; i < len(chain)-1; i++ {
+		src, dst := chain[i], chain[i+1]
+		ts = ts.Add(step/2 + jitter(in.rng, step))
+		edges = append(edges, in.hostEdge(src, dst, EdgeScan, ts,
+			graph.Attributes{"ports_probed": graph.Int(int64(100 + in.rng.Intn(900)))}))
+		ts = ts.Add(step / 3)
+		edges = append(edges, in.hostEdge(src, dst, EdgeFlow, ts,
+			graph.Attributes{"bytes": graph.Int(int64(200_000 + in.rng.Intn(800_000))), "port": graph.Int(445), "proto": graph.String("tcp")}))
+		ts = ts.Add(step / 3)
+		edges = append(edges, in.hostEdge(src, dst, EdgeInfect, ts,
+			graph.Attributes{"payload": graph.String("worm.bin")}))
+	}
+	inst := AttackInstance{
+		Kind:   AttackWorm,
+		Start:  edges[0].Edge.Timestamp,
+		End:    edges[len(edges)-1].Edge.Timestamp,
+		Actors: chain,
+	}
+	for _, e := range edges {
+		inst.EdgeIDs = append(inst.EdgeIDs, e.Edge.ID)
+	}
+	return edges, inst
+}
+
+// Exfiltration fabricates one data-exfiltration instance: a failed-then-
+// successful login, a sensitive file read, and a large outbound flow to an
+// external drop host.
+func (in *Injector) Exfiltration(start graph.Timestamp) ([]graph.StreamEdge, AttackInstance) {
+	actors := in.pickHosts(3)
+	compromised, fileServer, drop := actors[0], actors[1], actors[2]
+	step := in.cfg.Spread / 4
+	ts := start.Add(jitter(in.rng, step))
+	edges := []graph.StreamEdge{
+		in.hostEdge(compromised, fileServer, EdgeLogin, ts,
+			graph.Attributes{"user": graph.String("svc_backup"), "success": graph.Bool(true)}),
+	}
+	ts = ts.Add(step/2 + jitter(in.rng, step))
+	edges = append(edges, in.hostEdge(compromised, fileServer, EdgeFileRead, ts,
+		graph.Attributes{"path": graph.String("/finance/payroll.db"), "bytes": graph.Int(50_000_000)}))
+	ts = ts.Add(step/2 + jitter(in.rng, step))
+	edges = append(edges, in.hostEdge(compromised, drop, EdgeFlow, ts,
+		graph.Attributes{"bytes": graph.Int(52_000_000), "port": graph.Int(443), "proto": graph.String("tcp")}))
+	inst := AttackInstance{
+		Kind:   AttackExfiltration,
+		Start:  edges[0].Edge.Timestamp,
+		End:    edges[len(edges)-1].Edge.Timestamp,
+		Actors: actors,
+	}
+	for _, e := range edges {
+		inst.EdgeIDs = append(inst.EdgeIDs, e.Edge.ID)
+	}
+	return edges, inst
+}
+
+// Inject fabricates `count` instances of the given attack kind with start
+// times drawn uniformly from [start, end-Spread] and returns the edges plus
+// the ground-truth instances. The returned edges are not merged into any
+// background stream; use stream.Merge for that.
+func (in *Injector) Inject(kind AttackKind, count int, start, end graph.Timestamp) ([]graph.StreamEdge, []AttackInstance) {
+	var edges []graph.StreamEdge
+	var instances []AttackInstance
+	span := int64(end - start - graph.Timestamp(in.cfg.Spread))
+	if span < 1 {
+		span = 1
+	}
+	for i := 0; i < count; i++ {
+		at := start + graph.Timestamp(in.rng.Int63n(span))
+		var es []graph.StreamEdge
+		var inst AttackInstance
+		switch kind {
+		case AttackSmurf:
+			es, inst = in.Smurf(at)
+		case AttackWorm:
+			es, inst = in.Worm(at)
+		case AttackExfiltration:
+			es, inst = in.Exfiltration(at)
+		default:
+			continue
+		}
+		edges = append(edges, es...)
+		instances = append(instances, inst)
+	}
+	stream.SortByTimestamp(edges)
+	return edges, instances
+}

@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// Vertex and edge type labels used by the netflow workload. The cyber
+// queries in the paper (Fig. 3) and the example programs reference these.
+const (
+	TypeHost   = "Host"
+	TypeServer = "Server"
+
+	EdgeFlow      = "flow"           // generic TCP/UDP flow
+	EdgeDNS       = "dns_query"      // host asks a server for a name
+	EdgeICMPReq   = "icmp_echo_req"  // ping request
+	EdgeICMPReply = "icmp_echo_rep"  // ping reply
+	EdgeLogin     = "login"          // user/host logs into a server
+	EdgeFileRead  = "file_read"      // host reads a sensitive file share
+	EdgeScan      = "port_scan"      // reconnaissance probe
+	EdgeInfect    = "infect"         // worm payload delivery
+)
+
+// NetFlowConfig parameterizes the internet-traffic generator.
+type NetFlowConfig struct {
+	// Hosts and Servers are the number of workstation and server vertices.
+	Hosts   int
+	Servers int
+	// Edges is the number of background edges to generate.
+	Edges int
+	// Start is the timestamp of the first edge; MeanGap is the average
+	// inter-arrival time between consecutive background edges.
+	Start   graph.Timestamp
+	MeanGap time.Duration
+	// ContactSkew is the Zipf exponent controlling how concentrated traffic
+	// is on popular destinations (higher = more skewed). Values near 1.1-2.0
+	// are realistic.
+	ContactSkew float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// DefaultNetFlowConfig returns a laptop-scale configuration: 2,000 hosts,
+// 100 servers, 100k edges at one edge per simulated millisecond.
+func DefaultNetFlowConfig() NetFlowConfig {
+	return NetFlowConfig{
+		Hosts:       2000,
+		Servers:     100,
+		Edges:       100_000,
+		Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		MeanGap:     time.Millisecond,
+		ContactSkew: 1.4,
+		Seed:        1,
+	}
+}
+
+// NetFlow generates synthetic internet traffic.
+type NetFlow struct {
+	cfg  NetFlowConfig
+	rng  *rand.Rand
+	seq  *Sequence
+	zip  *zipf
+	now  graph.Timestamp
+	host []graph.VertexID
+	srv  []graph.VertexID
+}
+
+// NewNetFlow constructs a generator. seq may be nil, in which case a fresh
+// sequence starting at 0 is used.
+func NewNetFlow(cfg NetFlowConfig, seq *Sequence) *NetFlow {
+	if cfg.Hosts < 2 {
+		cfg.Hosts = 2
+	}
+	if cfg.Servers < 1 {
+		cfg.Servers = 1
+	}
+	if cfg.MeanGap <= 0 {
+		cfg.MeanGap = time.Millisecond
+	}
+	if seq == nil {
+		seq = &Sequence{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &NetFlow{
+		cfg: cfg,
+		rng: rng,
+		seq: seq,
+		zip: newZipf(rng, cfg.Hosts+cfg.Servers, cfg.ContactSkew),
+		now: cfg.Start,
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		g.host = append(g.host, seq.NextVertex())
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		g.srv = append(g.srv, seq.NextVertex())
+	}
+	return g
+}
+
+// Hosts returns the generated host vertex IDs.
+func (g *NetFlow) Hosts() []graph.VertexID { return g.host }
+
+// Servers returns the generated server vertex IDs.
+func (g *NetFlow) Servers() []graph.VertexID { return g.srv }
+
+// Sequence returns the ID sequence, so attack injectors can share it.
+func (g *NetFlow) Sequence() *Sequence { return g.seq }
+
+// vertexByRank maps a Zipf rank to a vertex, preferring servers for the most
+// popular ranks (services receive most traffic).
+func (g *NetFlow) vertexByRank(rank int) (graph.VertexID, string) {
+	if rank < len(g.srv) {
+		return g.srv[rank], TypeServer
+	}
+	return g.host[(rank-len(g.srv))%len(g.host)], TypeHost
+}
+
+// randomHost picks a uniformly random workstation.
+func (g *NetFlow) randomHost() graph.VertexID {
+	return g.host[g.rng.Intn(len(g.host))]
+}
+
+// Generate produces the configured number of background edges in timestamp
+// order.
+func (g *NetFlow) Generate() []graph.StreamEdge {
+	out := make([]graph.StreamEdge, 0, g.cfg.Edges)
+	for i := 0; i < g.cfg.Edges; i++ {
+		out = append(out, g.nextEdge())
+	}
+	return out
+}
+
+// Source returns a streaming source that lazily generates the configured
+// number of edges, avoiding large intermediate slices in benchmarks.
+func (g *NetFlow) Source() stream.Source {
+	remaining := g.cfg.Edges
+	return stream.FuncSource(func() (graph.StreamEdge, error) {
+		if remaining <= 0 {
+			return graph.StreamEdge{}, io.EOF
+		}
+		remaining--
+		return g.nextEdge(), nil
+	})
+}
+
+func (g *NetFlow) nextEdge() graph.StreamEdge {
+	g.now = g.now.Add(g.cfg.MeanGap/2 + jitter(g.rng, g.cfg.MeanGap))
+	src := g.randomHost()
+	dstID, dstType := g.vertexByRank(g.zip.draw())
+	for dstID == src {
+		dstID, dstType = g.vertexByRank(g.zip.draw())
+	}
+	kind := g.rng.Float64()
+	se := graph.StreamEdge{
+		SourceType: TypeHost,
+		TargetType: dstType,
+	}
+	e := graph.Edge{
+		ID:        g.seq.NextEdge(),
+		Source:    src,
+		Target:    dstID,
+		Timestamp: g.now,
+	}
+	switch {
+	case kind < 0.70:
+		e.Type = EdgeFlow
+		e.Attrs = graph.Attributes{
+			"bytes": graph.Int(int64(64 + g.rng.Intn(65_000))),
+			"port":  graph.Int(int64(wellKnownPorts[g.rng.Intn(len(wellKnownPorts))])),
+			"proto": graph.String(protoFor(g.rng)),
+		}
+	case kind < 0.85:
+		e.Type = EdgeDNS
+		e.Attrs = graph.Attributes{
+			"qname": graph.String(fmt.Sprintf("svc-%d.example.com", g.rng.Intn(500))),
+		}
+	case kind < 0.92:
+		e.Type = EdgeLogin
+		e.Attrs = graph.Attributes{
+			"user":    graph.String(fmt.Sprintf("user%d", g.rng.Intn(300))),
+			"success": graph.Bool(g.rng.Float64() < 0.9),
+		}
+	case kind < 0.97:
+		e.Type = EdgeICMPReq
+		e.Attrs = graph.Attributes{"bytes": graph.Int(64)}
+	default:
+		e.Type = EdgeICMPReply
+		e.Attrs = graph.Attributes{"bytes": graph.Int(64)}
+	}
+	se.Edge = e
+	return se
+}
+
+var wellKnownPorts = []int{22, 25, 53, 80, 123, 443, 445, 3306, 5432, 8080}
+
+func protoFor(rng *rand.Rand) string {
+	if rng.Float64() < 0.8 {
+		return "tcp"
+	}
+	return "udp"
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// Dynamic is the temporally evolving data graph of the paper: edges arrive
+// with timestamps and the graph retains only those whose timestamp falls
+// inside a sliding window of configurable width ending at the stream
+// watermark (the largest timestamp observed, minus an optional out-of-order
+// slack). Expired edges are removed from the underlying Graph so that local
+// searches never see data that could not participate in a valid match.
+type Dynamic struct {
+	g *Graph
+
+	window    time.Duration
+	slack     time.Duration
+	watermark Timestamp
+	seenAny   bool
+
+	// arrival order queue used for expiry; each element is an *Edge. The
+	// queue is kept sorted by timestamp up to the allowed slack, which is
+	// sufficient for window expiry because we only expire strictly older
+	// edges than watermark-window.
+	queue *list.List
+
+	// onExpire, when set, is invoked for every edge evicted from the window.
+	onExpire func(*Edge)
+
+	expiredTotal uint64
+	addedTotal   uint64
+}
+
+// DynamicOption configures a Dynamic graph.
+type DynamicOption func(*Dynamic)
+
+// WithSlack allows edges to arrive up to d out of timestamp order without
+// being rejected. The watermark trails the maximum observed timestamp by d.
+func WithSlack(d time.Duration) DynamicOption {
+	return func(dg *Dynamic) { dg.slack = d }
+}
+
+// WithExpiryCallback registers fn to be called for every edge that leaves
+// the sliding window. The continuous engine uses this to prune partial
+// matches that can no longer complete.
+func WithExpiryCallback(fn func(*Edge)) DynamicOption {
+	return func(dg *Dynamic) { dg.onExpire = fn }
+}
+
+// NewDynamic constructs a dynamic graph with the given sliding-window width.
+// A window of zero means "unbounded": edges are never expired.
+func NewDynamic(window time.Duration, opts ...DynamicOption) *Dynamic {
+	dg := &Dynamic{
+		g:      New(WithAutoVertices()),
+		window: window,
+		queue:  list.New(),
+	}
+	for _, o := range opts {
+		o(dg)
+	}
+	return dg
+}
+
+// Graph exposes the underlying static graph for read-only use by matchers
+// and statistics collectors.
+func (d *Dynamic) Graph() *Graph { return d.g }
+
+// Window returns the configured window width.
+func (d *Dynamic) Window() time.Duration { return d.window }
+
+// Watermark returns the current stream watermark: the latest timestamp
+// observed minus the out-of-order slack.
+func (d *Dynamic) Watermark() Timestamp { return d.watermark }
+
+// NumVertices returns the number of live vertices.
+func (d *Dynamic) NumVertices() int { return d.g.NumVertices() }
+
+// NumEdges returns the number of live (non-expired) edges.
+func (d *Dynamic) NumEdges() int { return d.g.NumEdges() }
+
+// AddedTotal returns the cumulative number of edges ever admitted.
+func (d *Dynamic) AddedTotal() uint64 { return d.addedTotal }
+
+// ExpiredTotal returns the cumulative number of edges expired from the window.
+func (d *Dynamic) ExpiredTotal() uint64 { return d.expiredTotal }
+
+// SetExpiryCallback replaces the expiry callback after construction. The
+// engine installs its pruning hook once queries are registered.
+func (d *Dynamic) SetExpiryCallback(fn func(*Edge)) { d.onExpire = fn }
+
+// Apply ingests a stream edge: the edge is validated against the watermark,
+// endpoint metadata is upserted, the edge is added to the live graph and the
+// window is advanced, expiring edges that fall out of it. It returns the
+// stored edge.
+func (d *Dynamic) Apply(se StreamEdge) (*Edge, error) {
+	ts := se.Edge.Timestamp
+	if d.seenAny && ts < d.watermark-Timestamp(d.slack) && d.window > 0 {
+		return nil, &EdgeError{ID: se.Edge.ID, Err: ErrTimestampRegression}
+	}
+	e, err := d.g.AddStreamEdge(se)
+	if err != nil {
+		return nil, err
+	}
+	d.addedTotal++
+	d.enqueue(e)
+	d.advance(ts)
+	return e, nil
+}
+
+// enqueue inserts e into the expiry queue keeping it sorted by timestamp.
+// Because arrivals are near-ordered (bounded slack) the insertion point is
+// found by scanning backwards from the tail and is O(1) amortized.
+func (d *Dynamic) enqueue(e *Edge) {
+	for el := d.queue.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*Edge).Timestamp <= e.Timestamp {
+			d.queue.InsertAfter(e, el)
+			return
+		}
+	}
+	d.queue.PushFront(e)
+}
+
+// advance moves the watermark forward to ts-slack (never backwards) and
+// expires edges older than watermark-window.
+func (d *Dynamic) advance(ts Timestamp) {
+	if !d.seenAny {
+		d.seenAny = true
+		d.watermark = ts - Timestamp(d.slack)
+	} else if wm := ts - Timestamp(d.slack); wm > d.watermark {
+		d.watermark = wm
+	}
+	d.expire()
+}
+
+// AdvanceTo forces the watermark to ts (if it is ahead of the current one)
+// and expires accordingly. Streams use this to signal the passage of time in
+// the absence of edges.
+func (d *Dynamic) AdvanceTo(ts Timestamp) {
+	if !d.seenAny {
+		d.seenAny = true
+		d.watermark = ts
+	} else if ts > d.watermark {
+		d.watermark = ts
+	}
+	d.expire()
+}
+
+func (d *Dynamic) expire() {
+	if d.window <= 0 {
+		return
+	}
+	cutoff := d.watermark - Timestamp(d.window)
+	for {
+		front := d.queue.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*Edge)
+		if e.Timestamp >= cutoff {
+			return
+		}
+		d.queue.Remove(front)
+		// The edge may already have been removed explicitly; ignore that.
+		if err := d.g.RemoveEdge(e.ID); err == nil {
+			d.expiredTotal++
+			d.g.RemoveIsolatedVertex(e.Source)
+			d.g.RemoveIsolatedVertex(e.Target)
+			if d.onExpire != nil {
+				d.onExpire(e)
+			}
+		}
+	}
+}
+
+// String summarizes the dynamic graph state.
+func (d *Dynamic) String() string {
+	return fmt.Sprintf("Dynamic(window=%s, watermark=%d, %s, added=%d, expired=%d)",
+		d.window, d.watermark, d.g, d.addedTotal, d.expiredTotal)
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func streamEdge(id EdgeID, src, dst VertexID, typ string, ts Timestamp) StreamEdge {
+	return StreamEdge{
+		Edge:       Edge{ID: id, Source: src, Target: dst, Type: typ, Timestamp: ts},
+		SourceType: "Host",
+		TargetType: "Host",
+	}
+}
+
+func TestDynamicApplyAndWindowExpiry(t *testing.T) {
+	d := NewDynamic(10 * time.Nanosecond)
+	for i := 0; i < 5; i++ {
+		if _, err := d.Apply(streamEdge(EdgeID(i), VertexID(i), VertexID(i+1), "flow", Timestamp(i))); err != nil {
+			t.Fatalf("Apply(%d): %v", i, err)
+		}
+	}
+	if d.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", d.NumEdges())
+	}
+	// Advance far enough that the first three edges (ts 0,1,2) fall out of a
+	// 10ns window ending at watermark 13.
+	d.AdvanceTo(13)
+	if d.NumEdges() != 2 {
+		t.Fatalf("NumEdges after expiry = %d, want 2", d.NumEdges())
+	}
+	if d.ExpiredTotal() != 3 {
+		t.Fatalf("ExpiredTotal = %d, want 3", d.ExpiredTotal())
+	}
+	if d.AddedTotal() != 5 {
+		t.Fatalf("AddedTotal = %d, want 5", d.AddedTotal())
+	}
+}
+
+func TestDynamicUnboundedWindowNeverExpires(t *testing.T) {
+	d := NewDynamic(0)
+	for i := 0; i < 100; i++ {
+		if _, err := d.Apply(streamEdge(EdgeID(i), 1, 2, "flow", Timestamp(i*1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.AdvanceTo(1 << 40)
+	if d.NumEdges() != 100 {
+		t.Fatalf("unbounded window expired edges: %d left", d.NumEdges())
+	}
+}
+
+func TestDynamicExpiryCallback(t *testing.T) {
+	var expired []EdgeID
+	d := NewDynamic(5*time.Nanosecond, WithExpiryCallback(func(e *Edge) {
+		expired = append(expired, e.ID)
+	}))
+	for i := 0; i < 10; i++ {
+		if _, err := d.Apply(streamEdge(EdgeID(i), VertexID(i), VertexID(i+1), "flow", Timestamp(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// watermark is 9, cutoff 4: edges 0..3 expired.
+	if len(expired) != 4 {
+		t.Fatalf("expiry callback saw %d edges, want 4: %v", len(expired), expired)
+	}
+	for i, id := range expired {
+		if id != EdgeID(i) {
+			t.Fatalf("expiry order wrong: %v", expired)
+		}
+	}
+}
+
+func TestDynamicIsolatedVerticesRemovedOnExpiry(t *testing.T) {
+	d := NewDynamic(2 * time.Nanosecond)
+	if _, err := d.Apply(streamEdge(1, 100, 101, "flow", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(streamEdge(2, 200, 201, "flow", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Graph().HasVertex(100) || d.Graph().HasVertex(101) {
+		t.Fatalf("expired edge endpoints should be garbage collected")
+	}
+	if !d.Graph().HasVertex(200) {
+		t.Fatalf("live endpoints must be retained")
+	}
+}
+
+func TestDynamicOutOfOrderWithinSlack(t *testing.T) {
+	d := NewDynamic(time.Minute, WithSlack(5*time.Nanosecond))
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 100)); err != nil {
+		t.Fatal(err)
+	}
+	// 97 is within the slack of 5 behind the watermark (100-5=95).
+	if _, err := d.Apply(streamEdge(2, 2, 3, "flow", 97)); err != nil {
+		t.Fatalf("in-slack edge rejected: %v", err)
+	}
+	// 80 is beyond the slack.
+	_, err := d.Apply(streamEdge(3, 3, 4, "flow", 80))
+	if !errors.Is(err, ErrTimestampRegression) {
+		t.Fatalf("expected ErrTimestampRegression, got %v", err)
+	}
+}
+
+func TestDynamicRegressionAllowedWhenUnbounded(t *testing.T) {
+	d := NewDynamic(0)
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(streamEdge(2, 2, 3, "flow", 1)); err != nil {
+		t.Fatalf("unbounded dynamic graph should accept late edges: %v", err)
+	}
+}
+
+func TestDynamicWatermarkMonotone(t *testing.T) {
+	d := NewDynamic(time.Minute, WithSlack(2*time.Nanosecond))
+	times := []Timestamp{10, 50, 49, 48, 60, 59}
+	var last Timestamp
+	for i, ts := range times {
+		if _, err := d.Apply(streamEdge(EdgeID(i), 1, 2, "flow", ts)); err != nil {
+			t.Fatalf("Apply(ts=%d): %v", ts, err)
+		}
+		if d.Watermark() < last {
+			t.Fatalf("watermark regressed from %d to %d", last, d.Watermark())
+		}
+		last = d.Watermark()
+	}
+	// AdvanceTo backwards must be a no-op.
+	d.AdvanceTo(1)
+	if d.Watermark() != last {
+		t.Fatalf("AdvanceTo moved the watermark backwards")
+	}
+}
+
+func TestDynamicDuplicateEdgeRejected(t *testing.T) {
+	d := NewDynamic(time.Minute)
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 2)); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("expected ErrDuplicateEdge, got %v", err)
+	}
+}
+
+func TestDynamicSetExpiryCallbackAfterConstruction(t *testing.T) {
+	d := NewDynamic(1 * time.Nanosecond)
+	seen := 0
+	d.SetExpiryCallback(func(*Edge) { seen++ })
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 0)); err != nil {
+		t.Fatal(err)
+	}
+	d.AdvanceTo(100)
+	if seen != 1 {
+		t.Fatalf("expiry callback installed later not invoked: %d", seen)
+	}
+}
+
+func TestDynamicStringContainsCounters(t *testing.T) {
+	d := NewDynamic(time.Second)
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	if s == "" {
+		t.Fatalf("String() empty")
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by graph mutations and lookups. Callers should
+// test with errors.Is.
+var (
+	// ErrVertexNotFound is returned when a lookup references an unknown vertex.
+	ErrVertexNotFound = errors.New("graph: vertex not found")
+	// ErrEdgeNotFound is returned when a lookup references an unknown edge.
+	ErrEdgeNotFound = errors.New("graph: edge not found")
+	// ErrDuplicateEdge is returned when an edge with an existing ID is added.
+	ErrDuplicateEdge = errors.New("graph: duplicate edge id")
+	// ErrDanglingEdge is returned when an edge references a vertex that does
+	// not exist and auto-creation is disabled.
+	ErrDanglingEdge = errors.New("graph: edge references unknown vertex")
+	// ErrTimestampRegression is returned by the dynamic graph when an edge
+	// arrives with a timestamp older than the allowed out-of-order slack.
+	ErrTimestampRegression = errors.New("graph: edge timestamp regresses beyond slack")
+)
+
+// VertexError decorates a vertex-related error with the offending ID.
+type VertexError struct {
+	ID  VertexID
+	Err error
+}
+
+// Error implements error.
+func (e *VertexError) Error() string { return fmt.Sprintf("%v (vertex %d)", e.Err, e.ID) }
+
+// Unwrap exposes the wrapped sentinel.
+func (e *VertexError) Unwrap() error { return e.Err }
+
+// EdgeError decorates an edge-related error with the offending ID.
+type EdgeError struct {
+	ID  EdgeID
+	Err error
+}
+
+// Error implements error.
+func (e *EdgeError) Error() string { return fmt.Sprintf("%v (edge %d)", e.Err, e.ID) }
+
+// Unwrap exposes the wrapped sentinel.
+func (e *EdgeError) Unwrap() error { return e.Err }

@@ -1,0 +1,368 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an in-memory multi-relational property multigraph. It maintains
+// per-vertex incidence lists split by direction, plus type indexes used by
+// the query planner and the local-search primitive.
+//
+// Graph is not safe for concurrent mutation; the continuous engine serializes
+// updates per stream partition. Read-only concurrent access after loading is
+// safe.
+type Graph struct {
+	vertices map[VertexID]*Vertex
+	edges    map[EdgeID]*Edge
+
+	out map[VertexID][]*Edge
+	in  map[VertexID][]*Edge
+
+	verticesByType map[string]map[VertexID]struct{}
+	edgesByType    map[string]int
+
+	// autoVertex controls whether AddEdge creates missing endpoints with an
+	// empty type instead of failing.
+	autoVertex bool
+}
+
+// Option configures a Graph at construction time.
+type Option func(*Graph)
+
+// WithAutoVertices makes AddEdge silently create endpoints that have not
+// been added explicitly. Stream ingestion uses this because vertex metadata
+// often arrives embedded in the first edge that touches the vertex.
+func WithAutoVertices() Option {
+	return func(g *Graph) { g.autoVertex = true }
+}
+
+// New constructs an empty graph.
+func New(opts ...Option) *Graph {
+	g := &Graph{
+		vertices:       make(map[VertexID]*Vertex),
+		edges:          make(map[EdgeID]*Edge),
+		out:            make(map[VertexID][]*Edge),
+		in:             make(map[VertexID][]*Edge),
+		verticesByType: make(map[string]map[VertexID]struct{}),
+		edgesByType:    make(map[string]int),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices currently in the graph.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the number of edges currently in the graph.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddVertex inserts or updates a vertex. If a vertex with the same ID exists
+// its type is overwritten when the new type is non-empty and its attributes
+// are merged.
+func (g *Graph) AddVertex(v Vertex) *Vertex {
+	existing, ok := g.vertices[v.ID]
+	if !ok {
+		nv := v.Clone()
+		g.vertices[v.ID] = nv
+		g.indexVertexType(nv)
+		return nv
+	}
+	if v.Type != "" && v.Type != existing.Type {
+		g.unindexVertexType(existing)
+		existing.Type = v.Type
+		g.indexVertexType(existing)
+	}
+	if len(v.Attrs) > 0 {
+		existing.Attrs = existing.Attrs.Merge(v.Attrs)
+	}
+	return existing
+}
+
+func (g *Graph) indexVertexType(v *Vertex) {
+	set, ok := g.verticesByType[v.Type]
+	if !ok {
+		set = make(map[VertexID]struct{})
+		g.verticesByType[v.Type] = set
+	}
+	set[v.ID] = struct{}{}
+}
+
+func (g *Graph) unindexVertexType(v *Vertex) {
+	if set, ok := g.verticesByType[v.Type]; ok {
+		delete(set, v.ID)
+		if len(set) == 0 {
+			delete(g.verticesByType, v.Type)
+		}
+	}
+}
+
+// Vertex returns the vertex with the given ID.
+func (g *Graph) Vertex(id VertexID) (*Vertex, bool) {
+	v, ok := g.vertices[id]
+	return v, ok
+}
+
+// HasVertex reports whether the vertex exists.
+func (g *Graph) HasVertex(id VertexID) bool {
+	_, ok := g.vertices[id]
+	return ok
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) (*Edge, bool) {
+	e, ok := g.edges[id]
+	return e, ok
+}
+
+// HasEdge reports whether the edge exists.
+func (g *Graph) HasEdge(id EdgeID) bool {
+	_, ok := g.edges[id]
+	return ok
+}
+
+// AddEdge inserts a directed edge. Both endpoints must already exist unless
+// the graph was built WithAutoVertices. Duplicate edge IDs are rejected.
+func (g *Graph) AddEdge(e Edge) (*Edge, error) {
+	if _, dup := g.edges[e.ID]; dup {
+		return nil, &EdgeError{ID: e.ID, Err: ErrDuplicateEdge}
+	}
+	if !g.HasVertex(e.Source) {
+		if !g.autoVertex {
+			return nil, &VertexError{ID: e.Source, Err: ErrDanglingEdge}
+		}
+		g.AddVertex(Vertex{ID: e.Source})
+	}
+	if !g.HasVertex(e.Target) {
+		if !g.autoVertex {
+			return nil, &VertexError{ID: e.Target, Err: ErrDanglingEdge}
+		}
+		g.AddVertex(Vertex{ID: e.Target})
+	}
+	ne := e.Clone()
+	g.edges[ne.ID] = ne
+	g.out[ne.Source] = append(g.out[ne.Source], ne)
+	g.in[ne.Target] = append(g.in[ne.Target], ne)
+	g.edgesByType[ne.Type]++
+	return ne, nil
+}
+
+// AddStreamEdge applies a StreamEdge: endpoint metadata is upserted and the
+// edge added. It is the ingestion path used by the dynamic graph.
+func (g *Graph) AddStreamEdge(se StreamEdge) (*Edge, error) {
+	g.AddVertex(Vertex{ID: se.Edge.Source, Type: se.SourceType, Attrs: se.SourceAttrs})
+	g.AddVertex(Vertex{ID: se.Edge.Target, Type: se.TargetType, Attrs: se.TargetAttrs})
+	return g.AddEdge(se.Edge)
+}
+
+// RemoveEdge deletes an edge from the graph and its incidence lists.
+// Endpoint vertices are retained even if they become isolated; callers that
+// want compaction can call RemoveIsolatedVertex explicitly.
+func (g *Graph) RemoveEdge(id EdgeID) error {
+	e, ok := g.edges[id]
+	if !ok {
+		return &EdgeError{ID: id, Err: ErrEdgeNotFound}
+	}
+	delete(g.edges, id)
+	g.out[e.Source] = removeEdgeFrom(g.out[e.Source], id)
+	if len(g.out[e.Source]) == 0 {
+		delete(g.out, e.Source)
+	}
+	g.in[e.Target] = removeEdgeFrom(g.in[e.Target], id)
+	if len(g.in[e.Target]) == 0 {
+		delete(g.in, e.Target)
+	}
+	if g.edgesByType[e.Type]--; g.edgesByType[e.Type] <= 0 {
+		delete(g.edgesByType, e.Type)
+	}
+	return nil
+}
+
+func removeEdgeFrom(list []*Edge, id EdgeID) []*Edge {
+	for i, e := range list {
+		if e.ID == id {
+			last := len(list) - 1
+			list[i] = list[last]
+			list[last] = nil
+			return list[:last]
+		}
+	}
+	return list
+}
+
+// RemoveIsolatedVertex removes v if it has no incident edges. It returns
+// true when the vertex was removed.
+func (g *Graph) RemoveIsolatedVertex(id VertexID) bool {
+	v, ok := g.vertices[id]
+	if !ok {
+		return false
+	}
+	if len(g.out[id]) > 0 || len(g.in[id]) > 0 {
+		return false
+	}
+	g.unindexVertexType(v)
+	delete(g.vertices, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	return true
+}
+
+// OutEdges returns the edges leaving v. The returned slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) OutEdges(v VertexID) []*Edge { return g.out[v] }
+
+// InEdges returns the edges entering v. The returned slice is owned by the
+// graph and must not be mutated.
+func (g *Graph) InEdges(v VertexID) []*Edge { return g.in[v] }
+
+// IncidentEdges returns all edges touching v, outgoing first.
+func (g *Graph) IncidentEdges(v VertexID) []*Edge {
+	out := g.out[v]
+	in := g.in[v]
+	if len(in) == 0 {
+		return out
+	}
+	all := make([]*Edge, 0, len(out)+len(in))
+	all = append(all, out...)
+	all = append(all, in...)
+	return all
+}
+
+// Degree returns the total degree (in + out) of v.
+func (g *Graph) Degree(v VertexID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int { return len(g.in[v]) }
+
+// Neighbors returns the distinct vertices adjacent to v in either direction.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	seen := make(map[VertexID]struct{})
+	var out []VertexID
+	for _, e := range g.out[v] {
+		if _, ok := seen[e.Target]; !ok {
+			seen[e.Target] = struct{}{}
+			out = append(out, e.Target)
+		}
+	}
+	for _, e := range g.in[v] {
+		if _, ok := seen[e.Source]; !ok {
+			seen[e.Source] = struct{}{}
+			out = append(out, e.Source)
+		}
+	}
+	return out
+}
+
+// EdgesBetween returns every edge from src to dst (directed).
+func (g *Graph) EdgesBetween(src, dst VertexID) []*Edge {
+	var out []*Edge
+	for _, e := range g.out[src] {
+		if e.Target == dst {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// VerticesOfType returns the IDs of all vertices with the given type label,
+// in ascending order (deterministic for tests and planning).
+func (g *Graph) VerticesOfType(t string) []VertexID {
+	set := g.verticesByType[t]
+	out := make([]VertexID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountVerticesOfType returns the number of vertices with the given type.
+func (g *Graph) CountVerticesOfType(t string) int { return len(g.verticesByType[t]) }
+
+// CountEdgesOfType returns the number of edges with the given type.
+func (g *Graph) CountEdgesOfType(t string) int { return g.edgesByType[t] }
+
+// VertexTypes returns the distinct vertex type labels present in the graph.
+func (g *Graph) VertexTypes() []string {
+	out := make([]string, 0, len(g.verticesByType))
+	for t := range g.verticesByType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeTypes returns the distinct edge type labels present in the graph.
+func (g *Graph) EdgeTypes() []string {
+	out := make([]string, 0, len(g.edgesByType))
+	for t := range g.edgesByType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vertices calls fn for every vertex until fn returns false.
+func (g *Graph) Vertices(fn func(*Vertex) bool) {
+	for _, v := range g.vertices {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Edges calls fn for every edge until fn returns false.
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	for _, e := range g.edges {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// EdgeIDs returns all edge IDs in ascending order.
+func (g *Graph) EdgeIDs() []EdgeID {
+	out := make([]EdgeID, 0, len(g.edges))
+	for id := range g.edges {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VertexIDs returns all vertex IDs in ascending order.
+func (g *Graph) VertexIDs() []VertexID {
+	out := make([]VertexID, 0, len(g.vertices))
+	for id := range g.vertices {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.autoVertex = g.autoVertex
+	for _, v := range g.vertices {
+		c.AddVertex(*v)
+	}
+	for _, e := range g.edges {
+		if _, err := c.AddEdge(*e); err != nil {
+			// Cannot happen: the source graph is consistent by construction.
+			panic(fmt.Sprintf("graph: clone failed: %v", err))
+		}
+	}
+	return c
+}
+
+// String summarizes the graph size.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(|V|=%d, |E|=%d, vertexTypes=%d, edgeTypes=%d)",
+		len(g.vertices), len(g.edges), len(g.verticesByType), len(g.edgesByType))
+}

@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic types an attribute Value can hold.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; a zero Value is invalid.
+	KindInvalid Kind = iota
+	// KindString holds UTF-8 text.
+	KindString
+	// KindInt holds a signed 64-bit integer.
+	KindInt
+	// KindFloat holds a 64-bit floating point number.
+	KindFloat
+	// KindBool holds a boolean.
+	KindBool
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a dynamically typed attribute value attached to vertices and
+// edges of the multi-relational graph. Values are small immutable structs
+// and are passed by value throughout the library.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64
+	flt  float64
+	b    bool
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int constructs an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, num: v} }
+
+// Float constructs a floating point Value.
+func Float(v float64) Value { return Value{kind: KindFloat, flt: v} }
+
+// Bool constructs a boolean Value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value holds data of any kind.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.str }
+
+// Int64 returns the integer payload, converting from float if necessary.
+func (v Value) Int64() int64 {
+	if v.kind == KindFloat {
+		return int64(v.flt)
+	}
+	return v.num
+}
+
+// Float64 returns the numeric payload as a float64, converting from int
+// if necessary.
+func (v Value) Float64() float64 {
+	if v.kind == KindInt {
+		return float64(v.num)
+	}
+	return v.flt
+}
+
+// BoolVal returns the boolean payload.
+func (v Value) BoolVal() bool { return v.b }
+
+// IsNumeric reports whether the value holds an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether two values are equal. Numeric values of different
+// kinds (int vs float) compare equal when they represent the same number.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindString:
+			return v.str == o.str
+		case KindInt:
+			return v.num == o.num
+		case KindFloat:
+			return v.flt == o.flt
+		case KindBool:
+			return v.b == o.b
+		default:
+			return true
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.Float64() == o.Float64()
+	}
+	return false
+}
+
+// Compare returns -1, 0 or +1 ordering v relative to o. Values of
+// incomparable kinds order by kind. Numeric kinds compare numerically.
+func (v Value) Compare(o Value) int {
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.Float64(), o.Float64()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.str, o.str)
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display and DOT/JSON export.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<invalid>"
+	}
+}
+
+// ParseValue converts a textual representation into the most specific Value
+// kind: bool, int, float, then string. It is used by the CSV/JSON loaders and
+// the query DSL parser.
+func ParseValue(s string) Value {
+	switch s {
+	case "true", "TRUE", "True":
+		return Bool(true)
+	case "false", "FALSE", "False":
+		return Bool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return String(s)
+}
+
+// Attributes is a set of named values attached to a vertex or an edge.
+// A nil Attributes behaves like an empty set for reads.
+type Attributes map[string]Value
+
+// Get returns the value stored under key and whether it exists.
+func (a Attributes) Get(key string) (Value, bool) {
+	if a == nil {
+		return Value{}, false
+	}
+	v, ok := a[key]
+	return v, ok
+}
+
+// Set stores a value under key and returns the (possibly newly allocated)
+// attribute map so callers can use it on a nil map:
+//
+//	attrs = attrs.Set("port", graph.Int(443))
+func (a Attributes) Set(key string, v Value) Attributes {
+	if a == nil {
+		a = make(Attributes, 1)
+	}
+	a[key] = v
+	return a
+}
+
+// Clone returns a deep copy of the attribute set.
+func (a Attributes) Clone() Attributes {
+	if a == nil {
+		return nil
+	}
+	out := make(Attributes, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge returns a new attribute set containing all entries of a overridden
+// by entries of b.
+func (a Attributes) Merge(b Attributes) Attributes {
+	if len(a) == 0 {
+		return b.Clone()
+	}
+	out := a.Clone()
+	for k, v := range b {
+		out = out.Set(k, v)
+	}
+	return out
+}
+
+// String renders the attributes deterministically (sorted by key).
+func (a Attributes) String() string {
+	if len(a) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", k, a[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// sortStrings is a tiny insertion sort used to avoid importing sort for a
+// single call site in hot paths (attribute sets are tiny).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package isomorphism implements subgraph-isomorphism search over the
+// multi-relational property graph.
+//
+// Two entry points are provided:
+//
+//   - FindAll performs an offline, exhaustive search of a (sub)pattern in a
+//     static graph. The continuous engine uses it for ground truth and the
+//     recompute baseline re-runs it for every arriving batch.
+//   - LocalSearch is the paper's "local search" primitive (§4.1): given a new
+//     data edge that matches one pattern edge of a small search primitive, it
+//     enumerates all matches of that primitive containing the new edge, never
+//     looking further than the primitive's own radius from the seed edge.
+//
+// The matcher is a VF2-style backtracking search over a connected ordering
+// of the pattern edges: each step binds one pattern edge to a data edge
+// incident to the already-matched region, checking vertex/edge type and
+// attribute constraints plus injectivity of the vertex binding.
+package isomorphism
+
+import (
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// Matcher runs subgraph isomorphism searches for one query graph. It is
+// stateless apart from the query and can be shared across goroutines that
+// hold read-only access to the data graph.
+type Matcher struct {
+	q *query.Graph
+}
+
+// New returns a matcher for the given query graph.
+func New(q *query.Graph) *Matcher { return &Matcher{q: q} }
+
+// Query returns the query graph the matcher was built for.
+func (m *Matcher) Query() *query.Graph { return m.q }
+
+// FindAll enumerates matches of the pattern edge subset `edges` (use
+// q.EdgeIDs() for the whole query) in g. limit bounds the number of matches
+// returned; limit <= 0 means unlimited. Matches are complete with respect to
+// the edge subset: every listed pattern edge and every endpoint is bound.
+func (m *Matcher) FindAll(g *graph.Graph, edges []query.EdgeID, limit int) []*match.Match {
+	if len(edges) == 0 || g == nil {
+		return nil
+	}
+	order := m.connectedOrder(edges, edges[0])
+	if order == nil {
+		return nil
+	}
+	first := m.q.Edge(order[0])
+	var results []*match.Match
+	g.Edges(func(de *graph.Edge) bool {
+		for _, seed := range m.seedMatches(g, first, de) {
+			results = m.extend(g, seed, order, 1, results, limit)
+			if limit > 0 && len(results) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return results
+}
+
+// LocalSearch enumerates matches of the pattern edge subset `edges` that
+// bind the pattern edge seedQE to the concrete data edge seedDE. It is the
+// per-arriving-edge primitive search of the paper: the traversal only visits
+// data edges reachable from the seed within the primitive, so its cost is
+// bounded by local neighbourhood size, not graph size.
+func (m *Matcher) LocalSearch(g *graph.Graph, edges []query.EdgeID, seedQE query.EdgeID, seedDE *graph.Edge) []*match.Match {
+	if g == nil || seedDE == nil {
+		return nil
+	}
+	qe := m.q.Edge(seedQE)
+	if qe == nil || !containsEdge(edges, seedQE) {
+		return nil
+	}
+	order := m.connectedOrder(edges, seedQE)
+	if order == nil {
+		return nil
+	}
+	var results []*match.Match
+	for _, seed := range m.seedMatches(g, qe, seedDE) {
+		results = m.extend(g, seed, order, 1, results, 0)
+	}
+	return results
+}
+
+// seedMatches returns the 0, 1 or 2 single-edge matches binding pattern edge
+// qe to data edge de (two when the pattern edge is undirected and both
+// orientations satisfy the endpoint constraints).
+func (m *Matcher) seedMatches(g *graph.Graph, qe *query.Edge, de *graph.Edge) []*match.Match {
+	if !qe.MatchesEdge(de) {
+		return nil
+	}
+	var out []*match.Match
+	trial := func(reversed bool) {
+		srcID, dstID := de.Source, de.Target
+		if reversed {
+			srcID, dstID = dstID, srcID
+		}
+		qsrc, qdst := m.q.Vertex(qe.Source), m.q.Vertex(qe.Target)
+		dsrc, okS := g.Vertex(srcID)
+		ddst, okD := g.Vertex(dstID)
+		if !okS || !okD {
+			return
+		}
+		if !qsrc.Matches(dsrc) || !qdst.Matches(ddst) {
+			return
+		}
+		// A pattern edge whose endpoints are the same pattern vertex (self
+		// loop) requires the data edge to also be a self loop.
+		if qe.Source == qe.Target && srcID != dstID {
+			return
+		}
+		if qe.Source != qe.Target && srcID == dstID {
+			return
+		}
+		out = append(out, match.NewFromEdge(qe.ID, qe.Source, qe.Target, de, reversed))
+	}
+	trial(false)
+	if qe.AnyDirection && de.Source != de.Target {
+		trial(true)
+	}
+	return out
+}
+
+// extend recursively binds order[idx:] given the partial match so far.
+func (m *Matcher) extend(g *graph.Graph, cur *match.Match, order []query.EdgeID, idx int, acc []*match.Match, limit int) []*match.Match {
+	if limit > 0 && len(acc) >= limit {
+		return acc
+	}
+	if idx == len(order) {
+		return append(acc, cur)
+	}
+	qe := m.q.Edge(order[idx])
+	for _, cand := range m.candidateBindings(g, cur, qe) {
+		next := cur.Join(cand)
+		if next == nil {
+			continue
+		}
+		acc = m.extend(g, next, order, idx+1, acc, limit)
+		if limit > 0 && len(acc) >= limit {
+			return acc
+		}
+	}
+	return acc
+}
+
+// candidateBindings enumerates single-edge matches for pattern edge qe that
+// are anchored at a data vertex already bound by cur. The connected edge
+// ordering guarantees at least one endpoint of qe is bound.
+func (m *Matcher) candidateBindings(g *graph.Graph, cur *match.Match, qe *query.Edge) []*match.Match {
+	srcBound, haveSrc := cur.Vertex(qe.Source)
+	dstBound, haveDst := cur.Vertex(qe.Target)
+
+	var out []*match.Match
+	consider := func(de *graph.Edge) {
+		if cur.UsesDataEdge(de.ID) {
+			return
+		}
+		for _, seed := range m.seedMatches(g, qe, de) {
+			// The seed must agree with the existing endpoint bindings.
+			if haveSrc {
+				if v, _ := seed.Vertex(qe.Source); v != srcBound {
+					continue
+				}
+			}
+			if haveDst {
+				if v, _ := seed.Vertex(qe.Target); v != dstBound {
+					continue
+				}
+			}
+			out = append(out, seed)
+		}
+	}
+
+	switch {
+	case haveSrc && haveDst:
+		for _, de := range g.EdgesBetween(srcBound, dstBound) {
+			consider(de)
+		}
+		if qe.AnyDirection {
+			for _, de := range g.EdgesBetween(dstBound, srcBound) {
+				consider(de)
+			}
+		}
+	case haveSrc:
+		for _, de := range g.OutEdges(srcBound) {
+			consider(de)
+		}
+		if qe.AnyDirection {
+			for _, de := range g.InEdges(srcBound) {
+				consider(de)
+			}
+		}
+	case haveDst:
+		for _, de := range g.InEdges(dstBound) {
+			consider(de)
+		}
+		if qe.AnyDirection {
+			for _, de := range g.OutEdges(dstBound) {
+				consider(de)
+			}
+		}
+	default:
+		// Disconnected ordering; should not happen because connectedOrder
+		// rejects such subsets.
+		g.Edges(func(de *graph.Edge) bool {
+			consider(de)
+			return true
+		})
+	}
+	return out
+}
+
+// connectedOrder returns the pattern edges of the subset in an order where
+// every edge after the first shares a pattern vertex with an earlier edge,
+// starting at `start`. It returns nil when the subset is not connected or
+// start is not part of it.
+func (m *Matcher) connectedOrder(edges []query.EdgeID, start query.EdgeID) []query.EdgeID {
+	if !containsEdge(edges, start) {
+		return nil
+	}
+	remaining := make(map[query.EdgeID]struct{}, len(edges))
+	for _, e := range edges {
+		remaining[e] = struct{}{}
+	}
+	covered := make(map[query.VertexID]struct{})
+	order := make([]query.EdgeID, 0, len(edges))
+
+	take := func(id query.EdgeID) {
+		e := m.q.Edge(id)
+		covered[e.Source] = struct{}{}
+		covered[e.Target] = struct{}{}
+		order = append(order, id)
+		delete(remaining, id)
+	}
+	take(start)
+	for len(remaining) > 0 {
+		next := query.EdgeID(-1)
+		// Scan the caller's slice order so the expansion order (and hence
+		// backtracking behaviour) is deterministic across runs.
+		for _, id := range edges {
+			if _, pending := remaining[id]; !pending {
+				continue
+			}
+			e := m.q.Edge(id)
+			_, srcCovered := covered[e.Source]
+			_, dstCovered := covered[e.Target]
+			if srcCovered || dstCovered {
+				next = id
+				break
+			}
+		}
+		if next == -1 {
+			return nil // disconnected subset
+		}
+		take(next)
+	}
+	return order
+}
+
+func containsEdge(edges []query.EdgeID, id query.EdgeID) bool {
+	for _, e := range edges {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package loader
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// jsonEdge is the JSON Lines wire representation of one stream edge.
+// Attribute values carry an explicit kind so round-trips preserve types
+// exactly (CSV round-trips rely on re-inference instead).
+type jsonEdge struct {
+	ID          uint64               `json:"id"`
+	Source      uint64               `json:"source"`
+	Target      uint64               `json:"target"`
+	Type        string               `json:"type"`
+	Timestamp   int64                `json:"ts"`
+	SourceType  string               `json:"source_type,omitempty"`
+	TargetType  string               `json:"target_type,omitempty"`
+	Attrs       map[string]jsonValue `json:"attrs,omitempty"`
+	SourceAttrs map[string]jsonValue `json:"source_attrs,omitempty"`
+	TargetAttrs map[string]jsonValue `json:"target_attrs,omitempty"`
+}
+
+type jsonValue struct {
+	Kind  string  `json:"kind"`
+	Str   string  `json:"s,omitempty"`
+	Int   int64   `json:"i,omitempty"`
+	Float float64 `json:"f,omitempty"`
+	Bool  bool    `json:"b,omitempty"`
+}
+
+func toJSONValue(v graph.Value) jsonValue {
+	switch v.Kind() {
+	case graph.KindString:
+		return jsonValue{Kind: "string", Str: v.Str()}
+	case graph.KindInt:
+		return jsonValue{Kind: "int", Int: v.Int64()}
+	case graph.KindFloat:
+		return jsonValue{Kind: "float", Float: v.Float64()}
+	case graph.KindBool:
+		return jsonValue{Kind: "bool", Bool: v.BoolVal()}
+	default:
+		return jsonValue{Kind: "invalid"}
+	}
+}
+
+func fromJSONValue(v jsonValue) graph.Value {
+	switch v.Kind {
+	case "string":
+		return graph.String(v.Str)
+	case "int":
+		return graph.Int(v.Int)
+	case "float":
+		return graph.Float(v.Float)
+	case "bool":
+		return graph.Bool(v.Bool)
+	default:
+		return graph.Value{}
+	}
+}
+
+func toJSONAttrs(a graph.Attributes) map[string]jsonValue {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make(map[string]jsonValue, len(a))
+	for k, v := range a {
+		out[k] = toJSONValue(v)
+	}
+	return out
+}
+
+func fromJSONAttrs(m map[string]jsonValue) graph.Attributes {
+	if len(m) == 0 {
+		return nil
+	}
+	var attrs graph.Attributes
+	for k, v := range m {
+		attrs = attrs.Set(k, fromJSONValue(v))
+	}
+	return attrs
+}
+
+func toJSONEdge(se graph.StreamEdge) jsonEdge {
+	return jsonEdge{
+		ID:          uint64(se.Edge.ID),
+		Source:      uint64(se.Edge.Source),
+		Target:      uint64(se.Edge.Target),
+		Type:        se.Edge.Type,
+		Timestamp:   int64(se.Edge.Timestamp),
+		SourceType:  se.SourceType,
+		TargetType:  se.TargetType,
+		Attrs:       toJSONAttrs(se.Edge.Attrs),
+		SourceAttrs: toJSONAttrs(se.SourceAttrs),
+		TargetAttrs: toJSONAttrs(se.TargetAttrs),
+	}
+}
+
+func fromJSONEdge(je jsonEdge) graph.StreamEdge {
+	return graph.StreamEdge{
+		Edge: graph.Edge{
+			ID:        graph.EdgeID(je.ID),
+			Source:    graph.VertexID(je.Source),
+			Target:    graph.VertexID(je.Target),
+			Type:      je.Type,
+			Timestamp: graph.Timestamp(je.Timestamp),
+			Attrs:     fromJSONAttrs(je.Attrs),
+		},
+		SourceType:  je.SourceType,
+		TargetType:  je.TargetType,
+		SourceAttrs: fromJSONAttrs(je.SourceAttrs),
+		TargetAttrs: fromJSONAttrs(je.TargetAttrs),
+	}
+}
+
+// WriteJSONL writes one JSON object per line for every edge.
+func WriteJSONL(w io.Writer, edges []graph.StreamEdge) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, se := range edges {
+		if err := enc.Encode(toJSONEdge(se)); err != nil {
+			return fmt.Errorf("loader: encoding edge %d: %w", se.Edge.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads every edge from a JSON Lines document.
+func ReadJSONL(r io.Reader) ([]graph.StreamEdge, error) {
+	var out []graph.StreamEdge
+	src := JSONLSource(r)
+	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
+		out = append(out, se)
+		return true
+	})
+	return out, err
+}
+
+// JSONLSource returns a streaming source over a JSON Lines document.
+func JSONLSource(r io.Reader) stream.Source {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	return stream.FuncSource(func() (graph.StreamEdge, error) {
+		for sc.Scan() {
+			line++
+			text := sc.Bytes()
+			if len(text) == 0 {
+				continue
+			}
+			var je jsonEdge
+			if err := json.Unmarshal(text, &je); err != nil {
+				return graph.StreamEdge{}, fmt.Errorf("loader: line %d: %w", line, err)
+			}
+			return fromJSONEdge(je), nil
+		}
+		if err := sc.Err(); err != nil {
+			return graph.StreamEdge{}, err
+		}
+		return graph.StreamEdge{}, io.EOF
+	})
+}

@@ -1,0 +1,278 @@
+// Package match defines the partial-match representation shared by the
+// isomorphism matcher, the SJ-Tree and the continuous engine.
+//
+// A Match binds a subset of a query graph's vertices and edges to concrete
+// data-graph vertices and edges, together with the temporal interval spanned
+// by the bound data edges. Matches are joined pairwise as they climb the
+// SJ-Tree (paper §4.2); Join enforces the subgraph-isomorphism requirement
+// that the combined vertex binding remain one-to-one.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// Match is a (possibly partial) homomorphic image of a query subgraph in the
+// data graph under the one-to-one vertex correspondence required by subgraph
+// isomorphism. The zero value is an empty match ready for extension.
+type Match struct {
+	// Vertices maps pattern vertices to data vertices.
+	Vertices map[query.VertexID]graph.VertexID
+	// Edges maps pattern edges to data edges.
+	Edges map[query.EdgeID]graph.EdgeID
+	// Span is the closed interval covering the timestamps of all bound data
+	// edges; it is the τ(g) of the paper.
+	Span graph.Interval
+	// spanSet records whether Span has been initialized by at least one edge.
+	spanSet bool
+}
+
+// New returns an empty match.
+func New() *Match {
+	return &Match{
+		Vertices: make(map[query.VertexID]graph.VertexID),
+		Edges:    make(map[query.EdgeID]graph.EdgeID),
+	}
+}
+
+// NewFromEdge builds a single-edge match binding pattern edge qe (with
+// pattern endpoints qsrc->qdst) to data edge de.
+func NewFromEdge(qe query.EdgeID, qsrc, qdst query.VertexID, de *graph.Edge, reversed bool) *Match {
+	m := New()
+	if reversed {
+		m.Vertices[qsrc] = de.Target
+		m.Vertices[qdst] = de.Source
+	} else {
+		m.Vertices[qsrc] = de.Source
+		m.Vertices[qdst] = de.Target
+	}
+	m.Edges[qe] = de.ID
+	m.Span = graph.NewInterval(de.Timestamp)
+	m.spanSet = true
+	return m
+}
+
+// NumVertices returns the number of bound pattern vertices.
+func (m *Match) NumVertices() int { return len(m.Vertices) }
+
+// NumEdges returns the number of bound pattern edges.
+func (m *Match) NumEdges() int { return len(m.Edges) }
+
+// HasSpan reports whether at least one edge has contributed to the temporal
+// span.
+func (m *Match) HasSpan() bool { return m.spanSet }
+
+// Vertex returns the data vertex bound to the pattern vertex, if any.
+func (m *Match) Vertex(q query.VertexID) (graph.VertexID, bool) {
+	v, ok := m.Vertices[q]
+	return v, ok
+}
+
+// Edge returns the data edge bound to the pattern edge, if any.
+func (m *Match) Edge(q query.EdgeID) (graph.EdgeID, bool) {
+	e, ok := m.Edges[q]
+	return e, ok
+}
+
+// BindVertex records that pattern vertex q is matched by data vertex d.
+// It returns false (and leaves the match unchanged) when the binding would
+// conflict with an existing binding of q or violate injectivity.
+func (m *Match) BindVertex(q query.VertexID, d graph.VertexID) bool {
+	if existing, ok := m.Vertices[q]; ok {
+		return existing == d
+	}
+	for _, bound := range m.Vertices {
+		if bound == d {
+			return false
+		}
+	}
+	m.Vertices[q] = d
+	return true
+}
+
+// BindEdge records that pattern edge q is matched by data edge d with the
+// given timestamp, extending the temporal span. It returns false when q is
+// already bound to a different data edge.
+func (m *Match) BindEdge(q query.EdgeID, d graph.EdgeID, ts graph.Timestamp) bool {
+	if existing, ok := m.Edges[q]; ok {
+		return existing == d
+	}
+	m.Edges[q] = d
+	if m.spanSet {
+		m.Span = m.Span.Extend(ts)
+	} else {
+		m.Span = graph.NewInterval(ts)
+		m.spanSet = true
+	}
+	return true
+}
+
+// UsesDataVertex reports whether any pattern vertex is bound to d.
+func (m *Match) UsesDataVertex(d graph.VertexID) bool {
+	for _, bound := range m.Vertices {
+		if bound == d {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesDataEdge reports whether any pattern edge is bound to d.
+func (m *Match) UsesDataEdge(d graph.EdgeID) bool {
+	for _, bound := range m.Edges {
+		if bound == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the match.
+func (m *Match) Clone() *Match {
+	c := &Match{
+		Vertices: make(map[query.VertexID]graph.VertexID, len(m.Vertices)),
+		Edges:    make(map[query.EdgeID]graph.EdgeID, len(m.Edges)),
+		Span:     m.Span,
+		spanSet:  m.spanSet,
+	}
+	for k, v := range m.Vertices {
+		c.Vertices[k] = v
+	}
+	for k, v := range m.Edges {
+		c.Edges[k] = v
+	}
+	return c
+}
+
+// Compatible reports whether m and o can be joined into a single consistent
+// match: pattern vertices bound by both must map to the same data vertex,
+// pattern edges bound by both must map to the same data edge, and the union
+// of the vertex bindings must remain injective (no two distinct pattern
+// vertices sharing a data vertex).
+func (m *Match) Compatible(o *Match) bool {
+	// Shared pattern vertices must agree; disjoint ones must not collide.
+	// Build the reverse map of m lazily sized.
+	reverse := make(map[graph.VertexID]query.VertexID, len(m.Vertices))
+	for qv, dv := range m.Vertices {
+		reverse[dv] = qv
+	}
+	for qv, dv := range o.Vertices {
+		if mdv, ok := m.Vertices[qv]; ok {
+			if mdv != dv {
+				return false
+			}
+			continue
+		}
+		if prior, used := reverse[dv]; used && prior != qv {
+			return false
+		}
+	}
+	for qe, de := range o.Edges {
+		if mde, ok := m.Edges[qe]; ok && mde != de {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns a new match combining the bindings of m and o, or nil when
+// they are not Compatible. The temporal span of the result is the union of
+// the two spans, matching the paper's join semantics (the joined subgraph's
+// τ is the interval between its earliest and latest edge).
+func (m *Match) Join(o *Match) *Match {
+	if !m.Compatible(o) {
+		return nil
+	}
+	j := m.Clone()
+	for qv, dv := range o.Vertices {
+		j.Vertices[qv] = dv
+	}
+	for qe, de := range o.Edges {
+		j.Edges[qe] = de
+	}
+	if o.spanSet {
+		if j.spanSet {
+			j.Span = j.Span.Union(o.Span)
+		} else {
+			j.Span = o.Span
+			j.spanSet = true
+		}
+	}
+	return j
+}
+
+// ProjectKey computes a deterministic string key for the match restricted to
+// the given pattern vertices, in the order given. The SJ-Tree uses these
+// keys to hash-partition sibling match collections by their cut-subgraph
+// projection so joins become hash lookups. Missing bindings render as "_",
+// which only occurs for malformed projections and never collides with real
+// vertex IDs.
+func (m *Match) ProjectKey(vertices []query.VertexID) string {
+	var sb strings.Builder
+	for i, qv := range vertices {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		if dv, ok := m.Vertices[qv]; ok {
+			sb.WriteString(strconv.FormatUint(uint64(dv), 10))
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// Signature returns a canonical string identifying the exact set of data
+// edges bound by the match. Two matches with the same signature describe the
+// same data subgraph assignment; the engine uses signatures to deduplicate
+// results discovered through different join orders.
+func (m *Match) Signature() string {
+	parts := make([]string, 0, len(m.Edges))
+	for qe, de := range m.Edges {
+		parts = append(parts, strconv.Itoa(int(qe))+":"+strconv.FormatUint(uint64(de), 10))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Complete reports whether the match covers every vertex and edge of q.
+func (m *Match) Complete(q *query.Graph) bool {
+	return len(m.Vertices) == q.NumVertices() && len(m.Edges) == q.NumEdges()
+}
+
+// WithinWindow reports whether the temporal span of the match is strictly
+// inside the window w (τ(g) < tW). Matches with no bound edges are trivially
+// within any window; a zero window means unbounded.
+func (m *Match) WithinWindow(w time.Duration) bool {
+	if w <= 0 || !m.spanSet {
+		return true
+	}
+	return m.Span.Within(w)
+}
+
+// String renders the match for debugging: sorted pattern-vertex bindings and
+// the temporal span.
+func (m *Match) String() string {
+	qvs := make([]int, 0, len(m.Vertices))
+	for qv := range m.Vertices {
+		qvs = append(qvs, int(qv))
+	}
+	sort.Ints(qvs)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, qv := range qvs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "q%d->v%d", qv, m.Vertices[query.VertexID(qv)])
+	}
+	fmt.Fprintf(&sb, "} edges=%d span=%s", len(m.Edges), m.Span)
+	return sb.String()
+}

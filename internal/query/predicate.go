@@ -1,0 +1,150 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// Op enumerates the comparison operators available in attribute predicates.
+type Op uint8
+
+const (
+	// OpEq tests attribute == value.
+	OpEq Op = iota
+	// OpNe tests attribute != value.
+	OpNe
+	// OpLt tests attribute < value (numeric or lexicographic).
+	OpLt
+	// OpLe tests attribute <= value.
+	OpLe
+	// OpGt tests attribute > value.
+	OpGt
+	// OpGe tests attribute >= value.
+	OpGe
+	// OpContains tests that the attribute (as a string) contains the value
+	// as a substring.
+	OpContains
+	// OpExists tests that the attribute is present, regardless of value.
+	OpExists
+)
+
+// String returns the DSL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "~"
+	case OpExists:
+		return "exists"
+	default:
+		return "?"
+	}
+}
+
+// ParseOp converts a DSL operator token to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=", "==":
+		return OpEq, nil
+	case "!=", "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	case "~", "contains":
+		return OpContains, nil
+	case "exists":
+		return OpExists, nil
+	default:
+		return 0, fmt.Errorf("query: unknown operator %q", s)
+	}
+}
+
+// Predicate is a single attribute constraint on a pattern vertex or edge.
+type Predicate struct {
+	Attr  string
+	Op    Op
+	Value graph.Value
+}
+
+// Eval reports whether the attribute set satisfies the predicate. A missing
+// attribute fails every operator except OpNe (absent != value is true).
+func (p Predicate) Eval(attrs graph.Attributes) bool {
+	v, ok := attrs.Get(p.Attr)
+	if p.Op == OpExists {
+		return ok
+	}
+	if !ok {
+		return p.Op == OpNe
+	}
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Value)
+	case OpNe:
+		return !v.Equal(p.Value)
+	case OpLt:
+		return v.Compare(p.Value) < 0
+	case OpLe:
+		return v.Compare(p.Value) <= 0
+	case OpGt:
+		return v.Compare(p.Value) > 0
+	case OpGe:
+		return v.Compare(p.Value) >= 0
+	case OpContains:
+		return strings.Contains(v.String(), p.Value.String())
+	default:
+		return false
+	}
+}
+
+// String renders the predicate in DSL form.
+func (p Predicate) String() string {
+	if p.Op == OpExists {
+		return fmt.Sprintf("%s exists", p.Attr)
+	}
+	return fmt.Sprintf("%s %s %s", p.Attr, p.Op, p.Value)
+}
+
+// Eq builds an equality predicate.
+func Eq(attr string, v graph.Value) Predicate { return Predicate{Attr: attr, Op: OpEq, Value: v} }
+
+// Ne builds an inequality predicate.
+func Ne(attr string, v graph.Value) Predicate { return Predicate{Attr: attr, Op: OpNe, Value: v} }
+
+// Lt builds a less-than predicate.
+func Lt(attr string, v graph.Value) Predicate { return Predicate{Attr: attr, Op: OpLt, Value: v} }
+
+// Le builds a less-than-or-equal predicate.
+func Le(attr string, v graph.Value) Predicate { return Predicate{Attr: attr, Op: OpLe, Value: v} }
+
+// Gt builds a greater-than predicate.
+func Gt(attr string, v graph.Value) Predicate { return Predicate{Attr: attr, Op: OpGt, Value: v} }
+
+// Ge builds a greater-than-or-equal predicate.
+func Ge(attr string, v graph.Value) Predicate { return Predicate{Attr: attr, Op: OpGe, Value: v} }
+
+// Contains builds a substring predicate.
+func Contains(attr, substr string) Predicate {
+	return Predicate{Attr: attr, Op: OpContains, Value: graph.String(substr)}
+}
+
+// Exists builds an attribute-presence predicate.
+func Exists(attr string) Predicate { return Predicate{Attr: attr, Op: OpExists} }

@@ -1,0 +1,95 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+func TestPredicateEval(t *testing.T) {
+	attrs := graph.Attributes{
+		"port":  graph.Int(443),
+		"proto": graph.String("tcp"),
+		"score": graph.Float(0.75),
+	}
+	cases := []struct {
+		name string
+		p    Predicate
+		want bool
+	}{
+		{"eq int true", Eq("port", graph.Int(443)), true},
+		{"eq int false", Eq("port", graph.Int(80)), false},
+		{"eq cross numeric", Eq("port", graph.Float(443)), true},
+		{"ne true", Ne("proto", graph.String("udp")), true},
+		{"ne false", Ne("proto", graph.String("tcp")), false},
+		{"lt true", Lt("score", graph.Float(1.0)), true},
+		{"lt false", Lt("score", graph.Float(0.5)), false},
+		{"le equal", Le("port", graph.Int(443)), true},
+		{"gt true", Gt("port", graph.Int(80)), true},
+		{"ge equal", Ge("score", graph.Float(0.75)), true},
+		{"contains true", Contains("proto", "tc"), true},
+		{"contains false", Contains("proto", "udp"), false},
+		{"exists true", Exists("port"), true},
+		{"exists false", Exists("missing"), false},
+		{"missing attr eq", Eq("missing", graph.Int(1)), false},
+		{"missing attr ne", Ne("missing", graph.Int(1)), true},
+		{"missing attr lt", Lt("missing", graph.Int(1)), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Eval(attrs); got != tc.want {
+				t.Fatalf("%v.Eval = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPredicateEvalNilAttrs(t *testing.T) {
+	if Eq("x", graph.Int(1)).Eval(nil) {
+		t.Fatalf("eq on nil attrs should be false")
+	}
+	if !Ne("x", graph.Int(1)).Eval(nil) {
+		t.Fatalf("ne on nil attrs should be true")
+	}
+	if Exists("x").Eval(nil) {
+		t.Fatalf("exists on nil attrs should be false")
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	valid := map[string]Op{
+		"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe,
+		"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+		"~": OpContains, "contains": OpContains, "exists": OpExists,
+	}
+	for s, want := range valid {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp("<<"); err == nil {
+		t.Fatalf("ParseOp should reject unknown operator")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpContains, OpExists}
+	for _, o := range ops {
+		if o.String() == "?" {
+			t.Fatalf("operator %d has no string form", o)
+		}
+	}
+	if Op(200).String() != "?" {
+		t.Fatalf("unknown op should render as ?")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if got := Gt("bytes", graph.Int(500)).String(); got != "bytes > 500" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := Exists("port").String(); got != "port exists" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// DegreeHistogram is a log2-bucketed histogram of vertex degrees. Bucket i
+// counts vertices whose degree d satisfies 2^i <= d < 2^(i+1); bucket 0 also
+// holds degree-1 vertices and degree-0 vertices are not tracked (a vertex
+// only exists in the stream once an edge touches it).
+type DegreeHistogram struct {
+	buckets []uint64
+}
+
+// NewDegreeHistogram returns an empty histogram.
+func NewDegreeHistogram() *DegreeHistogram {
+	return &DegreeHistogram{buckets: make([]uint64, 1, 40)}
+}
+
+// bucketOf returns the bucket index for degree d (d >= 1).
+func bucketOf(d int) int {
+	if d <= 1 {
+		return 0
+	}
+	return bits.Len(uint(d)) - 1
+}
+
+// Move transfers a vertex from bucket(oldDegree) to bucket(newDegree).
+// oldDegree of 0 means the vertex is new.
+func (h *DegreeHistogram) Move(oldDegree, newDegree int) {
+	if oldDegree > 0 {
+		ob := bucketOf(oldDegree)
+		if ob < len(h.buckets) && h.buckets[ob] > 0 {
+			h.buckets[ob]--
+		}
+	}
+	nb := bucketOf(newDegree)
+	for len(h.buckets) <= nb {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[nb]++
+}
+
+// BucketCount is a (low-degree-bound, count) pair in a degree histogram
+// snapshot. The bucket covers degrees in [Low, 2*Low) except for Low == 1
+// which covers exactly degree 1.
+type BucketCount struct {
+	Low   int
+	Count uint64
+}
+
+// Snapshot returns the populated buckets in ascending degree order.
+func (h *DegreeHistogram) Snapshot() []BucketCount {
+	out := make([]BucketCount, 0, len(h.buckets))
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		out = append(out, BucketCount{Low: 1 << i, Count: c})
+	}
+	return out
+}
+
+// String renders the histogram one bucket per line.
+func (h *DegreeHistogram) String() string {
+	var sb strings.Builder
+	for _, b := range h.Snapshot() {
+		fmt.Fprintf(&sb, "deg>=%-8d %d\n", b.Low, b.Count)
+	}
+	return sb.String()
+}

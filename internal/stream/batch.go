@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// Batch is a group of stream edges delivered together, corresponding to one
+// time step E(k+1) in the paper's formulation: the incremental result of a
+// continuous query is defined per batch of newly arrived edges.
+type Batch struct {
+	// Seq is the 0-based batch sequence number.
+	Seq int
+	// Edges are the batch members in arrival order.
+	Edges []graph.StreamEdge
+}
+
+// Span returns the interval covered by the batch's edge timestamps.
+func (b Batch) Span() graph.Interval {
+	if len(b.Edges) == 0 {
+		return graph.Interval{}
+	}
+	iv := graph.NewInterval(b.Edges[0].Edge.Timestamp)
+	for _, e := range b.Edges[1:] {
+		iv = iv.Extend(e.Edge.Timestamp)
+	}
+	return iv
+}
+
+// Batcher groups a Source into Batches either by a fixed number of edges or
+// by a fixed time width (whichever is configured; count takes precedence
+// when both are set and either boundary closes the batch).
+type Batcher struct {
+	src      Source
+	maxCount int
+	maxSpan  time.Duration
+	pending  *graph.StreamEdge
+	seq      int
+	done     bool
+}
+
+// NewCountBatcher groups edges into batches of exactly n edges (the final
+// batch may be smaller).
+func NewCountBatcher(src Source, n int) *Batcher {
+	if n < 1 {
+		n = 1
+	}
+	return &Batcher{src: src, maxCount: n}
+}
+
+// NewTimeBatcher groups edges into batches covering at most span of stream
+// time: a batch is closed when the next edge's timestamp is at least span
+// beyond the batch's first edge.
+func NewTimeBatcher(src Source, span time.Duration) *Batcher {
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	return &Batcher{src: src, maxSpan: span}
+}
+
+// Next returns the next batch, or io.EOF after the final one.
+func (b *Batcher) Next() (Batch, error) {
+	if b.done && b.pending == nil {
+		return Batch{}, io.EOF
+	}
+	batch := Batch{Seq: b.seq}
+	var first graph.Timestamp
+	haveFirst := false
+
+	appendEdge := func(e graph.StreamEdge) {
+		if !haveFirst {
+			first = e.Edge.Timestamp
+			haveFirst = true
+		}
+		batch.Edges = append(batch.Edges, e)
+	}
+	if b.pending != nil {
+		appendEdge(*b.pending)
+		b.pending = nil
+	}
+	for {
+		if b.maxCount > 0 && len(batch.Edges) >= b.maxCount {
+			break
+		}
+		e, err := b.src.Next()
+		if errors.Is(err, io.EOF) {
+			b.done = true
+			break
+		}
+		if err != nil {
+			return Batch{}, err
+		}
+		if b.maxSpan > 0 && haveFirst && e.Edge.Timestamp.Sub(first) >= b.maxSpan {
+			// The edge belongs to the next batch.
+			pe := e
+			b.pending = &pe
+			break
+		}
+		appendEdge(e)
+	}
+	if len(batch.Edges) == 0 {
+		return Batch{}, io.EOF
+	}
+	b.seq++
+	return batch, nil
+}
+
+// ReplayBatches drains the batcher, invoking fn for each batch. fn returning
+// false stops early with ErrStopped. It returns the number of batches
+// delivered.
+func ReplayBatches(b *Batcher, fn func(Batch) bool) (int, error) {
+	count := 0
+	for {
+		batch, err := b.Next()
+		if errors.Is(err, io.EOF) {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		count++
+		if !fn(batch) {
+			return count, ErrStopped
+		}
+	}
+}

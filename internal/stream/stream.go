@@ -1,0 +1,131 @@
+// Package stream provides the edge-stream substrate the continuous engine
+// consumes: sources that yield timestamped stream edges, batching by count
+// or by time step, and replay helpers. Workload generators
+// (internal/gen) and file loaders (internal/loader) produce Sources; the
+// engine and the baselines consume them.
+package stream
+
+import (
+	"errors"
+	"io"
+	"sort"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// Source yields stream edges in arrival order. Next returns io.EOF when the
+// stream is exhausted. Implementations need not be safe for concurrent use.
+type Source interface {
+	Next() (graph.StreamEdge, error)
+}
+
+// ErrStopped is returned by replay helpers when the consumer callback asks
+// to stop early.
+var ErrStopped = errors.New("stream: stopped by consumer")
+
+// SliceSource replays a fixed slice of stream edges.
+type SliceSource struct {
+	edges []graph.StreamEdge
+	pos   int
+}
+
+// NewSliceSource builds a source over the given edges. The slice is not
+// copied; callers must not mutate it while the source is in use.
+func NewSliceSource(edges []graph.StreamEdge) *SliceSource {
+	return &SliceSource{edges: edges}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (graph.StreamEdge, error) {
+	if s.pos >= len(s.edges) {
+		return graph.StreamEdge{}, io.EOF
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Reset rewinds the source to the beginning, allowing a second replay.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of edges in the source.
+func (s *SliceSource) Len() int { return len(s.edges) }
+
+// ChannelSource adapts a channel of stream edges into a Source. The channel
+// being closed signals end of stream.
+type ChannelSource struct {
+	ch <-chan graph.StreamEdge
+}
+
+// NewChannelSource wraps ch as a Source.
+func NewChannelSource(ch <-chan graph.StreamEdge) *ChannelSource {
+	return &ChannelSource{ch: ch}
+}
+
+// Next implements Source.
+func (s *ChannelSource) Next() (graph.StreamEdge, error) {
+	e, ok := <-s.ch
+	if !ok {
+		return graph.StreamEdge{}, io.EOF
+	}
+	return e, nil
+}
+
+// FuncSource adapts a generator function into a Source.
+type FuncSource func() (graph.StreamEdge, error)
+
+// Next implements Source.
+func (f FuncSource) Next() (graph.StreamEdge, error) { return f() }
+
+// Replay drains the source, invoking fn for each edge. fn returning false
+// stops the replay with ErrStopped. It returns the number of edges consumed.
+func Replay(src Source, fn func(graph.StreamEdge) bool) (int, error) {
+	count := 0
+	for {
+		e, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return count, nil
+		}
+		if err != nil {
+			return count, err
+		}
+		count++
+		if !fn(e) {
+			return count, ErrStopped
+		}
+	}
+}
+
+// Collect drains the source into a slice (for tests and small datasets).
+func Collect(src Source) ([]graph.StreamEdge, error) {
+	var out []graph.StreamEdge
+	_, err := Replay(src, func(e graph.StreamEdge) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, err
+}
+
+// SortByTimestamp orders the edges by timestamp (stable on ties, preserving
+// generation order) so that generators composing several event sources can
+// emit a single time-ordered stream.
+func SortByTimestamp(edges []graph.StreamEdge) {
+	sort.SliceStable(edges, func(i, j int) bool {
+		return edges[i].Edge.Timestamp < edges[j].Edge.Timestamp
+	})
+}
+
+// Merge combines multiple already-sorted edge slices into one time-ordered
+// slice.
+func Merge(streams ...[]graph.StreamEdge) []graph.StreamEdge {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]graph.StreamEdge, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	SortByTimestamp(out)
+	return out
+}

@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+func makeEdges(n int, startTS graph.Timestamp, step graph.Timestamp) []graph.StreamEdge {
+	out := make([]graph.StreamEdge, n)
+	for i := range out {
+		out[i] = graph.StreamEdge{
+			Edge: graph.Edge{
+				ID:        graph.EdgeID(i + 1),
+				Source:    graph.VertexID(i),
+				Target:    graph.VertexID(i + 1),
+				Type:      "flow",
+				Timestamp: startTS + graph.Timestamp(i)*step,
+			},
+			SourceType: "Host",
+			TargetType: "Host",
+		}
+	}
+	return out
+}
+
+func TestSliceSource(t *testing.T) {
+	edges := makeEdges(3, 0, 10)
+	src := NewSliceSource(edges)
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	var got []graph.EdgeID
+	for {
+		e, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e.Edge.ID)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// Exhausted source keeps returning EOF.
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after exhaustion")
+	}
+	src.Reset()
+	if e, err := src.Next(); err != nil || e.Edge.ID != 1 {
+		t.Fatalf("Reset did not rewind")
+	}
+}
+
+func TestChannelSource(t *testing.T) {
+	ch := make(chan graph.StreamEdge, 2)
+	ch <- makeEdges(1, 0, 1)[0]
+	close(ch)
+	src := NewChannelSource(ch)
+	if e, err := src.Next(); err != nil || e.Edge.ID != 1 {
+		t.Fatalf("Next = %v, %v", e, err)
+	}
+	if _, err := src.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("closed channel should yield EOF")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := FuncSource(func() (graph.StreamEdge, error) {
+		if n >= 2 {
+			return graph.StreamEdge{}, io.EOF
+		}
+		n++
+		return graph.StreamEdge{Edge: graph.Edge{ID: graph.EdgeID(n)}}, nil
+	})
+	got, err := Collect(src)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Collect = %v, %v", got, err)
+	}
+}
+
+func TestReplayEarlyStop(t *testing.T) {
+	src := NewSliceSource(makeEdges(10, 0, 1))
+	n, err := Replay(src, func(e graph.StreamEdge) bool {
+		return e.Edge.ID < 3
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("expected ErrStopped, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("consumed %d edges, want 3", n)
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	src := FuncSource(func() (graph.StreamEdge, error) { return graph.StreamEdge{}, boom })
+	if _, err := Replay(src, func(graph.StreamEdge) bool { return true }); !errors.Is(err, boom) {
+		t.Fatalf("source error not propagated: %v", err)
+	}
+}
+
+func TestSortAndMerge(t *testing.T) {
+	a := makeEdges(3, 100, 10) // ts 100,110,120
+	b := makeEdges(3, 95, 10)  // ts 95,105,115
+	merged := Merge(a, b)
+	if len(merged) != 6 {
+		t.Fatalf("merged length %d", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i-1].Edge.Timestamp > merged[i].Edge.Timestamp {
+			t.Fatalf("merge not time ordered: %v", merged)
+		}
+	}
+	// Stable: equal timestamps keep original relative order.
+	c := []graph.StreamEdge{
+		{Edge: graph.Edge{ID: 1, Timestamp: 5}},
+		{Edge: graph.Edge{ID: 2, Timestamp: 5}},
+	}
+	SortByTimestamp(c)
+	if c[0].Edge.ID != 1 {
+		t.Fatalf("sort not stable")
+	}
+}
+
+func TestCountBatcher(t *testing.T) {
+	src := NewSliceSource(makeEdges(7, 0, 1))
+	b := NewCountBatcher(src, 3)
+	var sizes []int
+	n, err := ReplayBatches(b, func(batch Batch) bool {
+		sizes = append(sizes, len(batch.Edges))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Fatalf("batch sizes = %v", sizes)
+	}
+	if _, err := b.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after final batch")
+	}
+}
+
+func TestCountBatcherMinimumSize(t *testing.T) {
+	src := NewSliceSource(makeEdges(2, 0, 1))
+	b := NewCountBatcher(src, 0) // clamped to 1
+	n, err := ReplayBatches(b, func(batch Batch) bool { return len(batch.Edges) == 1 })
+	if err != nil || n != 2 {
+		t.Fatalf("clamped batcher misbehaved: %d, %v", n, err)
+	}
+}
+
+func TestTimeBatcher(t *testing.T) {
+	// Edges at t=0,10,20,...,90ns; 25ns batches → [0,10,20], [30,40,50], ...
+	src := NewSliceSource(makeEdges(10, 0, 10))
+	b := NewTimeBatcher(src, 25*time.Nanosecond)
+	var sizes []int
+	var seqs []int
+	_, err := ReplayBatches(b, func(batch Batch) bool {
+		sizes = append(sizes, len(batch.Edges))
+		seqs = append(seqs, batch.Seq)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 4 {
+		t.Fatalf("expected 4 time batches, got %v", sizes)
+	}
+	for i, s := range sizes {
+		want := 3
+		if i == len(sizes)-1 {
+			want = 1
+		}
+		if s != want {
+			t.Fatalf("batch %d has %d edges, want %d (%v)", i, s, want, sizes)
+		}
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("batch sequence numbers wrong: %v", seqs)
+		}
+	}
+}
+
+func TestBatchSpan(t *testing.T) {
+	var empty Batch
+	if empty.Span().Span() != 0 {
+		t.Fatalf("empty batch should have zero span")
+	}
+	b := Batch{Edges: makeEdges(3, 100, 10)}
+	iv := b.Span()
+	if iv.Start != 100 || iv.End != 120 {
+		t.Fatalf("Span = %v", iv)
+	}
+}
+
+func TestReplayBatchesEarlyStop(t *testing.T) {
+	src := NewSliceSource(makeEdges(10, 0, 1))
+	b := NewCountBatcher(src, 2)
+	n, err := ReplayBatches(b, func(batch Batch) bool { return batch.Seq == 0 })
+	if !errors.Is(err, ErrStopped) || n != 2 {
+		t.Fatalf("early stop wrong: %d, %v", n, err)
+	}
+}
+
+func TestTimeBatcherInvalidSpan(t *testing.T) {
+	src := NewSliceSource(makeEdges(2, 0, 1))
+	b := NewTimeBatcher(src, 0)
+	n, err := ReplayBatches(b, func(Batch) bool { return true })
+	if err != nil || n == 0 {
+		t.Fatalf("zero-span batcher should still deliver edges: %d %v", n, err)
+	}
+}
