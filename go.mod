@@ -1,0 +1,3 @@
+module github.com/streamworks/streamworks
+
+go 1.21

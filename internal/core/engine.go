@@ -134,6 +134,13 @@ var (
 	ErrUnknownQuery = errors.New("core: unknown query")
 	// ErrNilQuery is returned when RegisterQuery is called with nil.
 	ErrNilQuery = errors.New("core: nil query")
+	// ErrRetentionTooSmall is returned when a query is registered mid-stream
+	// with a time window wider than the retention already in force. Widening
+	// retention after edges have been ingested cannot recover the edges that
+	// were already expired, so such a registration could silently miss
+	// matches; callers must either register wide queries up front or
+	// configure a sufficiently large Retention.
+	ErrRetentionTooSmall = errors.New("core: retention window too small for query window")
 )
 
 // RegisterQuery registers a continuous query. The query is decomposed with
@@ -156,10 +163,12 @@ func (e *Engine) RegisterQuery(q *query.Graph, opts ...RegistrationOption) (*Reg
 	if err != nil {
 		return nil, err
 	}
+	if err := e.extendRetention(q.Window()); err != nil {
+		return nil, fmt.Errorf("registering %q: %w", name, err)
+	}
 	e.registrations[name] = reg
 	e.order = append(e.order, name)
 	e.metrics.Registrations++
-	e.extendRetention(q.Window())
 	return reg, nil
 }
 
@@ -180,16 +189,20 @@ func (e *Engine) UnregisterQuery(name string) error {
 
 // extendRetention grows the dynamic graph's window so it is never smaller
 // than the largest registered query window. A zero (unbounded) window always
-// suffices. Growth only happens before the first edge is ingested; queries
-// registered mid-stream use whatever retention is already in force, which is
-// conservative only when it is at least as large as their own window.
-func (e *Engine) extendRetention(w time.Duration) {
+// suffices. Growth is only possible before the first edge is ingested;
+// afterwards edges outside the old window may already have expired, so a
+// mid-stream registration needing more retention fails with
+// ErrRetentionTooSmall rather than silently risking missed matches.
+func (e *Engine) extendRetention(w time.Duration) error {
 	if w <= 0 || e.dyn.Window() == 0 || w <= e.dyn.Window() {
-		return
+		return nil
 	}
-	if e.dyn.AddedTotal() == 0 {
-		e.dyn = graph.NewDynamic(w, graph.WithSlack(e.cfg.Slack))
+	if e.dyn.AddedTotal() > 0 {
+		return fmt.Errorf("%w: query window %s exceeds retention %s after %d edges",
+			ErrRetentionTooSmall, w, e.dyn.Window(), e.dyn.AddedTotal())
 	}
+	e.dyn = graph.NewDynamic(w, graph.WithSlack(e.cfg.Slack))
+	return nil
 }
 
 // ProcessEdge ingests one stream edge and returns the complete matches it
@@ -246,6 +259,20 @@ func (e *Engine) Run(src stream.Source, fn func(MatchEvent)) (int, error) {
 		return true
 	})
 	return total, err
+}
+
+// Advance signals the passage of stream time to ts in the absence of edges:
+// the dynamic graph's watermark moves forward (trailing ts by the configured
+// slack, exactly as edge ingestion would), expiring out-of-window edges, and
+// partial matches that can no longer complete are pruned. Sharded front-ends
+// broadcast watermarks through this hook so that idle shards keep expiring
+// and pruning at the same pace as the shards receiving edges.
+func (e *Engine) Advance(ts graph.Timestamp) {
+	before := e.dyn.Watermark()
+	e.dyn.AdvanceTo(ts)
+	if e.dyn.Watermark() != before {
+		e.pruneAll()
+	}
 }
 
 // pruneAll removes partial matches that can no longer complete within their

@@ -328,6 +328,91 @@ func TestEngineMultipleQueriesShareStream(t *testing.T) {
 	}
 }
 
+func TestEngineMidStreamRegistrationRetentionTooSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retention = 10 * time.Second
+	e := New(&cfg)
+	base := graph.TimestampFromTime(time.Unix(9000, 0))
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))
+	// A query whose window exceeds the in-force retention, registered after
+	// edges were ingested, must be rejected: edges it would need may already
+	// have expired, so accepting it could silently miss matches.
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute)); !errors.Is(err, ErrRetentionTooSmall) {
+		t.Fatalf("mid-stream wide registration: got %v, want ErrRetentionTooSmall", err)
+	}
+	// The failed registration must leave no trace.
+	if got := e.Registrations(); len(got) != 0 {
+		t.Fatalf("failed registration left state: %v", got)
+	}
+	if e.Metrics().Registrations != 0 {
+		t.Fatalf("failed registration counted: %+v", e.Metrics())
+	}
+	// Queries fitting the current retention still register fine mid-stream.
+	if _, err := e.RegisterQuery(smurfQuery(5 * time.Second)); err != nil {
+		t.Fatalf("narrow mid-stream registration rejected: %v", err)
+	}
+	// Before any edge, wide registrations widen retention instead.
+	e2 := New(&cfg)
+	if _, err := e2.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatalf("pre-stream wide registration rejected: %v", err)
+	}
+	if got := e2.Graph().Window(); got != time.Minute {
+		t.Fatalf("retention not widened pre-stream: %s", got)
+	}
+}
+
+func TestEngineUnregisterQueryMidStream(t *testing.T) {
+	e := New(nil)
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	fanout := query.NewBuilder("fanout").
+		Window(time.Minute).
+		Vertex("src", "Host").
+		Vertex("d1", "Host").
+		Vertex("d2", "Host").
+		Edge("src", "d1", "icmp_echo_req").
+		Edge("src", "d2", "icmp_echo_req").
+		MustBuild()
+	if _, err := e.RegisterQuery(fanout); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(9500, 0))
+	// Seed both queries with a half-complete pattern: one echo request.
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))
+	if err := e.UnregisterQuery("smurf"); err != nil {
+		t.Fatalf("UnregisterQuery mid-stream: %v", err)
+	}
+	// The reply would have completed the smurf match; no event may be
+	// emitted for the unregistered query, while fanout keeps matching.
+	events := e.ProcessEdge(hostEdge(2, 2, 3, "icmp_echo_reply", base.Add(time.Second)))
+	events = append(events, e.ProcessEdge(hostEdge(3, 1, 4, "icmp_echo_req", base.Add(2*time.Second)))...)
+	for _, ev := range events {
+		if ev.Query == "smurf" {
+			t.Fatalf("unregistered query still emitting: %v", ev)
+		}
+	}
+	m := e.Metrics()
+	if len(m.Queries) != 1 || m.Queries[0].Name != "fanout" {
+		t.Fatalf("metrics still reporting unregistered query: %+v", m.Queries)
+	}
+	if m.Queries[0].Matches != 2 {
+		t.Fatalf("surviving registration disturbed: %+v", m.Queries[0])
+	}
+	// The unregistered query's partial state is gone: no lingering partials
+	// beyond the surviving registration's own.
+	reg, _ := e.Registration("fanout")
+	if m.PartialMatches != reg.Tree().PartialMatchCount() {
+		t.Fatalf("dropped registration's partials still counted: %d vs %d",
+			m.PartialMatches, reg.Tree().PartialMatchCount())
+	}
+	// Pruning sweeps must not trip over the removed registration.
+	for i := 0; i < 2100; i++ {
+		ts := base.Add(time.Duration(i+3) * time.Second)
+		e.ProcessEdge(hostEdge(graph.EdgeID(i+10), graph.VertexID(i+100), graph.VertexID(i+5000), "icmp_echo_req", ts))
+	}
+}
+
 // TestEngineMatchesOfflineGroundTruth streams a random multi-relational
 // graph through the engine (all strategies) and compares the reported
 // matches with an offline exhaustive search over the final graph, with the

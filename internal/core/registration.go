@@ -61,6 +61,11 @@ type Registration struct {
 	callback      func(MatchEvent)
 	matches       uint64
 	localSearches uint64
+
+	// opts is the option list the registration was created with, retained so
+	// front-ends (e.g. the sharded engine) can replicate the registration
+	// onto other engines with identical semantics.
+	opts []RegistrationOption
 }
 
 func newRegistration(e *Engine, name string, q *query.Graph, opts ...RegistrationOption) (*Registration, error) {
@@ -91,6 +96,7 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 		matcher:          isomorphism.New(q),
 		candidatesByType: make(map[string][]leafCandidate),
 		callback:         cfg.callback,
+		opts:             opts,
 	}
 	for _, leaf := range tree.Leaves() {
 		for _, qe := range leaf.Edges() {
@@ -112,6 +118,10 @@ func (r *Registration) Plan() *decompose.Plan { return r.plan }
 
 // Tree returns the registration's SJ-Tree (read-only use: stats, display).
 func (r *Registration) Tree() *sjtree.Tree { return r.tree }
+
+// Options returns the option list the registration was created with,
+// allowing a front-end to clone the registration onto another engine.
+func (r *Registration) Options() []RegistrationOption { return r.opts }
 
 // Matches returns the number of complete matches reported so far.
 func (r *Registration) Matches() uint64 { return r.matches }

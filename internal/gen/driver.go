@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/shard"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// Workload bundles a named, time-ordered edge stream with the continuous
+// queries evaluated over it and an engine configuration sized for it. It is
+// the unit the sharded driver replays when comparing single-engine and
+// N-shard runs.
+type Workload struct {
+	Name    string
+	Edges   []graph.StreamEdge
+	Queries []*query.Graph
+	Engine  core.Config
+}
+
+// Source returns a replayable source over the workload's edges.
+func (w Workload) Source() stream.Source { return stream.NewSliceSource(w.Edges) }
+
+// NetFlowWorkload builds the internet-traffic evaluation workload: the
+// background stream of cfg with smurf, worm and exfiltration attacks woven
+// in, queried by the paper's Fig. 3 suite at the given window. The attack
+// streams are combined with the background on the k-way merge fan-in path.
+func NetFlowWorkload(cfg NetFlowConfig, window time.Duration) Workload {
+	flow := NewNetFlow(cfg, nil)
+	bg := flow.Generate()
+	start := cfg.Start
+	end := start
+	if len(bg) > 0 {
+		end = bg[len(bg)-1].Edge.Timestamp
+	}
+	inj := NewInjector(DefaultInjectorConfig(), flow.Hosts(), flow.Sequence())
+	smurf, _ := inj.Inject(AttackSmurf, 3, start, end)
+	worm, _ := inj.Inject(AttackWorm, 3, start, end)
+	exfil, _ := inj.Inject(AttackExfiltration, 3, start, end)
+	return Workload{
+		Name:  "netflow",
+		Edges: stream.Merge(bg, smurf, worm, exfil),
+		Queries: []*query.Graph{
+			SmurfQuery(window),
+			WormQuery(window),
+			WormChainQuery(window),
+			ExfiltrationQuery(window),
+		},
+		Engine: core.Config{
+			Retention:       window,
+			EnableSummaries: true,
+			TriadSampling:   10,
+		},
+	}
+}
+
+// NewsWorkload builds the news-stream evaluation workload: the article/
+// entity stream of cfg queried by the paper's Fig. 2 co-mention event
+// pattern (articles joined through a shared keyword and location — a
+// hub-free query that exercises the sharded engine's broadcast fallback).
+func NewsWorkload(cfg NewsConfig, window time.Duration, articles int) Workload {
+	news := NewNews(cfg, nil)
+	edges, _ := news.Generate()
+	return Workload{
+		Name:    "news",
+		Edges:   edges,
+		Queries: []*query.Graph{NewsEventQuery(window, articles, "")},
+		Engine: core.Config{
+			Retention:       window,
+			EnableSummaries: true,
+			TriadSampling:   10,
+		},
+	}
+}
+
+// MatchSet is the order-insensitive identity set of a run's complete
+// matches: one canonical key (query name plus sorted edge binding) per
+// deduplicated match. Two runs over the same workload are equivalent exactly
+// when their MatchSets are equal.
+type MatchSet map[string]struct{}
+
+// Add records an event's canonical key.
+func (s MatchSet) Add(ev core.MatchEvent) {
+	s[ev.Query+"\x1f"+ev.Match.Signature()] = struct{}{}
+}
+
+// Equal reports set equality.
+func (s MatchSet) Equal(o MatchSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSingle replays the workload through one core.Engine and returns the
+// canonical match set and final metrics.
+func RunSingle(w Workload) (MatchSet, core.Metrics, error) {
+	cfg := w.Engine
+	eng := core.New(&cfg)
+	for _, q := range w.Queries {
+		if _, err := eng.RegisterQuery(q); err != nil {
+			return nil, core.Metrics{}, err
+		}
+	}
+	set := make(MatchSet)
+	if _, err := eng.Run(w.Source(), func(ev core.MatchEvent) { set.Add(ev) }); err != nil {
+		return nil, core.Metrics{}, err
+	}
+	return set, eng.Metrics(), nil
+}
+
+// RunSharded replays the workload through a ShardedEngine with the given
+// shard count and returns the deduplicated canonical match set and the
+// aggregated metrics.
+func RunSharded(w Workload, shards int) (MatchSet, core.Metrics, error) {
+	cfg := shard.Config{Shards: shards, Engine: w.Engine}
+	eng := shard.New(&cfg)
+	for _, q := range w.Queries {
+		if err := eng.RegisterQuery(q); err != nil {
+			return nil, core.Metrics{}, err
+		}
+	}
+	set := make(MatchSet)
+	if _, err := eng.Run(w.Source(), func(ev core.MatchEvent) { set.Add(ev) }); err != nil {
+		return nil, core.Metrics{}, err
+	}
+	return set, eng.Metrics(), nil
+}

@@ -16,14 +16,14 @@ const (
 	TypeHost   = "Host"
 	TypeServer = "Server"
 
-	EdgeFlow      = "flow"           // generic TCP/UDP flow
-	EdgeDNS       = "dns_query"      // host asks a server for a name
-	EdgeICMPReq   = "icmp_echo_req"  // ping request
-	EdgeICMPReply = "icmp_echo_rep"  // ping reply
-	EdgeLogin     = "login"          // user/host logs into a server
-	EdgeFileRead  = "file_read"      // host reads a sensitive file share
-	EdgeScan      = "port_scan"      // reconnaissance probe
-	EdgeInfect    = "infect"         // worm payload delivery
+	EdgeFlow      = "flow"          // generic TCP/UDP flow
+	EdgeDNS       = "dns_query"     // host asks a server for a name
+	EdgeICMPReq   = "icmp_echo_req" // ping request
+	EdgeICMPReply = "icmp_echo_rep" // ping reply
+	EdgeLogin     = "login"         // user/host logs into a server
+	EdgeFileRead  = "file_read"     // host reads a sensitive file share
+	EdgeScan      = "port_scan"     // reconnaissance probe
+	EdgeInfect    = "infect"        // worm payload delivery
 )
 
 // NetFlowConfig parameterizes the internet-traffic generator.

@@ -231,5 +231,8 @@ func (n *News) Generate() ([]graph.StreamEdge, []NewsEvent) {
 		}
 		events = append(events, ev)
 	}
+	// Clusters start at random times, so the concatenated event edges are
+	// unsorted across clusters; Merge requires sorted inputs.
+	stream.SortByTimestamp(eventEdges)
 	return stream.Merge(background, eventEdges), events
 }

@@ -134,17 +134,16 @@ func (d *Dynamic) advance(ts Timestamp) {
 	d.expire()
 }
 
-// AdvanceTo forces the watermark to ts (if it is ahead of the current one)
-// and expires accordingly. Streams use this to signal the passage of time in
-// the absence of edges.
+// AdvanceTo signals that stream time has reached ts without delivering an
+// edge (heartbeats, watermark broadcasts from a sharded front-end). It has
+// exactly the same watermark semantics as edge ingestion: the watermark
+// advances to ts-slack, never backwards, and expiry runs against the new
+// watermark. Keeping the two paths identical means interleaving Apply and
+// AdvanceTo can never jump the watermark ahead of what an edge at ts would
+// produce, so edges still within the out-of-order slack are not prematurely
+// expired or rejected.
 func (d *Dynamic) AdvanceTo(ts Timestamp) {
-	if !d.seenAny {
-		d.seenAny = true
-		d.watermark = ts
-	} else if ts > d.watermark {
-		d.watermark = ts
-	}
-	d.expire()
+	d.advance(ts)
 }
 
 func (d *Dynamic) expire() {

@@ -134,6 +134,49 @@ func TestDynamicWatermarkMonotone(t *testing.T) {
 	}
 }
 
+func TestDynamicAdvanceToRespectsSlack(t *testing.T) {
+	// Interleaving Apply and AdvanceTo must not jump the watermark ahead of
+	// what edge ingestion at the same timestamp would produce: both paths
+	// trail the observed stream time by the slack. Previously AdvanceTo
+	// ignored the slack, so an explicit time signal at the current stream
+	// time expired edges still inside the slack and rejected in-slack
+	// stragglers.
+	d := NewDynamic(10*time.Nanosecond, WithSlack(5*time.Nanosecond))
+	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 86)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(streamEdge(2, 2, 3, "flow", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Watermark(); got != 95 {
+		t.Fatalf("watermark after Apply(100) = %d, want 95", got)
+	}
+	// An explicit advance to the already-observed stream time is a no-op.
+	d.AdvanceTo(100)
+	if got := d.Watermark(); got != 95 {
+		t.Fatalf("AdvanceTo(100) moved watermark to %d, want 95 (ts-slack)", got)
+	}
+	// Edge 1 (ts=86) is still inside the window: cutoff is 95-10=85.
+	if d.NumEdges() != 2 {
+		t.Fatalf("AdvanceTo expired in-window edges: %d live, want 2", d.NumEdges())
+	}
+	// A straggler within the slack of the watermark is still accepted.
+	if _, err := d.Apply(streamEdge(3, 3, 4, "flow", 91)); err != nil {
+		t.Fatalf("in-slack edge rejected after AdvanceTo: %v", err)
+	}
+	// Advancing the stream clock beyond the observed maximum applies slack too.
+	d.AdvanceTo(120)
+	if got := d.Watermark(); got != 115 {
+		t.Fatalf("AdvanceTo(120) watermark = %d, want 115", got)
+	}
+	// First watermark from AdvanceTo on a fresh graph also trails by slack.
+	fresh := NewDynamic(time.Minute, WithSlack(5*time.Nanosecond))
+	fresh.AdvanceTo(50)
+	if got := fresh.Watermark(); got != 45 {
+		t.Fatalf("first AdvanceTo watermark = %d, want 45", got)
+	}
+}
+
 func TestDynamicDuplicateEdgeRejected(t *testing.T) {
 	d := NewDynamic(time.Minute)
 	if _, err := d.Apply(streamEdge(1, 1, 2, "flow", 1)); err != nil {

@@ -11,7 +11,7 @@ import (
 func smurfQuery(t *testing.T) *Graph {
 	t.Helper()
 	q, err := NewBuilder("smurf").
-		Window(10 * time.Minute).
+		Window(10*time.Minute).
 		Vertex("attacker", "Host").
 		Vertex("amplifier", "Host").
 		Vertex("victim", "Host").

@@ -1,0 +1,64 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// The scaling benchmark replays one multi-pattern netflow workload (all four
+// Fig. 3 cyber queries) through engines of increasing shard counts. Edges/s
+// counts unique stream edges, not per-shard deliveries, so the numbers are
+// directly comparable across shard counts and to the single engine.
+var (
+	benchOnce sync.Once
+	benchW    gen.Workload
+)
+
+func benchWorkload() gen.Workload {
+	benchOnce.Do(func() {
+		cfg := gen.NetFlowConfig{
+			Hosts:       1000,
+			Servers:     60,
+			Edges:       25_000,
+			Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+			MeanGap:     time.Millisecond,
+			ContactSkew: 1.4,
+			Seed:        41,
+		}
+		benchW = gen.NetFlowWorkload(cfg, 30*time.Second)
+	})
+	return benchW
+}
+
+func BenchmarkSingleEngine(b *testing.B) {
+	w := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gen.RunSingle(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(w.Edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func benchmarkSharded(b *testing.B, shards int) {
+	w := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gen.RunSharded(w, shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(w.Edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkShardedEngine_1(b *testing.B) { benchmarkSharded(b, 1) }
+func BenchmarkShardedEngine_2(b *testing.B) { benchmarkSharded(b, 2) }
+func BenchmarkShardedEngine_4(b *testing.B) { benchmarkSharded(b, 4) }
+func BenchmarkShardedEngine_8(b *testing.B) { benchmarkSharded(b, 8) }

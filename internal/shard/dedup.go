@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// dedup is the merge-side duplicate filter: replicated edges let the same
+// complete match surface on several shards, and each occurrence carries the
+// same canonical key — the query name plus the sorted pattern-edge →
+// data-edge binding (match.Signature). Only the first occurrence passes.
+//
+// Seen keys are evicted by maybeSweep against the minimum shard watermark
+// the merger has observed through progress marks. A shard emits a duplicate
+// of match M while its watermark is at most End(M)+retention+slack (M's
+// edges must still be live and admissible there), and the merge channel
+// preserves each shard's send order, so once every shard's observed
+// watermark has passed that bound, all possible duplicates of M have already
+// been received — the key is safe to drop regardless of how far any mailbox
+// lags. With unbounded retention nothing ever expires and keys are kept
+// forever.
+type dedup struct {
+	mu        sync.Mutex
+	seen      map[string]graph.Timestamp // key → span end
+	perQuery  map[string]uint64          // deduplicated matches per query
+	unique    uint64
+	dups      uint64
+	retention time.Duration // grows with registered query windows
+	slack     time.Duration
+	sweepAt   int
+}
+
+func newDedup(retention, slack time.Duration) *dedup {
+	return &dedup{
+		seen:      make(map[string]graph.Timestamp),
+		perQuery:  make(map[string]uint64),
+		retention: retention,
+		slack:     slack,
+		sweepAt:   4096,
+	}
+}
+
+// noteWindow widens the eviction horizon to cover a registered query window
+// (the per-shard engines widen their retention the same way).
+func (d *dedup) noteWindow(w time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retention != 0 && w > d.retention {
+		d.retention = w
+	}
+}
+
+// key computes the canonical match identity.
+func key(ev core.MatchEvent) string {
+	return ev.Query + "\x1f" + ev.Match.Signature()
+}
+
+// admit reports whether ev is the first occurrence of its match.
+func (d *dedup) admit(ev core.MatchEvent) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := key(ev)
+	if _, dup := d.seen[k]; dup {
+		d.dups++
+		return false
+	}
+	d.seen[k] = ev.Match.Span.End
+	d.unique++
+	d.perQuery[ev.Query]++
+	return true
+}
+
+// maybeSweep evicts keys whose matches can no longer be rediscovered, given
+// the minimum watermark the merger has observed across all shards. Cheap to
+// call often: it only scans once the map has grown past a threshold.
+func (d *dedup) maybeSweep(minShardWM graph.Timestamp) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.seen) < d.sweepAt {
+		return
+	}
+	if d.retention <= 0 {
+		d.sweepAt = len(d.seen) * 2
+		return
+	}
+	horizon := minShardWM - graph.Timestamp(d.retention+d.slack)
+	for k, end := range d.seen {
+		if end < horizon {
+			delete(d.seen, k)
+		}
+	}
+	d.sweepAt = len(d.seen)*2 + 4096
+}
+
+// stats returns the deduplication counters: unique matches passed through,
+// duplicates suppressed, and unique matches per query (a copy).
+func (d *dedup) stats() (unique, dups uint64, perQuery map[string]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	perQuery = make(map[string]uint64, len(d.perQuery))
+	for q, n := range d.perQuery {
+		perQuery[q] = n
+	}
+	return d.unique, d.dups, perQuery
+}

@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+func starQuery() *query.Graph {
+	// "center" touches every edge: hub query, endpoint routing suffices.
+	return query.NewBuilder("star").
+		Window(time.Minute).
+		Vertex("center", "Host").
+		Vertex("a", "Host").
+		Vertex("b", "Host").
+		Edge("a", "center", "flow").
+		Edge("center", "b", "dns").
+		MustBuild()
+}
+
+func rectangleQuery() *query.Graph {
+	// Two articles joined through a keyword and a location: no vertex
+	// touches all four edges.
+	return query.NewBuilder("rectangle").
+		Window(time.Minute).
+		Vertex("a1", "Article").
+		Vertex("a2", "Article").
+		Vertex("k", "Keyword").
+		Vertex("l", "Location").
+		Edge("a1", "k", "mentions").
+		Edge("a2", "k", "mentions").
+		Edge("a1", "l", "located_in").
+		Edge("a2", "l", "located_in").
+		MustBuild()
+}
+
+func TestHasHubVertex(t *testing.T) {
+	if !hasHubVertex(starQuery()) {
+		t.Fatalf("star query should have a hub vertex")
+	}
+	if hasHubVertex(rectangleQuery()) {
+		t.Fatalf("rectangle query must be hub-free")
+	}
+}
+
+func TestRouterEndpointRouting(t *testing.T) {
+	r := newRouter(4)
+	r.add(starQuery())
+	se := graph.StreamEdge{Edge: graph.Edge{Source: 10, Target: 20, Type: "flow"}}
+	dests := r.route(se)
+	if len(dests) == 0 || len(dests) > 2 {
+		t.Fatalf("endpoint routing produced %v", dests)
+	}
+	want := map[int]bool{ownerOf(10, 4): true, ownerOf(20, 4): true}
+	for _, d := range dests {
+		if !want[d] {
+			t.Fatalf("edge routed to non-owner shard %d (%v)", d, dests)
+		}
+	}
+	// Both endpoints on the same shard: exactly one delivery.
+	same := graph.StreamEdge{Edge: graph.Edge{Source: 10, Target: 10, Type: "flow"}}
+	if got := r.route(same); len(got) != 1 {
+		t.Fatalf("same-owner edge routed to %v", got)
+	}
+}
+
+func TestRouterBroadcastFallbackForHubFreeQueries(t *testing.T) {
+	r := newRouter(4)
+	r.add(starQuery())
+	r.add(rectangleQuery())
+	mention := graph.StreamEdge{Edge: graph.Edge{Source: 1, Target: 2, Type: "mentions"}}
+	if got := r.route(mention); len(got) != 4 {
+		t.Fatalf("hub-free query type not broadcast: %v", got)
+	}
+	// Types the hub-free query does not constrain still use endpoint routing.
+	flow := graph.StreamEdge{Edge: graph.Edge{Source: 1, Target: 2, Type: "flow"}}
+	if got := r.route(flow); len(got) > 2 {
+		t.Fatalf("unrelated type broadcast: %v", got)
+	}
+	// Unregistering the hub-free query reverts to endpoint routing.
+	r.remove("rectangle")
+	if got := r.route(mention); len(got) > 2 {
+		t.Fatalf("broadcast not reverted after unregister: %v", got)
+	}
+}
+
+func TestRouterWildcardEdgeBroadcastsEverything(t *testing.T) {
+	r := newRouter(3)
+	wild := query.NewBuilder("wild").
+		Vertex("a", "Host").
+		Vertex("b", "Host").
+		Vertex("c", "Host").
+		Edge("a", "b", "flow").
+		Edge("b", "c", "flow").
+		Edge("c", "a", ""). // wildcard closes the triangle: hub-free
+		MustBuild()
+	r.add(wild)
+	se := graph.StreamEdge{Edge: graph.Edge{Source: 5, Target: 9, Type: "anything"}}
+	if got := r.route(se); len(got) != 3 {
+		t.Fatalf("wildcard hub-free query must broadcast all types: %v", got)
+	}
+	r.remove("wild")
+	if got := r.route(se); len(got) > 2 {
+		t.Fatalf("wildcard broadcast not reverted: %v", got)
+	}
+}
+
+func TestOwnerOfIsStableAndBalanced(t *testing.T) {
+	counts := make([]int, 4)
+	for v := graph.VertexID(0); v < 4000; v++ {
+		o := ownerOf(v, 4)
+		if o != ownerOf(v, 4) {
+			t.Fatalf("ownerOf not deterministic")
+		}
+		counts[o]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("shard %d owns %d of 4000 sequential IDs: unbalanced %v", i, c, counts)
+		}
+	}
+}
+
+func matchEvent(q string, de graph.EdgeID, ts graph.Timestamp) core.MatchEvent {
+	m := match.New()
+	m.BindEdge(0, de, ts)
+	return core.MatchEvent{Query: q, Match: m, DetectedAt: ts}
+}
+
+func TestDedupSuppressesReplicatedMatches(t *testing.T) {
+	d := newDedup(time.Minute, 0)
+	ev := matchEvent("q", 1, 100)
+	if !d.admit(ev) {
+		t.Fatalf("first occurrence rejected")
+	}
+	if d.admit(ev) {
+		t.Fatalf("duplicate admitted")
+	}
+	// Same edge binding under a different query is a different match.
+	if !d.admit(matchEvent("other", 1, 100)) {
+		t.Fatalf("distinct query deduplicated")
+	}
+	unique, dups, perQuery := d.stats()
+	if unique != 2 || dups != 1 {
+		t.Fatalf("stats = %d unique, %d dups", unique, dups)
+	}
+	if perQuery["q"] != 1 || perQuery["other"] != 1 {
+		t.Fatalf("per-query stats = %v", perQuery)
+	}
+}
+
+func TestDedupSweepEvictsExpiredKeys(t *testing.T) {
+	d := newDedup(100*time.Nanosecond, 0)
+	d.sweepAt = 8
+	for i := 0; i < 64; i++ {
+		d.admit(matchEvent("q", graph.EdgeID(i+1), graph.Timestamp(i*100)))
+	}
+	// Every shard is at watermark 5000: matches ending before the horizon
+	// 5000-100=4900 can no longer be rediscovered and are evicted; the 15
+	// matches ending at 4900..6300 survive.
+	d.maybeSweep(5000)
+	if len(d.seen) != 15 {
+		t.Fatalf("sweep left %d keys, want 15", len(d.seen))
+	}
+	if _, ok := d.seen[key(matchEvent("q", 64, 6300))]; !ok {
+		t.Fatalf("recent key evicted")
+	}
+	// A shard watermark far in the past must hold everything back.
+	e := newDedup(100*time.Nanosecond, 0)
+	e.sweepAt = 8
+	for i := 0; i < 64; i++ {
+		e.admit(matchEvent("q", graph.EdgeID(i+1), graph.Timestamp(i*100)))
+	}
+	e.maybeSweep(0)
+	if len(e.seen) != 64 {
+		t.Fatalf("sweep evicted keys still rediscoverable by a lagging shard: %d of 64 left", len(e.seen))
+	}
+	// Unbounded retention must never evict (matches can always recur).
+	u := newDedup(0, 0)
+	u.sweepAt = 8
+	for i := 0; i < 64; i++ {
+		u.admit(matchEvent("q", graph.EdgeID(i+1), graph.Timestamp(i*100)))
+	}
+	u.maybeSweep(1 << 40)
+	if len(u.seen) != 64 {
+		t.Fatalf("unbounded dedup evicted keys: %d of 64 left", len(u.seen))
+	}
+}

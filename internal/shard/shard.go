@@ -1,0 +1,424 @@
+// Package shard parallelizes the StreamWorks continuous query engine across
+// hash partitions of the vertex space, the scale-out layer the single-threaded
+// core.Engine explicitly defers to ("shard streams across engines for
+// parallelism").
+//
+// A ShardedEngine owns N independent core.Engine workers, each with its own
+// goroutine and input mailbox. Incoming stream edges are hash-partitioned by
+// endpoint vertex: an edge is delivered to the shard owning its source and the
+// shard owning its target (one delivery when both endpoints hash to the same
+// shard), so every shard holds the complete neighborhood of each vertex it
+// owns. Query registrations are replicated to every shard; for a query with a
+// hub vertex — a pattern vertex incident to every pattern edge — each match is
+// fully contained in the neighborhood of the data vertex bound to the hub, so
+// endpoint routing alone guarantees the shard owning that vertex discovers it.
+// Queries without a hub vertex (e.g. the paper's Fig. 2 article/keyword/
+// location pattern) are handled by broadcasting edges of the types they
+// constrain to every shard, trading redundant work for correctness; since
+// that only helps from registration onwards, hub-free queries must be
+// registered before streaming begins (ErrBroadcastRequired otherwise).
+//
+// Because routing replicates edges, the same complete match can surface on
+// more than one shard. All shard outputs are funneled onto one merge channel
+// and deduplicated by canonical match key (query name plus the sorted
+// pattern-edge → data-edge binding), so replication never double-reports.
+// Stream time is coordinated by broadcasting watermark advances to shards
+// that did not receive an edge, keeping window expiry and SJ-tree pruning
+// moving on idle partitions.
+//
+// Sources feeding a ShardedEngine must populate endpoint metadata
+// (types/attributes) on every stream edge, not only on a vertex's first
+// appearance: shards see disjoint subsets of the stream, so "first
+// appearance" is a per-shard notion. All generators in internal/gen do this.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// Config controls the sharded front-end.
+type Config struct {
+	// Shards is the number of engine workers. Values below 1 are treated
+	// as 1.
+	Shards int
+	// Engine is the configuration applied to every per-shard core.Engine.
+	Engine core.Config
+	// Buffer is the per-shard mailbox depth in messages (default 1024).
+	Buffer int
+	// AdvanceEvery is the granularity of watermark broadcasts: shards that
+	// did not receive an edge are sent an explicit time advance whenever the
+	// maximum observed timestamp has moved at least this far since the last
+	// broadcast. Zero picks a default (an eighth of the retention window, or
+	// one second when retention is unbounded); negative disables broadcasts.
+	// Broadcast latency only delays expiry and pruning on idle shards — the
+	// match set is unaffected because match admission checks the temporal
+	// span directly.
+	AdvanceEvery time.Duration
+}
+
+// DefaultConfig returns a four-way sharding of core.DefaultConfig engines.
+func DefaultConfig() Config {
+	return Config{Shards: 4, Engine: core.DefaultConfig(), Buffer: 1024}
+}
+
+// ShardedEngine drives N core.Engine shards behind the same
+// register/process/metrics surface as a single engine. Control methods
+// (RegisterQuery, UnregisterQuery, Process, Advance, Metrics, Start, Close)
+// must be called from one goroutine — the stream driver — while Events may be
+// consumed concurrently; Run wires both sides together.
+type ShardedEngine struct {
+	cfg     Config
+	workers []*worker
+	router  *router
+	dedup   *dedup
+
+	running    bool
+	out        chan shardEvent      // workers → merger (events + progress marks)
+	events     chan core.MatchEvent // merger → consumer, deduplicated
+	mergerDone chan struct{}
+
+	seenTS        bool
+	maxTS         graph.Timestamp
+	lastBroadcast graph.Timestamp
+	edgesRouted   uint64
+	advanceEvery  time.Duration
+	// retention is the effective per-shard retention: the configured value,
+	// widened by pre-ingest registrations exactly as core.extendRetention
+	// widens it on each shard. Zero means unbounded.
+	retention time.Duration
+}
+
+// New constructs a stopped ShardedEngine. cfg may be nil for DefaultConfig.
+func New(cfg *Config) *ShardedEngine {
+	c := DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 1024
+	}
+	adv := c.AdvanceEvery
+	if adv == 0 {
+		if c.Engine.Retention > 0 {
+			adv = c.Engine.Retention / 8
+		} else {
+			adv = time.Second
+		}
+	}
+	s := &ShardedEngine{
+		cfg:          c,
+		router:       newRouter(c.Shards),
+		dedup:        newDedup(c.Engine.Retention, c.Engine.Slack),
+		advanceEvery: adv,
+		retention:    c.Engine.Retention,
+	}
+	for i := 0; i < c.Shards; i++ {
+		engCfg := c.Engine
+		s.workers = append(s.workers, &worker{id: i, eng: core.New(&engCfg)})
+	}
+	return s
+}
+
+// Shards returns the number of shard workers.
+func (s *ShardedEngine) Shards() int { return len(s.workers) }
+
+// Registration errors specific to the sharded front-end.
+var (
+	// ErrNotRunning is returned by Process when Start has not been called.
+	ErrNotRunning = errors.New("shard: engine not running (call Start)")
+	// ErrBroadcastRequired is returned when a query without a hub vertex is
+	// registered after edges have been routed: its edge types were
+	// endpoint-partitioned rather than broadcast up to that point, so shards
+	// lack the history the query needs and matches spanning pre-registration
+	// edges would be silently missed. Register hub-free queries before
+	// streaming.
+	ErrBroadcastRequired = errors.New("shard: hub-free query must be registered before edges are streamed")
+)
+
+// RegisterQuery replicates a continuous query registration onto every shard.
+// It can be called before Start or mid-stream; mid-stream the registration
+// takes effect on each shard after the edges already queued in its mailbox,
+// so matches completing exactly at the registration instant may differ from a
+// single-engine run. Cross-shard consistency is checked up front: a
+// mid-stream query needing more retention than is in force fails with
+// ErrRetentionTooSmall before touching any shard (matching core.Engine
+// semantics), and a mid-stream hub-free query fails with
+// ErrBroadcastRequired since its edge types were not being broadcast while
+// earlier edges were partitioned. Per-shard failures (duplicate name, plan
+// errors) roll back the shards that had accepted. Note that a WithCallback
+// option fires per shard before deduplication; use Events or the Run
+// callback for deduplicated matches.
+func (s *ShardedEngine) RegisterQuery(q *query.Graph, opts ...core.RegistrationOption) error {
+	if q == nil {
+		return core.ErrNilQuery
+	}
+	if s.edgesRouted > 0 && len(s.workers) > 1 && !hasHubVertex(q) {
+		return fmt.Errorf("%w: %q", ErrBroadcastRequired, q.Name())
+	}
+	widens := q.Window() > 0 && s.retention != 0 && q.Window() > s.retention
+	if widens && s.edgesRouted > 0 {
+		return fmt.Errorf("shard: registering %q: %w: query window %s exceeds retention %s mid-stream",
+			q.Name(), core.ErrRetentionTooSmall, q.Window(), s.retention)
+	}
+	done := make([]string, 0, len(s.workers))
+	var regErr error
+	for _, w := range s.workers {
+		name, err := w.register(s.running, q, opts)
+		if err != nil {
+			regErr = fmt.Errorf("shard %d: %w", w.id, err)
+			break
+		}
+		done = append(done, name)
+	}
+	if regErr != nil {
+		for i, name := range done {
+			// Roll back the shards that accepted the registration.
+			_ = s.workers[i].unregister(s.running, name)
+		}
+		return regErr
+	}
+	if widens {
+		s.retention = q.Window()
+	}
+	s.router.add(q)
+	s.dedup.noteWindow(q.Window())
+	return nil
+}
+
+// UnregisterQuery removes a registration from every shard. Partial matches
+// held for the query are dropped with it; in-flight duplicates already queued
+// on the merge channel remain deduplicated.
+func (s *ShardedEngine) UnregisterQuery(name string) error {
+	var firstErr error
+	for _, w := range s.workers {
+		if err := w.unregister(s.running, name); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", w.id, err)
+		}
+	}
+	if firstErr == nil {
+		s.router.remove(name)
+	}
+	return firstErr
+}
+
+// Start spawns the shard workers and the deduplicating merger. It is a no-op
+// when already running.
+func (s *ShardedEngine) Start() {
+	if s.running {
+		return
+	}
+	s.out = make(chan shardEvent, 64*len(s.workers))
+	s.events = make(chan core.MatchEvent, 256)
+	s.mergerDone = make(chan struct{})
+	for _, w := range s.workers {
+		w.start(s.cfg.Buffer, s.out)
+	}
+	go s.merge()
+	s.running = true
+}
+
+// merge funnels all shard outputs into the deduplicated event stream. It
+// exits when Close closes the merge channel after all workers have drained.
+// Progress marks from the shards drive dedup-key eviction: the minimum
+// observed shard watermark bounds, via channel FIFO order, which duplicates
+// can still be in flight.
+func (s *ShardedEngine) merge() {
+	defer close(s.mergerDone)
+	defer close(s.events)
+	marks := make([]graph.Timestamp, len(s.workers))
+	marked := make([]bool, len(s.workers))
+	for se := range s.out {
+		if se.mark {
+			if se.ts > marks[se.id] || !marked[se.id] {
+				marks[se.id], marked[se.id] = se.ts, true
+			}
+			if min, ok := minMark(marks, marked); ok {
+				s.dedup.maybeSweep(min)
+			}
+			continue
+		}
+		if s.dedup.admit(se.ev) {
+			s.events <- se.ev
+		}
+	}
+}
+
+// minMark returns the minimum shard watermark once every shard has reported
+// at least one progress mark.
+func minMark(marks []graph.Timestamp, marked []bool) (graph.Timestamp, bool) {
+	min := graph.Timestamp(0)
+	for i, ts := range marks {
+		if !marked[i] {
+			return 0, false
+		}
+		if i == 0 || ts < min {
+			min = ts
+		}
+	}
+	return min, true
+}
+
+// Events returns the deduplicated match stream. It is closed by Close once
+// all shards have drained. Valid after Start; consumers must drain it (Run
+// does) or ingestion eventually blocks.
+func (s *ShardedEngine) Events() <-chan core.MatchEvent { return s.events }
+
+// Process routes one stream edge to the shards that need it and broadcasts a
+// watermark advance to the others when stream time has moved far enough.
+// Edges must be supplied in non-decreasing timestamp order up to the
+// configured slack, as with a single engine. It returns ErrNotRunning when
+// called before Start.
+func (s *ShardedEngine) Process(se graph.StreamEdge) error {
+	if !s.running {
+		return ErrNotRunning
+	}
+	dests := s.router.route(se)
+	for _, d := range dests {
+		s.workers[d].enqueueEdge(se)
+	}
+	s.edgesRouted++
+	ts := se.Edge.Timestamp
+	if !s.seenTS || ts > s.maxTS {
+		s.maxTS = ts
+		if !s.seenTS {
+			s.seenTS = true
+			s.lastBroadcast = ts
+		}
+	}
+	if len(dests) == len(s.workers) {
+		// A broadcast edge carries stream time to every shard by itself.
+		s.lastBroadcast = s.maxTS
+	} else if s.advanceEvery >= 0 && s.maxTS.Sub(s.lastBroadcast) >= s.advanceEvery {
+		for _, w := range s.workers {
+			if w.id != dests[0] && (len(dests) < 2 || w.id != dests[1]) {
+				w.enqueueAdvance(s.maxTS)
+			}
+		}
+		s.lastBroadcast = s.maxTS
+	}
+	return nil
+}
+
+// Advance broadcasts an explicit stream-time signal to every shard, exactly
+// like Dynamic.AdvanceTo on a single engine (the watermark trails ts by the
+// configured slack). It always reaches every shard — even when ts does not
+// exceed the maximum routed timestamp — because edge-time broadcasts are
+// throttled by AdvanceEvery and individual shards may lag well behind it;
+// per-shard watermarks are monotone, so a stale signal is harmless.
+func (s *ShardedEngine) Advance(ts graph.Timestamp) {
+	if !s.seenTS || ts > s.maxTS {
+		s.maxTS, s.seenTS = ts, true
+	}
+	if ts > s.lastBroadcast {
+		s.lastBroadcast = ts
+	}
+	for _, w := range s.workers {
+		if s.running {
+			w.enqueueAdvance(ts)
+		} else {
+			w.eng.Advance(ts)
+		}
+	}
+}
+
+// Close flushes the mailboxes, stops the workers and the merger, and closes
+// the Events channel. The engine can be Started again afterwards; dedup
+// state survives so a restart on the same stream does not re-report.
+func (s *ShardedEngine) Close() {
+	if !s.running {
+		return
+	}
+	for _, w := range s.workers {
+		w.stop()
+	}
+	for _, w := range s.workers {
+		w.wait()
+	}
+	close(s.out)
+	<-s.mergerDone
+	s.running = false
+}
+
+// Run streams src through the sharded engine: it starts the workers, routes
+// every edge, and invokes fn (when non-nil) for each deduplicated match
+// event. It returns the number of deduplicated matches. The engine is closed
+// when the source is exhausted.
+func (s *ShardedEngine) Run(src stream.Source, fn func(core.MatchEvent)) (int, error) {
+	s.Start()
+	total := 0
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for ev := range s.events {
+			total++
+			if fn != nil {
+				fn(ev)
+			}
+		}
+	}()
+	var procErr error
+	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
+		procErr = s.Process(se)
+		return procErr == nil
+	})
+	s.Close()
+	<-consumerDone
+	if procErr != nil {
+		return total, procErr
+	}
+	return total, err
+}
+
+// Metrics aggregates per-shard counters into the single-engine Metrics
+// shape. Work counters (EdgesProcessed, LocalSearches, live graph sizes, …)
+// are sums over shards and therefore include replicated edges; MatchesEmitted
+// and per-query Matches are post-deduplication counts as reported on Events.
+// Registrations reflects the front-end view (each query counted once).
+func (s *ShardedEngine) Metrics() core.Metrics {
+	snaps := make([]core.Metrics, len(s.workers))
+	for i, w := range s.workers {
+		snaps[i] = w.metrics(s.running)
+	}
+	var m core.Metrics
+	perQueryIdx := map[string]int{}
+	for _, sm := range snaps {
+		m.EdgesProcessed += sm.EdgesProcessed
+		m.EdgesDropped += sm.EdgesDropped
+		m.LocalSearches += sm.LocalSearches
+		m.PartialMatches += sm.PartialMatches
+		m.PartialsPruned += sm.PartialsPruned
+		m.PruneRuns += sm.PruneRuns
+		m.LiveEdges += sm.LiveEdges
+		m.LiveVertices += sm.LiveVertices
+		m.ExpiredEdges += sm.ExpiredEdges
+		for _, qm := range sm.Queries {
+			idx, ok := perQueryIdx[qm.Name]
+			if !ok {
+				idx = len(m.Queries)
+				perQueryIdx[qm.Name] = idx
+				m.Queries = append(m.Queries, core.QueryMetrics{Name: qm.Name, Strategy: qm.Strategy})
+			}
+			m.Queries[idx].PartialMatches += qm.PartialMatches
+			m.Queries[idx].LocalSearches += qm.LocalSearches
+		}
+	}
+	if len(snaps) > 0 {
+		m.Registrations = snaps[0].Registrations
+	}
+	unique, _, perQuery := s.dedup.stats()
+	m.MatchesEmitted = unique
+	for i := range m.Queries {
+		m.Queries[i].Matches = perQuery[m.Queries[i].Name]
+	}
+	return m
+}

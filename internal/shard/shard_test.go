@@ -1,0 +1,390 @@
+package shard_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/shard"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// smallNetflow is a laptop-scale netflow workload with all four Fig. 3 cyber
+// queries (every one has a hub vertex, so it exercises endpoint routing).
+func smallNetflow(window time.Duration, seed int64) gen.Workload {
+	cfg := gen.NetFlowConfig{
+		Hosts:       300,
+		Servers:     30,
+		Edges:       4000,
+		Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		MeanGap:     time.Millisecond,
+		ContactSkew: 1.4,
+		Seed:        seed,
+	}
+	return gen.NetFlowWorkload(cfg, window)
+}
+
+// smallNews is a laptop-scale news workload; its Fig. 2 co-mention query has
+// no hub vertex, so it exercises the broadcast fallback.
+func smallNews(window time.Duration) gen.Workload {
+	cfg := gen.NewsConfig{
+		Articles:           800,
+		Keywords:           150,
+		Locations:          25,
+		People:             200,
+		Orgs:               60,
+		KeywordsPerArticle: 3,
+		PeoplePerArticle:   2,
+		Start:              graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		Gap:                2 * time.Second,
+		KeywordSkew:        1.3,
+		Seed:               5,
+		EventClusters:      4,
+		EventArticles:      3,
+		EventSpan:          5 * time.Minute,
+	}
+	return gen.NewsWorkload(cfg, window, 2)
+}
+
+func requireEqualSets(t *testing.T, w gen.Workload, shards int) {
+	t.Helper()
+	single, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	if len(single) == 0 {
+		t.Fatalf("degenerate workload %q: no matches at all", w.Name)
+	}
+	sharded, m, err := gen.RunSharded(w, shards)
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if !single.Equal(sharded) {
+		t.Fatalf("workload %q: single engine found %d matches, %d-shard engine %d",
+			w.Name, len(single), shards, len(sharded))
+	}
+	if m.MatchesEmitted != uint64(len(sharded)) {
+		t.Fatalf("aggregated MatchesEmitted = %d, want %d deduplicated", m.MatchesEmitted, len(sharded))
+	}
+}
+
+func TestShardedEqualsSingleOnNetflow(t *testing.T) {
+	requireEqualSets(t, smallNetflow(time.Minute, 11), 4)
+}
+
+func TestShardedEqualsSingleOnNetflowTightWindow(t *testing.T) {
+	// A window shorter than the stream span forces edge expiry and pruning
+	// while matching is in flight; watermark broadcasts keep idle shards
+	// expiring at the same pace.
+	requireEqualSets(t, smallNetflow(2*time.Second, 13), 4)
+}
+
+func TestShardedEqualsSingleOnNews(t *testing.T) {
+	requireEqualSets(t, smallNews(5*time.Minute), 4)
+}
+
+func TestShardedEqualsSingleAcrossShardCounts(t *testing.T) {
+	w := smallNetflow(30*time.Second, 17)
+	single, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 8} {
+		sharded, _, err := gen.RunSharded(w, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !single.Equal(sharded) {
+			t.Fatalf("shards=%d: %d matches vs single %d", shards, len(sharded), len(single))
+		}
+	}
+}
+
+func TestShardedMetricsAggregate(t *testing.T) {
+	w := smallNetflow(time.Minute, 19)
+	_, m, err := gen.RunSharded(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Registrations != uint64(len(w.Queries)) {
+		t.Fatalf("Registrations = %d, want %d", m.Registrations, len(w.Queries))
+	}
+	if len(m.Queries) != len(w.Queries) {
+		t.Fatalf("per-query metrics for %d queries, want %d", len(m.Queries), len(w.Queries))
+	}
+	// Endpoint routing delivers each edge to at most two shards, so the
+	// summed EdgesProcessed is bounded by twice the stream (all netflow
+	// queries have hub vertices: nothing is broadcast).
+	n := uint64(len(w.Edges))
+	if m.EdgesProcessed < n || m.EdgesProcessed > 2*n {
+		t.Fatalf("EdgesProcessed = %d, want within [%d, %d]", m.EdgesProcessed, n, 2*n)
+	}
+	if m.LocalSearches == 0 {
+		t.Fatalf("no local searches counted")
+	}
+	var matches uint64
+	for _, qm := range m.Queries {
+		matches += qm.Matches
+	}
+	if matches != m.MatchesEmitted {
+		t.Fatalf("per-query matches %d do not sum to MatchesEmitted %d", matches, m.MatchesEmitted)
+	}
+}
+
+func TestShardedRegisterErrorsRollBack(t *testing.T) {
+	cfg := shard.DefaultConfig()
+	cfg.Engine.Retention = time.Second
+	s := shard.New(&cfg)
+	if err := s.RegisterQuery(nil); !errors.Is(err, core.ErrNilQuery) {
+		t.Fatalf("nil query: %v", err)
+	}
+	if err := s.RegisterQuery(gen.SmurfQuery(time.Second)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := s.RegisterQuery(gen.SmurfQuery(time.Second)); !errors.Is(err, core.ErrDuplicateQuery) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	// After the duplicate failure the engine still runs and matches.
+	w := smallNetflow(time.Second, 23)
+	set := make(gen.MatchSet)
+	if _, err := s.Run(w.Source(), func(ev core.MatchEvent) { set.Add(ev) }); err != nil {
+		t.Fatalf("run after failed registration: %v", err)
+	}
+}
+
+func TestShardedMidStreamRegistration(t *testing.T) {
+	cfg := shard.DefaultConfig()
+	cfg.Engine.Retention = time.Minute
+	s := shard.New(&cfg)
+	if err := s.RegisterQuery(gen.SmurfQuery(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	w := smallNetflow(30*time.Second, 29)
+	s.Start()
+	var got []core.MatchEvent
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for ev := range s.Events() {
+			got = append(got, ev)
+		}
+	}()
+	half := len(w.Edges) / 2
+	for _, se := range w.Edges[:half] {
+		s.Process(se)
+	}
+	// Mid-stream: a second query within retention registers on every shard...
+	if err := s.RegisterQuery(gen.WormQuery(30 * time.Second)); err != nil {
+		t.Fatalf("mid-stream registration: %v", err)
+	}
+	// ...while one needing more retention than is in force is rejected
+	// atomically (every shard has seen edges by now).
+	if err := s.RegisterQuery(gen.WormChainQuery(5 * time.Minute)); !errors.Is(err, core.ErrRetentionTooSmall) {
+		t.Fatalf("wide mid-stream registration: %v", err)
+	}
+	// Unregistering mid-stream stops the query everywhere; the rejected
+	// query must have left no partial registration behind.
+	if err := s.UnregisterQuery("smurf-ddos"); err != nil {
+		t.Fatalf("mid-stream unregister: %v", err)
+	}
+	if err := s.UnregisterQuery("worm-chain"); !errors.Is(err, core.ErrUnknownQuery) {
+		t.Fatalf("rolled-back query still present somewhere: %v", err)
+	}
+	for _, se := range w.Edges[half:] {
+		s.Process(se)
+	}
+	s.Close()
+	<-consumerDone
+	m := s.Metrics()
+	if len(m.Queries) != 1 || m.Queries[0].Name != "worm-hop" {
+		t.Fatalf("surviving registrations = %+v, want only worm-hop", m.Queries)
+	}
+	// No event for the unregistered query may postdate the second half of
+	// the stream: its shard-local state was dropped before those edges.
+	// (Events from the first half are fine.)
+	for _, ev := range got {
+		if ev.Query != "smurf-ddos" && ev.Query != "worm-hop" {
+			t.Fatalf("event for unknown query: %v", ev)
+		}
+	}
+}
+
+func TestShardedProcessBeforeStartErrors(t *testing.T) {
+	s := shard.New(nil)
+	if err := s.RegisterQuery(gen.SmurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	se := graph.StreamEdge{
+		Edge:       graph.Edge{ID: 1, Source: 1, Target: 2, Type: gen.EdgeICMPReq, Timestamp: 100},
+		SourceType: gen.TypeHost, TargetType: gen.TypeHost,
+	}
+	if err := s.Process(se); !errors.Is(err, shard.ErrNotRunning) {
+		t.Fatalf("Process before Start: %v, want ErrNotRunning", err)
+	}
+}
+
+func TestShardedHubFreeQueryRejectedMidStream(t *testing.T) {
+	w := smallNews(5 * time.Minute)
+	cfg := shard.DefaultConfig()
+	cfg.Engine = w.Engine
+	s := shard.New(&cfg)
+	// Before any edges: fine (this is how NewsWorkload runs normally).
+	if err := s.RegisterQuery(w.Queries[0]); err != nil {
+		t.Fatalf("pre-stream hub-free registration: %v", err)
+	}
+	if err := s.UnregisterQuery(w.Queries[0].Name()); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range s.Events() {
+		}
+	}()
+	for _, se := range w.Edges[:100] {
+		s.Process(se)
+	}
+	// Mid-stream the query's edge types were endpoint-partitioned, not
+	// broadcast: shards lack the history it needs, so it is rejected loudly
+	// instead of silently missing matches.
+	if err := s.RegisterQuery(w.Queries[0]); !errors.Is(err, shard.ErrBroadcastRequired) {
+		t.Fatalf("mid-stream hub-free registration: %v, want ErrBroadcastRequired", err)
+	}
+	// Hub queries are unaffected.
+	if err := s.RegisterQuery(gen.SmurfQuery(w.Engine.Retention)); err != nil {
+		t.Fatalf("mid-stream hub registration: %v", err)
+	}
+	s.Close()
+	<-done
+}
+
+func TestShardedExplicitAdvanceExpires(t *testing.T) {
+	cfg := shard.DefaultConfig()
+	cfg.Shards = 2
+	cfg.Engine.Retention = 10 * time.Second
+	s := shard.New(&cfg)
+	if err := s.RegisterQuery(gen.SmurfQuery(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(1000, 0))
+	s.Start()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range s.Events() {
+		}
+	}()
+	for i := 0; i < 64; i++ {
+		s.Process(graph.StreamEdge{
+			Edge: graph.Edge{
+				ID:        graph.EdgeID(i + 1),
+				Source:    graph.VertexID(i),
+				Target:    graph.VertexID(i + 1000),
+				Type:      gen.EdgeFlow,
+				Timestamp: base.Add(time.Duration(i) * time.Second / 4),
+			},
+			SourceType: gen.TypeHost,
+			TargetType: gen.TypeHost,
+		})
+	}
+	// Jump stream time far past the window on every shard: all edges expire
+	// even on shards that received nothing since.
+	s.Advance(base.Add(time.Hour))
+	s.Close()
+	<-done
+	m := s.Metrics()
+	if m.LiveEdges != 0 {
+		t.Fatalf("explicit advance left %d live edges", m.LiveEdges)
+	}
+	// Each edge is delivered to one or two shards; every delivered copy must
+	// have expired.
+	if m.ExpiredEdges < 64 || m.ExpiredEdges != m.EdgesProcessed {
+		t.Fatalf("ExpiredEdges = %d of %d processed", m.ExpiredEdges, m.EdgesProcessed)
+	}
+}
+
+func TestShardedAdvanceReachesLaggingShards(t *testing.T) {
+	// With edge-time broadcasts disabled, shards that stop receiving edges
+	// keep stale watermarks. An explicit Advance — even to a time not beyond
+	// the newest routed edge — must still reach them so they expire.
+	cfg := shard.DefaultConfig()
+	cfg.Engine.Retention = 10 * time.Second
+	cfg.AdvanceEvery = -1
+	s := shard.New(&cfg)
+	if err := s.RegisterQuery(gen.SmurfQuery(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(2000, 0))
+	edge := func(id int, src, dst graph.VertexID, ts graph.Timestamp) graph.StreamEdge {
+		return graph.StreamEdge{
+			Edge:       graph.Edge{ID: graph.EdgeID(id), Source: src, Target: dst, Type: gen.EdgeFlow, Timestamp: ts},
+			SourceType: gen.TypeHost, TargetType: gen.TypeHost,
+		}
+	}
+	s.Start()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range s.Events() {
+		}
+	}()
+	// Phase 1: spread edges across all shards at early timestamps.
+	for i := 0; i < 64; i++ {
+		s.Process(edge(i+1, graph.VertexID(i), graph.VertexID(i+500), base.Add(time.Duration(i)*10*time.Millisecond)))
+	}
+	// Phase 2: only the two shards owning this vertex pair see new edges
+	// (and hence newer watermarks); at least two shards lag behind.
+	last := base
+	for i := 0; i < 16; i++ {
+		last = base.Add(30*time.Second + time.Duration(i)*100*time.Millisecond)
+		s.Process(edge(1000+i, 7, 9, last))
+	}
+	m1 := s.Metrics()
+	// An advance exactly to the newest routed timestamp is not a no-op: it
+	// carries stream time to the shards phase 2 never touched.
+	s.Advance(last)
+	m2 := s.Metrics()
+	if m2.ExpiredEdges <= m1.ExpiredEdges {
+		t.Fatalf("Advance(maxTS) expired nothing on lagging shards: %d -> %d expired",
+			m1.ExpiredEdges, m2.ExpiredEdges)
+	}
+	s.Close()
+	<-done
+}
+
+// TestShardedRunViaFanOut drives per-shard sub-streams through the stream
+// fan-out adapter and checks the pump splits the same way the router does —
+// the adapter is the building block for external partitioned ingest.
+func TestShardedRunViaFanOut(t *testing.T) {
+	w := smallNetflow(30*time.Second, 31)
+	const n = 4
+	counts := make([]int, n)
+	outs, wait := stream.FanOut(w.Source(), n, 64, func(se graph.StreamEdge) []int {
+		return []int{int(se.Edge.ID) % n}
+	})
+	done := make(chan struct{}, n)
+	for i, src := range outs {
+		go func(i int, src stream.Source) {
+			edges, _ := stream.Collect(src)
+			counts[i] = len(edges)
+			done <- struct{}{}
+		}(i, src)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(w.Edges) {
+		t.Fatalf("fan-out lost edges: %d of %d", total, len(w.Edges))
+	}
+}

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"sync"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// msgKind discriminates mailbox messages.
+type msgKind uint8
+
+const (
+	msgEdge msgKind = iota
+	msgAdvance
+	msgCtrl
+)
+
+// ctrlOp discriminates control requests served in-band by the worker loop so
+// they serialize with edge processing.
+type ctrlOp uint8
+
+const (
+	opRegister ctrlOp = iota
+	opUnregister
+	opMetrics
+)
+
+// message is one mailbox entry: an edge, a watermark advance, or a control
+// request.
+type message struct {
+	kind msgKind
+	edge graph.StreamEdge
+	ts   graph.Timestamp
+	ctrl *ctrlReq
+}
+
+// ctrlReq is a synchronous control request; the worker answers on reply.
+type ctrlReq struct {
+	op    ctrlOp
+	query *query.Graph
+	opts  []core.RegistrationOption
+	name  string
+	reply chan ctrlResp
+}
+
+type ctrlResp struct {
+	err     error
+	name    string // assigned registration name (register)
+	metrics core.Metrics
+}
+
+// shardEvent is one entry on the shared merge channel: either a match event
+// or a progress mark announcing how far the shard's watermark has advanced.
+// Because a channel preserves each sender's order, a mark guarantees the
+// merger has already received every event this shard emitted before reaching
+// that watermark — the property the deduplicator's eviction relies on.
+type shardEvent struct {
+	ev   core.MatchEvent
+	mark bool
+	id   int             // sending shard (marks only)
+	ts   graph.Timestamp // shard watermark (marks only)
+}
+
+// markEvery is the number of processed edges between progress marks.
+const markEvery = 256
+
+// worker owns one shard: a core.Engine, the goroutine that drives it, and
+// the mailbox feeding it. The engine is only touched by the worker goroutine
+// while running; when stopped, the front-end calls it directly.
+type worker struct {
+	id  int
+	eng *core.Engine
+
+	in   chan message
+	out  chan<- shardEvent
+	done sync.WaitGroup
+}
+
+// start spawns the worker goroutine with a fresh mailbox.
+func (w *worker) start(buffer int, out chan<- shardEvent) {
+	w.in = make(chan message, buffer)
+	w.out = out
+	w.done.Add(1)
+	go w.loop()
+}
+
+// stop closes the mailbox; the worker drains it and exits.
+func (w *worker) stop() { close(w.in) }
+
+// wait blocks until the worker goroutine has exited.
+func (w *worker) wait() { w.done.Wait() }
+
+func (w *worker) loop() {
+	defer w.done.Done()
+	edges := 0
+	for msg := range w.in {
+		switch msg.kind {
+		case msgEdge:
+			for _, ev := range w.eng.ProcessEdge(msg.edge) {
+				w.out <- shardEvent{ev: ev}
+			}
+			if edges++; edges%markEvery == 0 {
+				w.sendMark()
+			}
+		case msgAdvance:
+			w.eng.Advance(msg.ts)
+			w.sendMark()
+		case msgCtrl:
+			msg.ctrl.reply <- w.serveCtrl(msg.ctrl)
+		}
+	}
+	w.sendMark()
+}
+
+func (w *worker) sendMark() {
+	w.out <- shardEvent{mark: true, id: w.id, ts: w.eng.Graph().Watermark()}
+}
+
+func (w *worker) serveCtrl(req *ctrlReq) ctrlResp {
+	switch req.op {
+	case opRegister:
+		reg, err := w.eng.RegisterQuery(req.query, req.opts...)
+		if err != nil {
+			return ctrlResp{err: err}
+		}
+		return ctrlResp{name: reg.Name()}
+	case opUnregister:
+		return ctrlResp{err: w.eng.UnregisterQuery(req.name)}
+	case opMetrics:
+		return ctrlResp{metrics: w.eng.Metrics()}
+	}
+	return ctrlResp{}
+}
+
+// roundTrip enqueues a control request and waits for the worker's answer,
+// serializing it behind the edges already in the mailbox.
+func (w *worker) roundTrip(req *ctrlReq) ctrlResp {
+	req.reply = make(chan ctrlResp, 1)
+	w.in <- message{kind: msgCtrl, ctrl: req}
+	return <-req.reply
+}
+
+// enqueueEdge delivers an edge to the shard (blocking when the mailbox is
+// full — backpressure to the stream driver).
+func (w *worker) enqueueEdge(se graph.StreamEdge) {
+	w.in <- message{kind: msgEdge, edge: se}
+}
+
+// enqueueAdvance delivers a watermark broadcast.
+func (w *worker) enqueueAdvance(ts graph.Timestamp) {
+	w.in <- message{kind: msgAdvance, ts: ts}
+}
+
+// register adds a query on this shard, via the mailbox when running.
+func (w *worker) register(running bool, q *query.Graph, opts []core.RegistrationOption) (string, error) {
+	if running {
+		resp := w.roundTrip(&ctrlReq{op: opRegister, query: q, opts: opts})
+		return resp.name, resp.err
+	}
+	reg, err := w.eng.RegisterQuery(q, opts...)
+	if err != nil {
+		return "", err
+	}
+	return reg.Name(), nil
+}
+
+// unregister removes a query on this shard, via the mailbox when running.
+func (w *worker) unregister(running bool, name string) error {
+	if running {
+		return w.roundTrip(&ctrlReq{op: opUnregister, name: name}).err
+	}
+	return w.eng.UnregisterQuery(name)
+}
+
+// metrics snapshots the shard engine's counters, via the mailbox when
+// running so the read serializes with edge processing.
+func (w *worker) metrics(running bool) core.Metrics {
+	if running {
+		return w.roundTrip(&ctrlReq{op: opMetrics}).metrics
+	}
+	return w.eng.Metrics()
+}

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"container/heap"
+	"errors"
+	"io"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// fanInHead is one source's frontier inside the merge heap: the next edge the
+// source will deliver plus the source itself.
+type fanInHead struct {
+	se  graph.StreamEdge
+	src Source
+	idx int // position in the FanIn argument list, used for stable ties
+}
+
+// fanInHeap orders heads by timestamp, breaking ties by source index so the
+// merged order is stable: on equal timestamps, edges from earlier sources come
+// first, and edges within one source keep their generation order (they are
+// pulled sequentially).
+type fanInHeap []fanInHead
+
+func (h fanInHeap) Len() int { return len(h) }
+func (h fanInHeap) Less(i, j int) bool {
+	if h[i].se.Edge.Timestamp != h[j].se.Edge.Timestamp {
+		return h[i].se.Edge.Timestamp < h[j].se.Edge.Timestamp
+	}
+	return h[i].idx < h[j].idx
+}
+func (h fanInHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *fanInHeap) Push(x any)   { *h = append(*h, x.(fanInHead)) }
+func (h *fanInHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// fanIn is the k-way merging Source returned by FanIn.
+type fanIn struct {
+	srcs    []Source
+	h       fanInHeap
+	started bool
+	err     error
+}
+
+// FanIn merges multiple time-ordered sources into a single time-ordered
+// source using a k-way heap merge: each Next is O(log k) in the number of
+// live inputs and only one edge per input is buffered. Ties are broken by
+// argument position (edges from earlier sources first), matching the
+// stability guarantee of SortByTimestamp over the concatenation. A non-EOF
+// error from any input fails the merged stream on the next call.
+func FanIn(srcs ...Source) Source {
+	return &fanIn{srcs: srcs}
+}
+
+// Next implements Source.
+func (f *fanIn) Next() (graph.StreamEdge, error) {
+	if f.err != nil {
+		return graph.StreamEdge{}, f.err
+	}
+	if !f.started {
+		f.started = true
+		f.h = make(fanInHeap, 0, len(f.srcs))
+		for i, src := range f.srcs {
+			if err := f.refill(src, i); err != nil {
+				f.err = err
+				return graph.StreamEdge{}, err
+			}
+		}
+		heap.Init(&f.h)
+	}
+	if len(f.h) == 0 {
+		return graph.StreamEdge{}, io.EOF
+	}
+	head := f.h[0]
+	next, err := head.src.Next()
+	switch {
+	case errors.Is(err, io.EOF):
+		heap.Pop(&f.h)
+	case err != nil:
+		// The buffered head edge was read successfully before the source
+		// failed: deliver it now and surface the error on the next call.
+		heap.Pop(&f.h)
+		f.err = err
+	default:
+		f.h[0].se = next
+		heap.Fix(&f.h, 0)
+	}
+	return head.se, nil
+}
+
+// refill reads the first edge of src into the (not yet heapified) frontier.
+func (f *fanIn) refill(src Source, idx int) error {
+	se, err := src.Next()
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	f.h = append(f.h, fanInHead{se: se, src: src, idx: idx})
+	return nil
+}
+
+// FanOut splits src into n channel-backed sources: a pump goroutine drains
+// src and forwards each edge to the outputs selected by route (duplicate and
+// out-of-range indexes are ignored; an empty selection drops the edge). All
+// outputs are closed when src is exhausted or fails. The returned wait
+// function blocks until the pump finishes and reports its error; it may be
+// called multiple times. Consumers must drain their sources (or run
+// concurrently) for the pump to make progress — the channels carry buffer
+// edges of slack each.
+func FanOut(src Source, n, buffer int, route func(graph.StreamEdge) []int) ([]Source, func() error) {
+	if buffer < 0 {
+		buffer = 0
+	}
+	chans := make([]chan graph.StreamEdge, n)
+	outs := make([]Source, n)
+	for i := range chans {
+		chans[i] = make(chan graph.StreamEdge, buffer)
+		outs[i] = NewChannelSource(chans[i])
+	}
+	var (
+		pumpErr error
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer func() {
+			for _, ch := range chans {
+				close(ch)
+			}
+			close(done)
+		}()
+		_, pumpErr = Replay(src, func(se graph.StreamEdge) bool {
+			dests := route(se)
+			for i, d := range dests {
+				if d < 0 || d >= n || contains(dests[:i], d) {
+					continue
+				}
+				chans[d] <- se
+			}
+			return true
+		})
+	}()
+	wait := func() error {
+		<-done
+		return pumpErr
+	}
+	return outs, wait
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

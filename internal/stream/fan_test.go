@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+func TestFanInMergesSortedSources(t *testing.T) {
+	a := makeEdges(4, 100, 10) // 100,110,120,130
+	b := makeEdges(3, 95, 10)  // 95,105,115
+	var c []graph.StreamEdge   // empty stream must be harmless
+	fi := FanIn(NewSliceSource(a), NewSliceSource(b), NewSliceSource(c))
+	got, err := Collect(fi)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("merged %d edges, want 7", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Edge.Timestamp > got[i].Edge.Timestamp {
+			t.Fatalf("not time ordered at %d: %v", i, got)
+		}
+	}
+	if _, err := fi.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("exhausted FanIn: %v", err)
+	}
+}
+
+func TestFanInStableTies(t *testing.T) {
+	a := []graph.StreamEdge{
+		{Edge: graph.Edge{ID: 1, Timestamp: 5}},
+		{Edge: graph.Edge{ID: 2, Timestamp: 5}},
+	}
+	b := []graph.StreamEdge{
+		{Edge: graph.Edge{ID: 3, Timestamp: 5}},
+	}
+	got := Merge(a, b)
+	want := []graph.EdgeID{1, 2, 3}
+	for i, id := range want {
+		if got[i].Edge.ID != id {
+			t.Fatalf("tie order = %v %v %v, want 1 2 3", got[0].Edge.ID, got[1].Edge.ID, got[2].Edge.ID)
+		}
+	}
+}
+
+func TestFanInPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	bad := FuncSource(func() (graph.StreamEdge, error) { return graph.StreamEdge{}, boom })
+	fi := FanIn(NewSliceSource(makeEdges(2, 0, 1)), bad)
+	if _, err := fi.Next(); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// The failure is sticky.
+	if _, err := fi.Next(); !errors.Is(err, boom) {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+func TestFanInDeliversBufferedEdgeBeforeError(t *testing.T) {
+	// A source that fails after yielding one edge: the edge it delivered
+	// must come through before the failure surfaces.
+	boom := errors.New("boom")
+	one := makeEdges(1, 5, 1)
+	calls := 0
+	flaky := FuncSource(func() (graph.StreamEdge, error) {
+		calls++
+		if calls == 1 {
+			return one[0], nil
+		}
+		return graph.StreamEdge{}, boom
+	})
+	fi := FanIn(flaky)
+	se, err := fi.Next()
+	if err != nil || se.Edge.ID != one[0].Edge.ID {
+		t.Fatalf("buffered edge lost: %v, %v", se, err)
+	}
+	if _, err := fi.Next(); !errors.Is(err, boom) {
+		t.Fatalf("deferred error not surfaced: %v", err)
+	}
+}
+
+func TestMergeMatchesSortOnRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var streams [][]graph.StreamEdge
+	var all []graph.StreamEdge
+	id := graph.EdgeID(1)
+	for s := 0; s < 5; s++ {
+		n := rng.Intn(50)
+		edges := make([]graph.StreamEdge, n)
+		ts := graph.Timestamp(rng.Intn(100))
+		for i := range edges {
+			ts += graph.Timestamp(rng.Intn(5)) // non-decreasing, with ties
+			edges[i] = graph.StreamEdge{Edge: graph.Edge{ID: id, Timestamp: ts}}
+			id++
+		}
+		streams = append(streams, edges)
+		all = append(all, edges...)
+	}
+	want := append([]graph.StreamEdge(nil), all...)
+	SortByTimestamp(want)
+	got := Merge(streams...)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d edges, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		return got[i].Edge.Timestamp < got[j].Edge.Timestamp
+	}) {
+		t.Fatalf("merge output not sorted")
+	}
+	for i := range got {
+		if got[i].Edge.Timestamp != want[i].Edge.Timestamp {
+			t.Fatalf("merge diverges from stable sort at %d", i)
+		}
+	}
+}
+
+func TestFanOutRoutesAndCloses(t *testing.T) {
+	edges := makeEdges(20, 0, 1)
+	outs, wait := FanOut(NewSliceSource(edges), 3, 4, func(se graph.StreamEdge) []int {
+		switch {
+		case se.Edge.ID%5 == 0:
+			return []int{0, 1, 2, 2, -1, 99} // duplicates and junk ignored
+		case se.Edge.ID%2 == 0:
+			return []int{0, 1}
+		default:
+			return []int{int(se.Edge.ID) % 3}
+		}
+	})
+	type res struct {
+		edges []graph.StreamEdge
+		err   error
+	}
+	results := make([]res, len(outs))
+	done := make(chan int, len(outs))
+	for i, src := range outs {
+		go func(i int, src Source) {
+			es, err := Collect(src)
+			results[i] = res{es, err}
+			done <- i
+		}(i, src)
+	}
+	for range outs {
+		<-done
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("pump error: %v", err)
+	}
+	counts := map[graph.EdgeID]int{}
+	total := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("consumer %d: %v", i, r.err)
+		}
+		total += len(r.edges)
+		for _, se := range r.edges {
+			counts[se.Edge.ID]++
+		}
+	}
+	for _, se := range edges {
+		id := se.Edge.ID
+		want := 1
+		if id%5 == 0 {
+			want = 3
+		} else if id%2 == 0 {
+			want = 2
+		}
+		if counts[id] != want {
+			t.Fatalf("edge %d delivered %d times, want %d", id, counts[id], want)
+		}
+	}
+	// 4 multiples of 5 delivered thrice, 8 other evens twice, 8 odds once.
+	if total != 4*3+8*2+8 {
+		t.Fatalf("total deliveries = %d, want 36", total)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	const k = 8
+	const per = 20_000
+	streams := make([][]graph.StreamEdge, k)
+	for s := range streams {
+		streams[s] = makeEdges(per, graph.Timestamp(s), k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Merge(streams...)
+		if len(out) != k*per {
+			b.Fatalf("merged %d", len(out))
+		}
+	}
+}

@@ -116,16 +116,25 @@ func SortByTimestamp(edges []graph.StreamEdge) {
 }
 
 // Merge combines multiple already-sorted edge slices into one time-ordered
-// slice.
+// slice with a true k-way merge (O(n log k) for n total edges across k
+// streams, instead of re-sorting the concatenation in O(n log n)). Ties keep
+// the order of the argument list, then generation order within each slice,
+// matching what SortByTimestamp over the concatenation produced.
 func Merge(streams ...[]graph.StreamEdge) []graph.StreamEdge {
 	total := 0
-	for _, s := range streams {
+	srcs := make([]Source, len(streams))
+	for i, s := range streams {
 		total += len(s)
+		srcs[i] = NewSliceSource(s)
 	}
 	out := make([]graph.StreamEdge, 0, total)
-	for _, s := range streams {
-		out = append(out, s...)
+	fi := FanIn(srcs...)
+	for {
+		se, err := fi.Next()
+		if err != nil {
+			// SliceSources only ever fail with io.EOF.
+			return out
+		}
+		out = append(out, se)
 	}
-	SortByTimestamp(out)
-	return out
 }
