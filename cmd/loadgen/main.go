@@ -1,0 +1,355 @@
+// Command loadgen replays a generated StreamWorks workload (netflow or
+// news) against a live streamworksd over HTTP and reports throughput and
+// end-to-end match latency. It drives the server exactly like a production
+// feeder: queries registered through the DSL endpoint, edges pushed as
+// NDJSON batches with 429 backoff, matches consumed from a streaming
+// subscription while ingest is running.
+//
+//	loadgen -addr http://127.0.0.1:8090 -workload netflow -edges 100000
+//	loadgen -json -out BENCH_server.json   # machine-readable results
+//	loadgen -dump edges.ndjson             # write the stream for curl replay
+//
+// Match latency is measured per match as the wall-clock gap between the
+// moment the last edge of the match was handed to the server and the moment
+// the match report arrived on the subscription — the full detect-and-deliver
+// path through queue, shards, dedup and fan-out.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/client"
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/gen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8090", "server base URL")
+		workload = flag.String("workload", "netflow", "workload to replay: netflow or news")
+		edges    = flag.Int("edges", 100_000, "background edges (netflow)")
+		hosts    = flag.Int("hosts", 2000, "hosts (netflow)")
+		articles = flag.Int("articles", 2000, "articles (news)")
+		window   = flag.Duration("window", time.Minute, "query window")
+		batch    = flag.Int("batch", 1024, "edges per ingest request")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		jsonOut  = flag.Bool("json", false, "write machine-readable results")
+		outPath  = flag.String("out", "BENCH_server.json", "path for -json results")
+		dumpPath = flag.String("dump", "", "write the workload as NDJSON to this file and exit")
+	)
+	flag.Parse()
+
+	w := buildWorkload(*workload, *edges, *hosts, *articles, *window, *seed)
+	if *dumpPath != "" {
+		f, err := os.Create(*dumpPath)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		if err := w.NDJSON(f); err != nil {
+			log.Fatalf("loadgen: encoding workload: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		log.Printf("loadgen: wrote %d edges to %s", len(w.Edges), *dumpPath)
+		return
+	}
+
+	c := client.New(*addr)
+	ctx := context.Background()
+	waitHealthy(ctx, c, 10*time.Second)
+
+	for _, q := range w.Queries {
+		if _, err := c.RegisterQuery(ctx, q); err != nil {
+			log.Fatalf("loadgen: registering %q: %v", q.Name(), err)
+		}
+	}
+
+	// Track when each edge was handed to the server so the subscriber can
+	// compute per-match detect-and-deliver latency.
+	var (
+		sendMu    sync.Mutex
+		sendTimes = make(map[uint64]time.Time, len(w.Edges))
+	)
+	subCtx, cancelSub := context.WithCancel(ctx)
+	sub, err := c.SubscribeMatches(subCtx, "")
+	if err != nil {
+		log.Fatalf("loadgen: subscribing: %v", err)
+	}
+	var (
+		latMu     sync.Mutex
+		latencies []float64 // milliseconds
+		matches   int
+	)
+	// Set when the subscription ends before we cancel it ourselves — the
+	// server evicted us for falling behind, so match counts and latency
+	// percentiles below are truncated and must be flagged, not reported as
+	// complete.
+	var truncated atomic.Bool
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		for {
+			rep, err := sub.Next()
+			if err != nil {
+				if subCtx.Err() == nil {
+					truncated.Store(true)
+					log.Printf("loadgen: match stream ended early (evicted as a slow consumer?): %v", err)
+				}
+				return
+			}
+			now := time.Now()
+			var last time.Time
+			sendMu.Lock()
+			for _, id := range rep.EdgeIDs {
+				if t, ok := sendTimes[id]; ok && t.After(last) {
+					last = t
+				}
+			}
+			sendMu.Unlock()
+			latMu.Lock()
+			matches++
+			if !last.IsZero() {
+				latencies = append(latencies, float64(now.Sub(last))/float64(time.Millisecond))
+			}
+			latMu.Unlock()
+		}
+	}()
+
+	var rejected uint64
+	start := time.Now()
+	for i := 0; i < len(w.Edges); i += *batch {
+		j := min(i+*batch, len(w.Edges))
+		chunk := w.Edges[i:j]
+		for {
+			// Stamp immediately before each attempt so a shed-and-retried
+			// batch's latency excludes our own backoff sleeps but still
+			// precedes the hand-off (no match can beat its stamp).
+			now := time.Now()
+			sendMu.Lock()
+			for _, se := range chunk {
+				sendTimes[uint64(se.Edge.ID)] = now
+			}
+			sendMu.Unlock()
+			_, err := c.IngestBatch(ctx, chunk, false)
+			if err == nil {
+				break
+			}
+			if client.IsOverloaded(err) {
+				rejected++
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			log.Fatalf("loadgen: ingest: %v", err)
+		}
+	}
+	// Flush: an empty wait batch returns only after everything queued ahead
+	// of it has been routed to the shards.
+	if _, err := c.IngestBatch(ctx, nil, true); err != nil {
+		log.Fatalf("loadgen: flush: %v", err)
+	}
+	ingestDur := time.Since(start)
+
+	metrics := settle(ctx, c)
+	cancelSub()
+	sub.Close()
+	<-subDone
+
+	latMu.Lock()
+	defer latMu.Unlock()
+	eps := float64(len(w.Edges)) / ingestDur.Seconds()
+	res := benchResult{
+		Workload:     w.Name,
+		Edges:        len(w.Edges),
+		Batch:        *batch,
+		Shards:       len(metrics.Shards),
+		IngestSecs:   ingestDur.Seconds(),
+		EdgesPerSec:  eps,
+		Matches:      matches,
+		Truncated:    truncated.Load(),
+		Rejected429:  rejected,
+		LatencyMS:    summarize(latencies),
+		ServerSide:   metrics.Server,
+		EngineTotals: engineCounters(metrics.Engine),
+	}
+	for i, sm := range metrics.Shards {
+		res.PerShard = append(res.PerShard, shardCounters{Shard: i,
+			EdgesProcessed: sm.EdgesProcessed,
+			MatchesEmitted: sm.MatchesEmitted,
+			LocalSearches:  sm.LocalSearches,
+			LiveEdges:      sm.LiveEdges,
+		})
+	}
+
+	fmt.Printf("workload=%s edges=%d batch=%d shards=%d\n", res.Workload, res.Edges, res.Batch, res.Shards)
+	fmt.Printf("ingest: %.2fs (%.0f edges/sec, %d batches shed with 429)\n", res.IngestSecs, res.EdgesPerSec, rejected)
+	note := ""
+	if res.Truncated {
+		note = " [TRUNCATED: subscriber evicted mid-run]"
+	}
+	fmt.Printf("matches: %d delivered%s (latency ms p50=%.1f p90=%.1f p99=%.1f max=%.1f)\n",
+		res.Matches, note, res.LatencyMS.P50, res.LatencyMS.P90, res.LatencyMS.P99, res.LatencyMS.Max)
+	for _, sc := range res.PerShard {
+		fmt.Printf("  shard %d: edges=%d matches(pre-dedup)=%d searches=%d live=%d\n",
+			sc.Shard, sc.EdgesProcessed, sc.MatchesEmitted, sc.LocalSearches, sc.LiveEdges)
+	}
+
+	if *jsonOut {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatalf("loadgen: writing %s: %v", *outPath, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		log.Printf("loadgen: wrote %s", *outPath)
+	}
+}
+
+func buildWorkload(name string, edges, hosts, articles int, window time.Duration, seed int64) gen.Workload {
+	switch name {
+	case "netflow":
+		cfg := gen.DefaultNetFlowConfig()
+		cfg.Edges = edges
+		cfg.Hosts = hosts
+		cfg.Servers = max(hosts/20, 1)
+		cfg.Seed = seed
+		return gen.NetFlowWorkload(cfg, window)
+	case "news":
+		cfg := gen.DefaultNewsConfig()
+		cfg.Articles = articles
+		cfg.Seed = seed
+		return gen.NewsWorkload(cfg, window, 2)
+	default:
+		log.Fatalf("loadgen: unknown workload %q (want netflow or news)", name)
+		panic("unreachable")
+	}
+}
+
+func waitHealthy(ctx context.Context, c *client.Client, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := c.Health(hctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("loadgen: server not healthy after %s: %v", timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// settle polls metrics until the deduplicated match count stops moving, so
+// in-flight matches still crossing shards and the fan-out are counted.
+func settle(ctx context.Context, c *client.Client) *serverMetrics {
+	var last uint64
+	stable := 0
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			log.Fatalf("loadgen: metrics: %v", err)
+		}
+		if m.Engine.MatchesEmitted == last {
+			stable++
+		} else {
+			stable = 0
+			last = m.Engine.MatchesEmitted
+		}
+		if stable >= 3 || time.Now().After(deadline) {
+			return &serverMetrics{Engine: m.Engine, Shards: m.Shards, Server: m.Server}
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+type serverMetrics struct {
+	Engine core.Metrics
+	Shards []core.Metrics
+	Server any
+}
+
+type latencySummary struct {
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"`
+}
+
+func summarize(ms []float64) latencySummary {
+	if len(ms) == 0 {
+		return latencySummary{}
+	}
+	sort.Float64s(ms)
+	pick := func(p float64) float64 {
+		idx := int(p * float64(len(ms)-1))
+		return ms[idx]
+	}
+	return latencySummary{
+		Samples: len(ms),
+		P50:     pick(0.50),
+		P90:     pick(0.90),
+		P99:     pick(0.99),
+		Max:     ms[len(ms)-1],
+	}
+}
+
+type shardCounters struct {
+	Shard          int    `json:"shard"`
+	EdgesProcessed uint64 `json:"edges_processed"`
+	MatchesEmitted uint64 `json:"matches_pre_dedup"`
+	LocalSearches  uint64 `json:"local_searches"`
+	LiveEdges      int    `json:"live_edges"`
+}
+
+type engineTotals struct {
+	EdgesProcessed uint64 `json:"edges_processed"`
+	MatchesEmitted uint64 `json:"matches_emitted"`
+	LocalSearches  uint64 `json:"local_searches"`
+	PartialsPruned uint64 `json:"partials_pruned"`
+	ExpiredEdges   uint64 `json:"expired_edges"`
+}
+
+func engineCounters(m core.Metrics) engineTotals {
+	return engineTotals{
+		EdgesProcessed: m.EdgesProcessed,
+		MatchesEmitted: m.MatchesEmitted,
+		LocalSearches:  m.LocalSearches,
+		PartialsPruned: m.PartialsPruned,
+		ExpiredEdges:   m.ExpiredEdges,
+	}
+}
+
+type benchResult struct {
+	Workload     string          `json:"workload"`
+	Edges        int             `json:"edges"`
+	Batch        int             `json:"batch"`
+	Shards       int             `json:"shards"`
+	IngestSecs   float64         `json:"ingest_seconds"`
+	EdgesPerSec  float64         `json:"edges_per_sec"`
+	Matches      int             `json:"matches_delivered"`
+	Truncated    bool            `json:"subscription_truncated"`
+	Rejected429  uint64          `json:"batches_shed_429"`
+	LatencyMS    latencySummary  `json:"match_latency_ms"`
+	EngineTotals engineTotals    `json:"engine"`
+	PerShard     []shardCounters `json:"per_shard"`
+	ServerSide   any             `json:"server"`
+}

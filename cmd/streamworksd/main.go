@@ -1,0 +1,84 @@
+// Command streamworksd is the StreamWorks daemon: the continuous graph
+// query engine, sharded across cores, served over HTTP. Register queries in
+// the text DSL, stream NDJSON edges at it, and subscribe to matches:
+//
+//	streamworksd -addr :8090 -shards 4 -retention 10m
+//	curl -X POST --data-binary @query.swq  localhost:8090/v1/queries
+//	curl -X POST --data-binary @edges.ndjson localhost:8090/v1/edges
+//	curl -N 'localhost:8090/v1/matches?query=smurf-ddos'
+//
+// SIGINT/SIGTERM drain gracefully: queued edge batches flush through the
+// shards and every match subscriber's stream ends cleanly before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/server"
+	"github.com/streamworks/streamworks/internal/shard"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "HTTP listen address")
+		shards    = flag.Int("shards", 4, "number of engine shards")
+		retention = flag.Duration("retention", 0, "sliding window width (0 = retain everything; query windows widen it)")
+		slack     = flag.Duration("slack", 0, "tolerated out-of-order arrival lag")
+		summaries = flag.Bool("summaries", true, "collect stream statistics for the selective planner")
+		triad     = flag.Int("triad-sampling", 10, "1-in-n triad sampling rate (0 disables)")
+		mailbox   = flag.Int("mailbox", 1024, "per-shard mailbox depth (messages)")
+		queue     = flag.Int("queue", 64, "ingest queue depth (batches); full queue answers 429")
+		subBuffer = flag.Int("sub-buffer", 256, "per-subscriber match buffer; overflow evicts the subscriber")
+		maxBatch  = flag.Int("max-batch", 65536, "maximum edges accepted per ingest request")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Shard: shard.Config{
+			Shards: *shards,
+			Buffer: *mailbox,
+			Engine: core.Config{
+				Retention:       *retention,
+				Slack:           *slack,
+				EnableSummaries: *summaries,
+				TriadSampling:   *triad,
+			},
+		},
+		QueueDepth:       *queue,
+		SubscriberBuffer: *subBuffer,
+		MaxBatchEdges:    *maxBatch,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("streamworksd: listening on %s (shards=%d retention=%s slack=%s)",
+			*addr, *shards, *retention, *slack)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("streamworksd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("streamworksd: draining (flushing shards, closing subscribers)")
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("streamworksd: shutdown: %v", err)
+	}
+	log.Printf("streamworksd: bye")
+}

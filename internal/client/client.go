@@ -1,0 +1,240 @@
+// Package client is the typed Go client for the StreamWorks HTTP API
+// (internal/server). It registers queries (serializing query.Graph values
+// back into the text DSL), pushes NDJSON edge batches with the same wire
+// encoder the server decodes with, streams match reports with incremental
+// decoding, and fetches metrics. The end-to-end tests and cmd/loadgen drive
+// live servers exclusively through it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/export"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/loader"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/server"
+)
+
+// Client talks to one streamworksd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for every request. The
+// client must not enforce an overall request timeout if SubscribeMatches is
+// used (match streams are long-lived); use per-call contexts instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at baseURL (e.g. "http://127.0.0.1:8090").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsOverloaded reports whether err is the server shedding ingest load
+// (HTTP 429); the caller should back off and retry.
+func IsOverloaded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var er struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", "", nil, nil)
+}
+
+// RegisterQuery serializes q into the text DSL and registers it.
+func (c *Client) RegisterQuery(ctx context.Context, q *query.Graph) (*server.RegisterResponse, error) {
+	return c.RegisterQueryDSL(ctx, query.Format(q))
+}
+
+// RegisterQueryDSL registers a query written in the text DSL.
+func (c *Client) RegisterQueryDSL(ctx context.Context, dsl string) (*server.RegisterResponse, error) {
+	var out server.RegisterResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/queries", "text/plain; charset=utf-8",
+		strings.NewReader(dsl), &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UnregisterQuery removes a registered query by name.
+func (c *Client) UnregisterQuery(ctx context.Context, name string) error {
+	return c.roundTrip(ctx, http.MethodDelete, "/v1/queries/"+url.PathEscape(name), "", nil, nil)
+}
+
+// Queries lists the registered queries.
+func (c *Client) Queries(ctx context.Context) ([]server.QueryInfo, error) {
+	var out []server.QueryInfo
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/queries", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QueryDSL fetches one registered query rendered back as DSL text.
+func (c *Client) QueryDSL(ctx context.Context, name string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/queries/"+url.PathEscape(name), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// IngestBatch encodes edges as NDJSON (the loader wire format) and posts
+// them. wait=true blocks until the batch has been routed to the shards;
+// wait=false returns as soon as the batch is queued. A full ingest queue
+// surfaces as an *APIError with status 429 (check with IsOverloaded).
+func (c *Client) IngestBatch(ctx context.Context, edges []graph.StreamEdge, wait bool) (*server.IngestResponse, error) {
+	var buf bytes.Buffer
+	if err := loader.WriteJSONL(&buf, edges); err != nil {
+		return nil, err
+	}
+	return c.IngestReader(ctx, &buf, wait)
+}
+
+// IngestReader posts an NDJSON edge stream (e.g. a Workload.NDJSON dump or
+// a file) without re-encoding.
+func (c *Client) IngestReader(ctx context.Context, r io.Reader, wait bool) (*server.IngestResponse, error) {
+	path := "/v1/edges"
+	if wait {
+		path += "?wait=1"
+	}
+	var out server.IngestResponse
+	if err := c.roundTrip(ctx, http.MethodPost, path, "application/x-ndjson", r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Advance broadcasts an explicit stream-time signal to every shard.
+func (c *Client) Advance(ctx context.Context, ts graph.Timestamp) error {
+	body, _ := json.Marshal(server.AdvanceRequest{TS: int64(ts)})
+	return c.roundTrip(ctx, http.MethodPost, "/v1/advance", "application/json",
+		bytes.NewReader(body), nil)
+}
+
+// Metrics fetches engine, per-shard and serving-layer counters.
+func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
+	var out server.MetricsResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/metrics", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Subscription is a live match stream. Read reports with Next until it
+// returns io.EOF: the server ended the stream, either because it drained
+// gracefully or because this subscriber fell too far behind and was evicted
+// (resubscribe in that case). Always Close a subscription when done.
+type Subscription struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+}
+
+// SubscribeMatches opens a streaming NDJSON subscription. queryName filters
+// to one registered query; empty subscribes to all. Cancelling ctx tears the
+// stream down (Next will return the context error).
+func (c *Client) SubscribeMatches(ctx context.Context, queryName string) (*Subscription, error) {
+	path := "/v1/matches"
+	if queryName != "" {
+		path += "?query=" + url.QueryEscape(queryName)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return &Subscription{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// Next blocks for the next match report. io.EOF signals a clean end of
+// stream (server drain or slow-consumer eviction).
+func (s *Subscription) Next() (export.MatchReport, error) {
+	var rep export.MatchReport
+	err := s.dec.Decode(&rep)
+	return rep, err
+}
+
+// Close releases the underlying connection.
+func (s *Subscription) Close() error { return s.body.Close() }

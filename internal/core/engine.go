@@ -168,7 +168,6 @@ func (e *Engine) RegisterQuery(q *query.Graph, opts ...RegistrationOption) (*Reg
 	}
 	e.registrations[name] = reg
 	e.order = append(e.order, name)
-	e.metrics.Registrations++
 	return reg, nil
 }
 
@@ -294,6 +293,7 @@ func (e *Engine) pruneAll() {
 // Metrics returns a snapshot of engine counters, including per-query detail.
 func (e *Engine) Metrics() Metrics {
 	m := e.metrics
+	m.Registrations = uint64(len(e.registrations))
 	m.LiveEdges = e.dyn.NumEdges()
 	m.LiveVertices = e.dyn.NumVertices()
 	m.ExpiredEdges = e.dyn.ExpiredTotal()

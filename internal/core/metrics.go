@@ -26,7 +26,9 @@ type Metrics struct {
 	PartialsPruned uint64
 	// PruneRuns is the number of pruning sweeps executed.
 	PruneRuns uint64
-	// Registrations is the number of queries ever registered.
+	// Registrations is the number of currently registered (active) queries;
+	// unregistering a query decreases it, keeping the snapshot truthful for
+	// long-lived multi-tenant servers.
 	Registrations uint64
 	// LiveEdges / LiveVertices describe the current dynamic graph size.
 	LiveEdges    int

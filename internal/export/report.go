@@ -30,6 +30,11 @@ type MatchReport struct {
 	SpanEnd    int64     `json:"span_end"`
 	Bindings   []Binding `json:"bindings"`
 	EdgeIDs    []uint64  `json:"edge_ids"`
+	// Signature is the match's canonical identity (the sorted pattern-edge →
+	// data-edge binding, match.Match.Signature). Together with Query it lets
+	// remote consumers deduplicate redelivered reports and compare match sets
+	// across runs without access to the Match value itself.
+	Signature string `json:"signature"`
 }
 
 // BuildReport resolves a match event into a MatchReport using the query
@@ -41,6 +46,7 @@ func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport
 		DetectedAt: int64(ev.DetectedAt),
 		SpanStart:  int64(ev.Match.Span.Start),
 		SpanEnd:    int64(ev.Match.Span.End),
+		Signature:  ev.Match.Signature(),
 	}
 	var qvIDs []int
 	for qv := range ev.Match.Vertices {

@@ -1,10 +1,12 @@
 package gen
 
 import (
+	"io"
 	"time"
 
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/shard"
 	"github.com/streamworks/streamworks/internal/stream"
@@ -23,6 +25,13 @@ type Workload struct {
 
 // Source returns a replayable source over the workload's edges.
 func (w Workload) Source() stream.Source { return stream.NewSliceSource(w.Edges) }
+
+// NDJSON writes the workload's edge stream in the JSON Lines wire format
+// shared by the loader and the HTTP ingest endpoint (POST /v1/edges): one
+// edge object per line, attribute kinds preserved. The load driver, server
+// tests and curl-based ingestion all serialize edges through this single
+// encoder so there is exactly one wire format.
+func (w Workload) NDJSON(out io.Writer) error { return loader.WriteJSONL(out, w.Edges) }
 
 // NetFlowWorkload builds the internet-traffic evaluation workload: the
 // background stream of cfg with smurf, worm and exfiltration attacks woven
@@ -84,7 +93,15 @@ type MatchSet map[string]struct{}
 
 // Add records an event's canonical key.
 func (s MatchSet) Add(ev core.MatchEvent) {
-	s[ev.Query+"\x1f"+ev.Match.Signature()] = struct{}{}
+	s.AddKey(ev.Query, ev.Match.Signature())
+}
+
+// AddKey records a match identified by (query, signature) — the form a
+// remote consumer sees in an export.MatchReport — under the same canonical
+// key Add derives from an engine event, so HTTP-delivered match streams can
+// be compared against in-process runs.
+func (s MatchSet) AddKey(query, signature string) {
+	s[query+"\x1f"+signature] = struct{}{}
 }
 
 // Equal reports set equality.

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// requireRoundTrip formats q, re-parses the text, and asserts the rebuilt
+// query graph is structurally identical: same name, window, vertex list
+// (names, types, predicates) and edge list (endpoints, types, direction,
+// predicates) in the same ID order.
+func requireRoundTrip(t *testing.T, q *Graph) {
+	t.Helper()
+	text := Format(q)
+	got, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parsing Format output failed: %v\n%s", err, text)
+	}
+	if got.Name() != q.Name() {
+		t.Fatalf("name: got %q, want %q", got.Name(), q.Name())
+	}
+	if got.Window() != q.Window() {
+		t.Fatalf("window: got %s, want %s", got.Window(), q.Window())
+	}
+	if got.NumVertices() != q.NumVertices() || got.NumEdges() != q.NumEdges() {
+		t.Fatalf("shape: got %dv/%de, want %dv/%de\n%s",
+			got.NumVertices(), got.NumEdges(), q.NumVertices(), q.NumEdges(), text)
+	}
+	for i := 0; i < q.NumVertices(); i++ {
+		a, b := q.Vertex(VertexID(i)), got.Vertex(VertexID(i))
+		if a.String() != b.String() {
+			t.Fatalf("vertex %d: got %q, want %q", i, b.String(), a.String())
+		}
+	}
+	for i := 0; i < q.NumEdges(); i++ {
+		a, b := q.Edge(EdgeID(i)), got.Edge(EdgeID(i))
+		if a.Source != b.Source || a.Target != b.Target ||
+			a.Type != b.Type || a.AnyDirection != b.AnyDirection {
+			t.Fatalf("edge %d: got %+v, want %+v", i, b, a)
+		}
+		if len(a.Preds) != len(b.Preds) {
+			t.Fatalf("edge %d predicates: got %d, want %d", i, len(b.Preds), len(a.Preds))
+		}
+		for j := range a.Preds {
+			if a.Preds[j].String() != b.Preds[j].String() {
+				t.Fatalf("edge %d pred %d: got %q, want %q",
+					i, j, b.Preds[j].String(), a.Preds[j].String())
+			}
+		}
+	}
+}
+
+func TestFormatRoundTripAllFeatures(t *testing.T) {
+	q := NewBuilder("kitchen-sink").
+		Window(10*time.Minute).
+		Vertex("a", "Host", Eq("role", graph.String("server farm")), Gt("load", graph.Float(1.5))).
+		Vertex("b", "Host", Exists("patched"), Ne("zone", graph.Int(3))).
+		Vertex("c", "", Contains("name", "corp")).
+		Edge("a", "b", "flow", Gt("bytes", graph.Int(1_000_000)), Eq("tcp", graph.Bool(true))).
+		UndirectedEdge("b", "c", "peer").
+		Edge("a", "c", "").
+		UndirectedEdge("a", "b", "").
+		MustBuild()
+	requireRoundTrip(t, q)
+}
+
+func TestFormatRoundTripUnnamedUnbounded(t *testing.T) {
+	q := NewBuilder("").
+		Vertex("x", "T").
+		Vertex("y", "").
+		Edge("x", "y", "t").
+		MustBuild()
+	requireRoundTrip(t, q)
+	if text := Format(q); text[:6] == "query" {
+		t.Fatalf("unnamed query must not emit a query directive:\n%s", text)
+	}
+}
+
+func TestFormatRoundTripParsedDSL(t *testing.T) {
+	src := `# exfiltration-like pattern
+query exfil
+window 30m0s
+vertex compromised : Host
+vertex fileserver : Host where role = "files"
+vertex drop : Host
+edge compromised -[login]-> fileserver
+edge compromised -[file_read]-> fileserver where bytes > 1000000
+edge compromised -[flow]-> drop where bytes > 10000000
+`
+	q, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	requireRoundTrip(t, q)
+}

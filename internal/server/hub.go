@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/streamworks/streamworks/internal/core"
+)
+
+// hub fans the engine's deduplicated match stream out to HTTP subscribers.
+// It is the sole consumer of ShardedEngine.Events, so the engine can never
+// be stalled by a slow network peer: each subscriber gets a bounded buffer,
+// and a subscriber whose buffer is full when a match arrives is evicted
+// (its channel closed, ending its HTTP stream) rather than waited on. The
+// paper's alerting loop demands exactly this priority — ingest keeps pace
+// with the stream; a lagging dashboard reconnects and resubscribes.
+type hub struct {
+	buffer int
+
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+
+	delivered atomic.Uint64
+	evicted   atomic.Uint64
+}
+
+// subscriber is one live match stream. query filters by registered query
+// name; empty subscribes to every query.
+type subscriber struct {
+	query string
+	ch    chan core.MatchEvent
+	// evicted is set when the hub dropped this subscriber for falling
+	// behind, distinguishing eviction from a graceful server drain (both
+	// close ch).
+	evicted atomic.Bool
+}
+
+func newHub(buffer int) *hub {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	return &hub{buffer: buffer, subs: make(map[*subscriber]struct{})}
+}
+
+// run consumes the engine's event stream until the engine closes it (on
+// drain), then closes every remaining subscriber so their HTTP handlers
+// finish with a clean end-of-stream.
+func (h *hub) run(events <-chan core.MatchEvent) {
+	for ev := range events {
+		h.broadcast(ev)
+	}
+	h.mu.Lock()
+	h.closed = true
+	for sub := range h.subs {
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) broadcast(ev core.MatchEvent) {
+	h.mu.Lock()
+	for sub := range h.subs {
+		if sub.query != "" && sub.query != ev.Query {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+			h.delivered.Add(1)
+		default:
+			sub.evicted.Store(true)
+			close(sub.ch)
+			delete(h.subs, sub)
+			h.evicted.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// subscribe registers a new match consumer; it reports false once the hub
+// has shut down.
+func (h *hub) subscribe(query string) (*subscriber, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, false
+	}
+	sub := &subscriber{query: query, ch: make(chan core.MatchEvent, h.buffer)}
+	h.subs[sub] = struct{}{}
+	return sub, true
+}
+
+// unsubscribe detaches sub (e.g. the HTTP peer hung up). Safe to call after
+// the hub evicted or closed it.
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// count returns the number of live subscribers.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

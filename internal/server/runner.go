@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/shard"
+)
+
+// runner owns the ShardedEngine. The engine's control surface (Process,
+// RegisterQuery, Metrics, …) must be driven from a single goroutine; the
+// runner is that goroutine. HTTP handlers never touch the engine directly:
+// ingest handlers enqueue edge batches onto a bounded queue (returning 429
+// upstream when it is full — backpressure by admission control rather than
+// by blocking request goroutines), and control handlers post closures that
+// the runner executes between batches, serialized with edge processing.
+type runner struct {
+	eng *shard.ShardedEngine
+
+	// batches is the bounded ingest queue. Closing it (after the draining
+	// flag stops producers) asks the loop to finish the queued work and exit.
+	batches chan ingestBatch
+	// ctrl carries control closures (register, unregister, advance, metrics).
+	ctrl chan func()
+	// stopped is closed when the loop has exited; receiving from it
+	// establishes happens-before for direct engine access during shutdown.
+	stopped chan struct{}
+
+	edgesIngested   atomic.Uint64
+	batchesIngested atomic.Uint64
+}
+
+// ingestBatch is one decoded /v1/edges request body. done is non-nil for
+// wait=true requests; the runner sends the result exactly once.
+type ingestBatch struct {
+	edges []graph.StreamEdge
+	done  chan ingestResult
+}
+
+type ingestResult struct {
+	processed int
+	err       error
+}
+
+func newRunner(eng *shard.ShardedEngine, queueDepth int) *runner {
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	return &runner{
+		eng:     eng,
+		batches: make(chan ingestBatch, queueDepth),
+		ctrl:    make(chan func()),
+		stopped: make(chan struct{}),
+	}
+}
+
+// loop is the engine driver. It exits once the batch queue is closed and
+// drained; control closures that were accepted before the drain began are
+// guaranteed to run because their posters hold the server's read lock until
+// the reply arrives, and the drain only closes the queue under the write
+// lock.
+func (r *runner) loop() {
+	defer close(r.stopped)
+	for {
+		select {
+		case b, ok := <-r.batches:
+			if !ok {
+				return
+			}
+			r.process(b)
+		case fn := <-r.ctrl:
+			fn()
+		}
+	}
+}
+
+func (r *runner) process(b ingestBatch) {
+	var res ingestResult
+	for _, se := range b.edges {
+		if err := r.eng.Process(se); err != nil {
+			res.err = err
+			break
+		}
+		res.processed++
+	}
+	r.edgesIngested.Add(uint64(res.processed))
+	r.batchesIngested.Add(1)
+	if b.done != nil {
+		b.done <- res
+	}
+}

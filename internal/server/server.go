@@ -1,0 +1,601 @@
+// Package server exposes the sharded StreamWorks engine over HTTP, turning
+// the library into the paper's system: analysts register continuous queries
+// in the text DSL, feeders push timestamped edge batches, and subscribers
+// receive every complete match as it emerges, streamed as NDJSON or
+// server-sent events.
+//
+// The serving layer adapts the engine's strict threading contract to a
+// concurrent front door. A single runner goroutine owns the ShardedEngine;
+// ingest requests enqueue decoded batches onto a bounded queue (HTTP 429
+// when full — overload sheds at admission instead of stacking blocked
+// request goroutines), and control requests execute as closures on the
+// runner, serialized with edge processing. On the output side a hub is the
+// sole consumer of the engine's match stream and fans it out to per-
+// subscriber bounded buffers; a subscriber that cannot keep up is evicted,
+// never waited on, so a stalled dashboard cannot stall detection.
+//
+// Endpoints:
+//
+//	POST   /v1/queries        register a query (body: text DSL) → plan summary
+//	GET    /v1/queries        list registered queries
+//	GET    /v1/queries/{name} fetch one query, rendered back as DSL text
+//	DELETE /v1/queries/{name} unregister
+//	POST   /v1/edges          ingest an NDJSON edge batch (?wait=1 to block
+//	                          until the batch is routed; 429 on overload)
+//	POST   /v1/advance        advance stream time (body: {"ts": ns})
+//	GET    /v1/matches        stream matches (?query= filters; NDJSON, or SSE
+//	                          when Accept: text/event-stream)
+//	GET    /v1/metrics        engine + per-shard + server counters
+//	GET    /healthz           liveness
+//
+// Close drains gracefully: new work is refused with 503, queued batches are
+// flushed through the shards, the deduplicated event stream is run dry, and
+// every subscriber's stream ends cleanly.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/export"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/loader"
+	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/shard"
+	"github.com/streamworks/streamworks/internal/stats"
+	"github.com/streamworks/streamworks/internal/stream"
+)
+
+// Config sizes the serving layer around a sharded engine configuration.
+type Config struct {
+	// Shard configures the underlying ShardedEngine.
+	Shard shard.Config
+	// QueueDepth is the ingest queue bound in batches (default 64). When the
+	// queue is full POST /v1/edges fails fast with 429.
+	QueueDepth int
+	// SubscriberBuffer is the per-subscriber match buffer (default 256). A
+	// subscriber whose buffer overflows is evicted.
+	SubscriberBuffer int
+	// MaxBatchEdges caps the number of edges decoded from one ingest request
+	// (default 65536); larger bodies get 413.
+	MaxBatchEdges int
+	// MaxQueryBytes caps a query registration body (default 1 MiB).
+	MaxQueryBytes int64
+}
+
+// DefaultConfig serves a DefaultConfig sharded engine with default bounds.
+func DefaultConfig() Config {
+	return Config{Shard: shard.DefaultConfig()}
+}
+
+// ErrDraining is reported (as HTTP 503) for work arriving after Close began.
+var ErrDraining = errors.New("server: draining")
+
+// Server is the HTTP front-end. It implements http.Handler; mount it on any
+// listener (net/http, httptest). Create with New, stop with Close.
+type Server struct {
+	cfg Config
+	eng *shard.ShardedEngine
+	run *runner
+	hub *hub
+	mux *http.ServeMux
+
+	// planner renders the informational plan summary returned by query
+	// registration. Each shard engine plans against its own statistics; this
+	// planner sees none, so the summary reflects the frequency-blind plan.
+	planner *decompose.Planner
+
+	hubDone   chan struct{}
+	closeOnce sync.Once
+
+	// mu guards draining and queries. Handlers hold the read lock across
+	// their engine hand-off (queue send or control round trip); Close takes
+	// the write lock to flip draining, so once it holds the lock no handler
+	// is mid-hand-off and the queues can be closed safely.
+	mu       sync.RWMutex
+	draining bool
+	queries  map[string]*query.Graph
+
+	batchesRejected atomic.Uint64
+}
+
+// New builds and starts a server: the shard workers, the engine-driving
+// runner and the match-distributing hub all spin up immediately. cfg may be
+// zero-valued; defaults are applied.
+func New(cfg Config) *Server {
+	if cfg.Shard.Shards == 0 {
+		// Default only the shard count: a caller that set Engine (retention,
+		// slack, summaries) but left Shards zero keeps those settings.
+		cfg.Shard.Shards = shard.DefaultConfig().Shards
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 256
+	}
+	if cfg.MaxBatchEdges <= 0 {
+		cfg.MaxBatchEdges = 65536
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     shard.New(&cfg.Shard),
+		hub:     newHub(cfg.SubscriberBuffer),
+		planner: decompose.NewPlanner(stats.NewEstimator(nil)),
+		hubDone: make(chan struct{}),
+		queries: make(map[string]*query.Graph),
+	}
+	s.run = newRunner(s.eng, cfg.QueueDepth)
+	s.eng.Start()
+	go s.run.loop()
+	go func() {
+		defer close(s.hubDone)
+		s.hub.run(s.eng.Events())
+	}()
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/queries", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/queries", s.handleListQueries)
+	s.mux.HandleFunc("GET /v1/queries/{name}", s.handleGetQuery)
+	s.mux.HandleFunc("DELETE /v1/queries/{name}", s.handleUnregister)
+	s.mux.HandleFunc("POST /v1/edges", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	s.mux.HandleFunc("GET /v1/matches", s.handleMatches)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine exposes the underlying sharded engine for tests and embedders.
+// Direct control calls race with the runner; use the HTTP surface instead.
+func (s *Server) Engine() *shard.ShardedEngine { return s.eng }
+
+// Close drains the server: subsequent work is refused with 503, queued
+// ingest batches are flushed through the shards, the engine closes its event
+// stream, and the hub ends every subscriber's stream. It is idempotent and
+// safe to call concurrently; all callers block until the drain completes.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		// No handler is past its draining check now, so the queue can close:
+		// the runner finishes everything already accepted and exits.
+		close(s.run.batches)
+		<-s.run.stopped
+		// Flush shard mailboxes and close the deduplicated event stream …
+		s.eng.Close()
+		// … which the hub drains before closing all subscribers.
+		<-s.hubDone
+	})
+	<-s.hubDone
+}
+
+// do runs fn on the runner goroutine, serialized with edge processing, and
+// waits for it to finish. The read lock is held until the reply so that
+// Close cannot tear the runner down with fn still queued.
+func (s *Server) do(fn func()) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	done := make(chan struct{})
+	s.run.ctrl <- func() {
+		fn()
+		close(done)
+	}
+	<-done
+	return nil
+}
+
+// ---- HTTP plumbing ----------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ---- queries ----------------------------------------------------------
+
+// RegisterResponse summarizes a successful registration: the query shape and
+// an informational decomposition summary (computed without stream statistics;
+// each shard plans against its own evolving summary).
+type RegisterResponse struct {
+	Name       string   `json:"name"`
+	Window     string   `json:"window"`
+	Vertices   int      `json:"vertices"`
+	Edges      int      `json:"edges"`
+	Strategy   string   `json:"strategy"`
+	PlanNodes  int      `json:"plan_nodes"`
+	PlanDepth  int      `json:"plan_depth"`
+	Primitives []string `json:"primitives"`
+	Plan       string   `json:"plan"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxQueryBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading query body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxQueryBytes {
+		// Reject rather than truncate: a prefix of a line-oriented DSL body
+		// can parse cleanly as a different (smaller) query.
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"query body exceeds %d bytes", s.cfg.MaxQueryBytes)
+		return
+	}
+	q, err := query.Parse(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing query: %v", err)
+		return
+	}
+	if q.Name() == "" {
+		writeError(w, http.StatusBadRequest, "query must be named (add a 'query <name>' line)")
+		return
+	}
+	var regErr error
+	if err := s.do(func() { regErr = s.eng.RegisterQuery(q) }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if regErr != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(regErr, core.ErrDuplicateQuery) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "registering %q: %v", q.Name(), regErr)
+		return
+	}
+	s.mu.Lock()
+	s.queries[q.Name()] = q
+	s.mu.Unlock()
+
+	resp := RegisterResponse{
+		Name:     q.Name(),
+		Window:   q.Window().String(),
+		Vertices: q.NumVertices(),
+		Edges:    q.NumEdges(),
+	}
+	if plan, perr := s.planner.Plan(q, decompose.StrategySelective); perr == nil {
+		resp.Strategy = string(plan.Strategy)
+		resp.PlanNodes = plan.NumNodes()
+		resp.PlanDepth = plan.Depth()
+		resp.Primitives = primitiveStrings(plan)
+		resp.Plan = plan.String()
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// primitiveStrings renders each plan leaf's pattern edges compactly.
+func primitiveStrings(p *decompose.Plan) []string {
+	out := make([]string, 0, len(p.Leaves()))
+	for _, leaf := range p.Leaves() {
+		parts := make([]string, 0, len(leaf.Edges))
+		for _, eid := range leaf.Edges {
+			e := p.Query.Edge(eid)
+			label := e.Type
+			if label == "" {
+				label = "*"
+			}
+			arrow := "->"
+			if e.AnyDirection {
+				arrow = "--"
+			}
+			parts = append(parts, fmt.Sprintf("%s-[%s]%s%s",
+				p.Query.Vertex(e.Source).Name, label, arrow, p.Query.Vertex(e.Target).Name))
+		}
+		out = append(out, "{"+strings.Join(parts, ", ")+"}")
+	}
+	return out
+}
+
+// QueryInfo is one entry of the GET /v1/queries listing.
+type QueryInfo struct {
+	Name     string `json:"name"`
+	Window   string `json:"window"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]QueryInfo, 0, len(s.queries))
+	for _, q := range s.queries {
+		infos = append(infos, QueryInfo{
+			Name:     q.Name(),
+			Window:   q.Window().String(),
+			Vertices: q.NumVertices(),
+			Edges:    q.NumEdges(),
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	q, ok := s.queries[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, query.Format(q))
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var unregErr error
+	if err := s.do(func() { unregErr = s.eng.UnregisterQuery(name) }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if unregErr != nil {
+		writeError(w, http.StatusNotFound, "unregistering %q: %v", name, unregErr)
+		return
+	}
+	s.mu.Lock()
+	delete(s.queries, name)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- ingest -----------------------------------------------------------
+
+// IngestResponse reports how an edge batch was handled.
+type IngestResponse struct {
+	// Accepted is the number of edges admitted: decoded and queued (async)
+	// or routed to the shards (wait=1).
+	Accepted int `json:"accepted"`
+	// Queued is true when the batch was accepted asynchronously and is still
+	// in (or being drained from) the ingest queue.
+	Queued bool `json:"queued"`
+	// Error carries a processing error for wait=1 batches that failed
+	// part-way.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Shed before decoding: during drain or sustained overload the expensive
+	// part of an ingest request is the JSON decode, so refuse up front. The
+	// queue-full probe here is only a fast path — the authoritative check is
+	// the non-blocking enqueue below.
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if len(s.run.batches) == cap(s.run.batches) {
+		s.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest queue full"})
+		return
+	}
+	edges := make([]graph.StreamEdge, 0, 256)
+	src := loader.JSONLSource(r.Body)
+	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
+		if len(edges) >= s.cfg.MaxBatchEdges {
+			return false
+		}
+		edges = append(edges, se)
+		return true
+	})
+	if errors.Is(err, stream.ErrStopped) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch exceeds %d edges; split the upload", s.cfg.MaxBatchEdges)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding edges: %v", err)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+
+	b := ingestBatch{edges: edges}
+	if wait {
+		b.done = make(chan ingestResult, 1)
+	}
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.run.batches <- b:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, IngestResponse{
+			Error: "ingest queue full",
+		})
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(edges), Queued: true})
+		return
+	}
+	res := <-b.done
+	resp := IngestResponse{Accepted: res.processed}
+	if res.err != nil {
+		resp.Error = res.err.Error()
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AdvanceRequest is the body of POST /v1/advance: an explicit stream-time
+// signal (nanoseconds, same clock as edge timestamps) broadcast to every
+// shard, driving window expiry and pruning between sparse batches.
+type AdvanceRequest struct {
+	TS int64 `json:"ts"`
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding advance request: %v", err)
+		return
+	}
+	if err := s.do(func() { s.eng.Advance(graph.Timestamp(req.TS)) }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- matches ----------------------------------------------------------
+
+func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
+	queryName := r.URL.Query().Get("query")
+	if queryName != "" {
+		s.mu.RLock()
+		_, known := s.queries[queryName]
+		s.mu.RUnlock()
+		if !known {
+			writeError(w, http.StatusNotFound, "unknown query %q", queryName)
+			return
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	sub, ok := s.hub.subscribe(queryName)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				// Evicted for falling behind, or the server drained; either
+				// way the stream ends cleanly and the client resubscribes.
+				return
+			}
+			s.mu.RLock()
+			q := s.queries[ev.Query]
+			s.mu.RUnlock()
+			rep := export.BuildReport(ev, q, nil)
+			if sse {
+				io.WriteString(w, "event: match\ndata: ")
+			}
+			if err := enc.Encode(rep); err != nil {
+				return
+			}
+			if sse {
+				io.WriteString(w, "\n")
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ---- metrics ----------------------------------------------------------
+
+// ServerMetrics counts serving-layer activity, complementing the engine
+// counters.
+type ServerMetrics struct {
+	Subscribers        int    `json:"subscribers"`
+	SubscribersEvicted uint64 `json:"subscribers_evicted"`
+	MatchesDelivered   uint64 `json:"matches_delivered"`
+	EdgesIngested      uint64 `json:"edges_ingested"`
+	BatchesIngested    uint64 `json:"batches_ingested"`
+	BatchesRejected    uint64 `json:"batches_rejected"`
+	IngestQueueLen     int    `json:"ingest_queue_len"`
+	IngestQueueCap     int    `json:"ingest_queue_cap"`
+}
+
+// MetricsResponse is the GET /v1/metrics payload: the aggregated engine
+// view, each shard's raw counters (replicated edges, pre-dedup matches), and
+// the serving-layer counters.
+type MetricsResponse struct {
+	Engine core.Metrics   `json:"engine"`
+	Shards []core.Metrics `json:"shards"`
+	Server ServerMetrics  `json:"server"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var resp MetricsResponse
+	err := s.do(func() {
+		resp.Engine = s.eng.Metrics()
+		resp.Shards = s.eng.PerShardMetrics()
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp.Server = ServerMetrics{
+		Subscribers:        s.hub.count(),
+		SubscribersEvicted: s.hub.evicted.Load(),
+		MatchesDelivered:   s.hub.delivered.Load(),
+		EdgesIngested:      s.run.edgesIngested.Load(),
+		BatchesIngested:    s.run.batchesIngested.Load(),
+		BatchesRejected:    s.batchesRejected.Load(),
+		IngestQueueLen:     len(s.run.batches),
+		IngestQueueCap:     cap(s.run.batches),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

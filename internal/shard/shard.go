@@ -379,16 +379,26 @@ func (s *ShardedEngine) Run(src stream.Source, fn func(core.MatchEvent)) (int, e
 	return total, err
 }
 
+// PerShardMetrics snapshots every shard engine's counters in shard order.
+// Like all control methods it must be called from the driver goroutine.
+// Per-shard counters include replicated edges, and per-shard match counts are
+// pre-deduplication; serving layers expose them so operators can spot skewed
+// partitions.
+func (s *ShardedEngine) PerShardMetrics() []core.Metrics {
+	out := make([]core.Metrics, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.metrics(s.running)
+	}
+	return out
+}
+
 // Metrics aggregates per-shard counters into the single-engine Metrics
 // shape. Work counters (EdgesProcessed, LocalSearches, live graph sizes, …)
 // are sums over shards and therefore include replicated edges; MatchesEmitted
 // and per-query Matches are post-deduplication counts as reported on Events.
-// Registrations reflects the front-end view (each query counted once).
+// Registrations reflects the front-end view (each active query counted once).
 func (s *ShardedEngine) Metrics() core.Metrics {
-	snaps := make([]core.Metrics, len(s.workers))
-	for i, w := range s.workers {
-		snaps[i] = w.metrics(s.running)
-	}
+	snaps := s.PerShardMetrics()
 	var m core.Metrics
 	perQueryIdx := map[string]int{}
 	for _, sm := range snaps {
