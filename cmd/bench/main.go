@@ -1,0 +1,197 @@
+// Command bench is the repo's core-engine benchmark harness: it replays the
+// canonical netflow and news workloads through the single-threaded
+// core.Engine and (optionally) the sharded front-end under testing.Benchmark
+// with allocation accounting, and writes the results as JSON. BENCH_core.json
+// at the repo root is produced by this command; CI runs a short configuration
+// of it informationally on every push.
+//
+//	bench -workload netflow -edges 25000 -out BENCH_core.json
+//	bench -workload all -shards 0,4 -benchtime 2s
+//	bench -baseline old.json -out BENCH_core.json   # embed a prior run + deltas
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/gen"
+)
+
+type report struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	NumCPU      int               `json:"num_cpu"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Note        string            `json:"note,omitempty"`
+	Results     []gen.BenchResult `json:"results"`
+	Baseline    *report           `json:"baseline,omitempty"`
+	Comparison  []comparison      `json:"comparison,omitempty"`
+}
+
+// comparison pairs one current result with the baseline result of the same
+// (workload, engine) and reports the two acceptance numbers tracked across
+// PRs: the allocation reduction and the throughput gain.
+type comparison struct {
+	Workload            string  `json:"workload"`
+	Engine              string  `json:"engine"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	AllocsReductionPct  float64 `json:"allocs_reduction_pct"`
+	BaselineEdgesPerSec float64 `json:"baseline_edges_per_sec"`
+	EdgesPerSec         float64 `json:"edges_per_sec"`
+	EdgesPerSecGainPct  float64 `json:"edges_per_sec_gain_pct"`
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "all", "workload to replay: netflow, news or all")
+		edges     = flag.Int("edges", 25_000, "approximate edges per workload replay")
+		hosts     = flag.Int("hosts", 1000, "netflow host count")
+		window    = flag.Duration("window", 30*time.Second, "query time window (netflow; news uses 10x)")
+		shards    = flag.String("shards", "0", "comma-separated shard counts to benchmark (0 = single engine)")
+		benchtime = flag.String("benchtime", "", "testing benchtime, e.g. 2s or 5x (default 1s)")
+		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		baseline  = flag.String("baseline", "", "embed a prior report as the baseline and compute deltas")
+		note      = flag.String("note", "", "free-form note recorded in the report")
+	)
+	testing.Init() // registers test.* flags so -benchtime can be forwarded
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			log.Fatalf("bench: -benchtime %q: %v", *benchtime, err)
+		}
+	}
+
+	var workloads []gen.Workload
+	switch *workload {
+	case "netflow":
+		workloads = []gen.Workload{gen.BenchNetFlowWorkload(*edges, *hosts, *window)}
+	case "news":
+		workloads = []gen.Workload{gen.BenchNewsWorkload(*edges, 10**window)}
+	case "all":
+		workloads = []gen.Workload{
+			gen.BenchNetFlowWorkload(*edges, *hosts, *window),
+			gen.BenchNewsWorkload(*edges, 10**window),
+		}
+	default:
+		log.Fatalf("bench: unknown workload %q (want netflow, news or all)", *workload)
+	}
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		log.Fatalf("bench: %v", err)
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note:        *note,
+	}
+	for _, w := range workloads {
+		for _, sc := range shardCounts {
+			res, err := gen.BenchWorkload(w, sc)
+			if err != nil {
+				log.Fatalf("bench: %s: %v", w.Name, err)
+			}
+			fmt.Fprintf(os.Stderr, "%-8s %-10s %8d edges/op  %10.0f edges/s  %9d allocs/op  %11d B/op  %d matches\n",
+				res.Workload, res.Engine, res.EdgesPerOp, res.EdgesPerSec, res.AllocsPerOp, res.BytesPerOp, res.Matches)
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if *baseline != "" {
+		prior, err := loadReport(*baseline)
+		if err != nil {
+			log.Fatalf("bench: loading baseline: %v", err)
+		}
+		// Keep the embedded baseline flat: deltas are always against the
+		// directly preceding run, not a chain of runs.
+		prior.Baseline, prior.Comparison = nil, nil
+		rep.Baseline = prior
+		rep.Comparison = compare(prior.Results, rep.Results)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench: encoding report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("bench: writing %s: %v", *out, err)
+	}
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("invalid shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard counts in %q", s)
+	}
+	return out, nil
+}
+
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func compare(base, cur []gen.BenchResult) []comparison {
+	var out []comparison
+	for _, c := range cur {
+		for _, b := range base {
+			if b.Workload != c.Workload || b.Engine != c.Engine {
+				continue
+			}
+			cmp := comparison{
+				Workload:            c.Workload,
+				Engine:              c.Engine,
+				BaselineAllocsPerOp: b.AllocsPerOp,
+				AllocsPerOp:         c.AllocsPerOp,
+				BaselineEdgesPerSec: b.EdgesPerSec,
+				EdgesPerSec:         c.EdgesPerSec,
+			}
+			if b.AllocsPerOp > 0 {
+				cmp.AllocsReductionPct = 100 * (1 - float64(c.AllocsPerOp)/float64(b.AllocsPerOp))
+			}
+			if b.EdgesPerSec > 0 {
+				cmp.EdgesPerSecGainPct = 100 * (float64(c.EdgesPerSec)/b.EdgesPerSec - 1)
+			}
+			out = append(out, cmp)
+			break
+		}
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -38,8 +39,26 @@ func main() {
 		queue     = flag.Int("queue", 64, "ingest queue depth (batches); full queue answers 429")
 		subBuffer = flag.Int("sub-buffer", 256, "per-subscriber match buffer; overflow evicts the subscriber")
 		maxBatch  = flag.Int("max-batch", 65536, "maximum edges accepted per ingest request")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: profiling stays off the
+		// public API surface and can be bound to loopback only.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("streamworksd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("streamworksd: pprof serve: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(server.Config{
 		Shard: shard.Config{

@@ -80,6 +80,16 @@ type Engine struct {
 	registrations map[string]*Registration
 	order         []string // registration order, for deterministic iteration
 
+	// evScratch is the per-edge match-event buffer reused across
+	// ProcessEdge calls; see the ProcessEdge doc for the aliasing contract.
+	evScratch []MatchEvent
+	// expiredPending collects the IDs of edges evicted from the sliding
+	// window since the last prune sweep; the sweep drains it through each
+	// registration's SJ-Tree so stored partial matches never outlive the
+	// data edges they bind (the window-less-query leak the expiry callback
+	// exists to plug).
+	expiredPending map[graph.EdgeID]struct{}
+
 	metrics Metrics
 }
 
@@ -93,10 +103,12 @@ func New(cfg *Config) *Engine {
 		c.PruneInterval = 1024
 	}
 	e := &Engine{
-		cfg:           c,
-		dyn:           graph.NewDynamic(c.Retention, graph.WithSlack(c.Slack)),
-		registrations: make(map[string]*Registration),
+		cfg:            c,
+		dyn:            graph.NewDynamic(c.Retention, graph.WithSlack(c.Slack)),
+		registrations:  make(map[string]*Registration),
+		expiredPending: make(map[graph.EdgeID]struct{}),
 	}
+	e.dyn.SetExpiryCallback(e.noteExpired)
 	if c.EnableSummaries {
 		e.summary = stats.NewSummary(stats.WithTriadSampling(c.TriadSampling))
 	}
@@ -200,14 +212,26 @@ func (e *Engine) extendRetention(w time.Duration) error {
 		return fmt.Errorf("%w: query window %s exceeds retention %s after %d edges",
 			ErrRetentionTooSmall, w, e.dyn.Window(), e.dyn.AddedTotal())
 	}
-	e.dyn = graph.NewDynamic(w, graph.WithSlack(e.cfg.Slack))
+	e.dyn = graph.NewDynamic(w, graph.WithSlack(e.cfg.Slack), graph.WithExpiryCallback(e.noteExpired))
 	return nil
+}
+
+// noteExpired is the dynamic graph's expiry callback: it records the evicted
+// edge for the next prune sweep, which forwards the batch to every
+// registration's tree in one scan (Tree.PruneExpiredEdges) instead of
+// scanning per expired edge.
+func (e *Engine) noteExpired(de *graph.Edge) {
+	e.expiredPending[de.ID] = struct{}{}
 }
 
 // ProcessEdge ingests one stream edge and returns the complete matches it
 // produced across all registered queries. Out-of-order edges beyond the
 // configured slack and duplicate edge IDs are counted and skipped rather
 // than aborting the stream.
+//
+// The returned slice aliases an internal scratch buffer and is only valid
+// until the next ProcessEdge call; callers that retain events across calls
+// must copy the slice (the MatchEvent values themselves are safe to keep).
 func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 	stored, err := e.dyn.Apply(se)
 	if err != nil {
@@ -219,11 +243,12 @@ func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 		e.summary.Observe(se, e.dyn.Graph())
 	}
 
-	var events []MatchEvent
+	events := e.evScratch[:0]
 	for _, name := range e.order {
 		reg := e.registrations[name]
-		events = append(events, reg.processEdge(stored)...)
+		events = reg.processEdge(stored, events)
 	}
+	e.evScratch = events
 	e.metrics.MatchesEmitted += uint64(len(events))
 
 	if e.metrics.EdgesProcessed%uint64(e.cfg.PruneInterval) == 0 {
@@ -274,20 +299,25 @@ func (e *Engine) Advance(ts graph.Timestamp) {
 	}
 }
 
-// pruneAll removes partial matches that can no longer complete within their
-// query windows given the current watermark.
+// pruneAll removes partial matches that can no longer complete: for
+// windowed queries, matches whose span start has aged past the window (this
+// also covers every match referencing an expired edge, since retention is
+// never narrower than the widest window); for window-less queries, matches
+// referencing edges that have expired from the sliding window — without the
+// expiry batch those partials would accumulate forever.
 func (e *Engine) pruneAll() {
 	e.metrics.PruneRuns++
 	wm := e.dyn.Watermark()
 	for _, name := range e.order {
 		reg := e.registrations[name]
-		w := reg.query.Window()
-		if w <= 0 {
-			continue
+		if w := reg.query.Window(); w > 0 {
+			cutoff := wm - graph.Timestamp(w)
+			e.metrics.PartialsPruned += uint64(reg.tree.Prune(cutoff))
+		} else {
+			e.metrics.PartialsPruned += uint64(reg.tree.PruneExpiredEdges(e.expiredPending))
 		}
-		cutoff := wm - graph.Timestamp(w)
-		e.metrics.PartialsPruned += uint64(reg.tree.Prune(cutoff))
 	}
+	clear(e.expiredPending)
 }
 
 // Metrics returns a snapshot of engine counters, including per-query detail.

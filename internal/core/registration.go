@@ -6,6 +6,7 @@ import (
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/isomorphism"
+	"github.com/streamworks/streamworks/internal/match"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/sjtree"
 )
@@ -38,10 +39,14 @@ func WithCallback(fn func(MatchEvent)) RegistrationOption {
 }
 
 // leafCandidate identifies one (leaf node, pattern edge) pair whose local
-// search an arriving data edge may seed.
+// search an arriving data edge may seed, together with the precomputed
+// connected ordering of the leaf's pattern edges starting at that seed —
+// orders depend only on the pattern, so computing them per arriving edge
+// would be pure hot-path waste.
 type leafCandidate struct {
-	leaf *sjtree.Node
-	qe   query.EdgeID
+	leaf  *sjtree.Node
+	qe    query.EdgeID
+	order []query.EdgeID
 }
 
 // Registration is the runtime state of one registered continuous query.
@@ -61,6 +66,11 @@ type Registration struct {
 	callback      func(MatchEvent)
 	matches       uint64
 	localSearches uint64
+
+	// prims is the scratch buffer reused by processEdge for the primitive
+	// matches of each local search; only the backing array is reused, the
+	// matches themselves are owned by the SJ-Tree once inserted.
+	prims []*match.Match
 
 	// opts is the option list the registration was created with, retained so
 	// front-ends (e.g. the sharded engine) can replicate the registration
@@ -100,8 +110,14 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 	}
 	for _, leaf := range tree.Leaves() {
 		for _, qe := range leaf.Edges() {
+			order := r.matcher.ConnectedOrder(leaf.Edges(), qe)
+			if order == nil {
+				// Disconnected primitives are rejected by plan validation;
+				// skip defensively rather than register a dead candidate.
+				continue
+			}
 			t := q.Edge(qe).Type
-			r.candidatesByType[t] = append(r.candidatesByType[t], leafCandidate{leaf: leaf, qe: qe})
+			r.candidatesByType[t] = append(r.candidatesByType[t], leafCandidate{leaf: leaf, qe: qe, order: order})
 		}
 	}
 	return r, nil
@@ -132,36 +148,38 @@ func (r *Registration) LocalSearches() uint64 { return r.localSearches }
 // processEdge runs the per-edge incremental step for this query: for every
 // leaf pattern edge the new data edge could match, perform a local search of
 // the leaf's primitive seeded by the edge and push the resulting primitive
-// matches into the SJ-Tree.
-func (r *Registration) processEdge(de *graph.Edge) []MatchEvent {
-	var events []MatchEvent
-	process := func(cands []leafCandidate) {
-		for _, c := range cands {
-			qe := r.query.Edge(c.qe)
-			if !qe.MatchesEdge(de) {
-				continue
-			}
-			r.localSearches++
-			prims := r.matcher.LocalSearch(r.engine.dyn.Graph(), c.leaf.Edges(), c.qe, de)
-			for _, pm := range prims {
-				for _, cm := range r.tree.Insert(c.leaf, pm) {
-					ev := MatchEvent{
-						Query:      r.name,
-						Match:      cm,
-						DetectedAt: r.engine.dyn.Watermark(),
-					}
-					r.matches++
-					if r.callback != nil {
-						r.callback(ev)
-					}
-					events = append(events, ev)
+// matches into the SJ-Tree. Match events are appended to events, which is
+// returned.
+func (r *Registration) processEdge(de *graph.Edge, events []MatchEvent) []MatchEvent {
+	events = r.processCandidates(r.candidatesByType[de.Type], de, events)
+	if de.Type != "" {
+		events = r.processCandidates(r.candidatesByType[""], de, events)
+	}
+	return events
+}
+
+func (r *Registration) processCandidates(cands []leafCandidate, de *graph.Edge, events []MatchEvent) []MatchEvent {
+	for i := range cands {
+		c := &cands[i]
+		if !r.query.Edge(c.qe).MatchesEdge(de) {
+			continue
+		}
+		r.localSearches++
+		r.prims = r.matcher.LocalSearchInto(r.prims[:0], r.engine.dyn.Graph(), c.order, de)
+		for _, pm := range r.prims {
+			for _, cm := range r.tree.Insert(c.leaf, pm) {
+				ev := MatchEvent{
+					Query:      r.name,
+					Match:      cm,
+					DetectedAt: r.engine.dyn.Watermark(),
 				}
+				r.matches++
+				if r.callback != nil {
+					r.callback(ev)
+				}
+				events = append(events, ev)
 			}
 		}
-	}
-	process(r.candidatesByType[de.Type])
-	if de.Type != "" {
-		process(r.candidatesByType[""])
 	}
 	return events
 }

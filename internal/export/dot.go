@@ -42,12 +42,14 @@ func WriteGraphDOT(w io.Writer, g *graph.Graph, opts DOTOptions) error {
 		if m == nil {
 			continue
 		}
-		for _, dv := range m.Vertices {
+		m.ForEachVertex(func(_ query.VertexID, dv graph.VertexID) bool {
 			highlightV[dv] = true
-		}
-		for _, de := range m.Edges {
+			return true
+		})
+		m.ForEachEdge(func(_ query.EdgeID, de graph.EdgeID) bool {
 			highlightE[de] = true
-		}
+			return true
+		})
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n", name)

@@ -48,14 +48,9 @@ func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport
 		SpanEnd:    int64(ev.Match.Span.End),
 		Signature:  ev.Match.Signature(),
 	}
-	var qvIDs []int
-	for qv := range ev.Match.Vertices {
-		qvIDs = append(qvIDs, int(qv))
-	}
-	sort.Ints(qvIDs)
-	for _, qvi := range qvIDs {
-		qv := query.VertexID(qvi)
-		dv := ev.Match.Vertices[qv]
+	// ForEachVertex iterates in ascending pattern-ID order, matching the
+	// sorted order the map-based representation had to construct.
+	ev.Match.ForEachVertex(func(qv query.VertexID, dv graph.VertexID) bool {
 		b := Binding{VertexID: uint64(dv)}
 		if q != nil {
 			if v := q.Vertex(qv); v != nil {
@@ -63,7 +58,7 @@ func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport
 			}
 		}
 		if b.Variable == "" {
-			b.Variable = fmt.Sprintf("q%d", qvi)
+			b.Variable = fmt.Sprintf("q%d", qv)
 		}
 		if g != nil {
 			if v, ok := g.Vertex(dv); ok {
@@ -77,11 +72,13 @@ func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport
 			}
 		}
 		r.Bindings = append(r.Bindings, b)
-	}
-	var deIDs []uint64
-	for _, de := range ev.Match.Edges {
+		return true
+	})
+	deIDs := make([]uint64, 0, ev.Match.NumEdges())
+	ev.Match.ForEachEdge(func(_ query.EdgeID, de graph.EdgeID) bool {
 		deIDs = append(deIDs, uint64(de))
-	}
+		return true
+	})
 	sort.Slice(deIDs, func(i, j int) bool { return deIDs[i] < deIDs[j] })
 	r.EdgeIDs = deIDs
 	return r

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// BenchResult is the measurement of one engine configuration replaying one
+// workload, normalized so runs are comparable across machines and across
+// PRs: one "op" is a full replay of the workload (register queries, stream
+// every edge, collect every match).
+type BenchResult struct {
+	Workload      string  `json:"workload"`
+	Engine        string  `json:"engine"` // "single" or "sharded-N"
+	EdgesPerOp    int     `json:"edges_per_op"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	EdgesPerSec   float64 `json:"edges_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerEdge float64 `json:"allocs_per_edge"`
+	Matches       int     `json:"matches"`
+}
+
+// BenchWorkload replays w under testing.Benchmark with allocation reporting.
+// shards == 0 measures the single-threaded core.Engine (the hot-path number
+// tracked across PRs); shards >= 1 measures a shard.ShardedEngine of that
+// width. The workload is replayed once before timing to validate it and
+// record the match count.
+func BenchWorkload(w Workload, shards int) (BenchResult, error) {
+	run := func() (MatchSet, error) {
+		if shards == 0 {
+			set, _, err := RunSingle(w)
+			return set, err
+		}
+		set, _, err := RunSharded(w, shards)
+		return set, err
+	}
+	set, err := run()
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("gen: bench validation run: %w", err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	engine := "single"
+	if shards > 0 {
+		engine = fmt.Sprintf("sharded-%d", shards)
+	}
+	out := BenchResult{
+		Workload:    w.Name,
+		Engine:      engine,
+		EdgesPerOp:  len(w.Edges),
+		Iterations:  res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Matches:     len(set),
+	}
+	if res.T > 0 {
+		out.EdgesPerSec = float64(len(w.Edges)) * float64(res.N) / res.T.Seconds()
+	}
+	if len(w.Edges) > 0 {
+		out.AllocsPerEdge = float64(out.AllocsPerOp) / float64(len(w.Edges))
+	}
+	return out, nil
+}
+
+// BenchNetFlowWorkload builds the canonical netflow benchmark workload: the
+// same shape as internal/shard's BenchmarkSingleEngine (all four Fig. 3
+// cyber queries over a skewed background stream with attacks woven in),
+// scaled to the requested edge count.
+func BenchNetFlowWorkload(edges, hosts int, window time.Duration) Workload {
+	cfg := NetFlowConfig{
+		Hosts:       hosts,
+		Servers:     hosts/16 + 4,
+		Edges:       edges,
+		Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		MeanGap:     time.Millisecond,
+		ContactSkew: 1.4,
+		Seed:        41,
+	}
+	return NetFlowWorkload(cfg, window)
+}
+
+// BenchNewsWorkload builds the canonical news benchmark workload: the Fig. 2
+// co-mention event query over an article/entity stream, scaled to roughly
+// the requested edge count (articles emit several edges each).
+func BenchNewsWorkload(edges int, window time.Duration) Workload {
+	cfg := DefaultNewsConfig()
+	cfg.Articles = edges / 8
+	if cfg.Articles < 50 {
+		cfg.Articles = 50
+	}
+	cfg.Keywords = cfg.Articles/4 + 50
+	cfg.Locations = cfg.Articles/40 + 10
+	cfg.EventClusters = cfg.Articles / 100
+	return NewsWorkload(cfg, window, 2)
+}

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/list"
 	"fmt"
 	"time"
 )
@@ -20,11 +19,10 @@ type Dynamic struct {
 	watermark Timestamp
 	seenAny   bool
 
-	// arrival order queue used for expiry; each element is an *Edge. The
-	// queue is kept sorted by timestamp up to the allowed slack, which is
-	// sufficient for window expiry because we only expire strictly older
-	// edges than watermark-window.
-	queue *list.List
+	// queue orders live edges by timestamp for window expiry. It is kept
+	// sorted up to the allowed slack, which is sufficient because we only
+	// expire edges strictly older than watermark-window.
+	queue edgeQueue
 
 	// onExpire, when set, is invoked for every edge evicted from the window.
 	onExpire func(*Edge)
@@ -55,7 +53,6 @@ func NewDynamic(window time.Duration, opts ...DynamicOption) *Dynamic {
 	dg := &Dynamic{
 		g:      New(WithAutoVertices()),
 		window: window,
-		queue:  list.New(),
 	}
 	for _, o := range opts {
 		o(dg)
@@ -104,22 +101,51 @@ func (d *Dynamic) Apply(se StreamEdge) (*Edge, error) {
 		return nil, err
 	}
 	d.addedTotal++
-	d.enqueue(e)
+	d.queue.pushSorted(e)
 	d.advance(ts)
 	return e, nil
 }
 
-// enqueue inserts e into the expiry queue keeping it sorted by timestamp.
-// Because arrivals are near-ordered (bounded slack) the insertion point is
-// found by scanning backwards from the tail and is O(1) amortized.
-func (d *Dynamic) enqueue(e *Edge) {
-	for el := d.queue.Back(); el != nil; el = el.Prev() {
-		if el.Value.(*Edge).Timestamp <= e.Timestamp {
-			d.queue.InsertAfter(e, el)
-			return
+// edgeQueue is a slice-backed FIFO of live edges ordered by timestamp: the
+// replacement for the previous container/list expiry queue, which allocated
+// one list element per edge and chased pointers on every expiry sweep. The
+// backing array is reused for the lifetime of the dynamic graph; in steady
+// state the queue performs zero allocations per edge.
+type edgeQueue struct {
+	buf  []*Edge
+	head int
+}
+
+func (q *edgeQueue) len() int { return len(q.buf) - q.head }
+
+func (q *edgeQueue) front() *Edge { return q.buf[q.head] }
+
+// popFront removes the oldest edge. The vacated slot is cleared for the
+// garbage collector, and the buffer is compacted once the dead prefix
+// dominates, keeping total copying amortized O(1) per edge.
+func (q *edgeQueue) popFront() {
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		tail := q.buf[n:len(q.buf)]
+		for i := range tail {
+			tail[i] = nil
 		}
+		q.buf = q.buf[:n]
+		q.head = 0
 	}
-	d.queue.PushFront(e)
+}
+
+// pushSorted appends e and rotates it back past any later-timestamped
+// entries. Arrivals are near-ordered (bounded slack), so the rotation is
+// O(1) amortized — in-order arrivals never enter the loop at all.
+func (q *edgeQueue) pushSorted(e *Edge) {
+	q.buf = append(q.buf, e)
+	for i := len(q.buf) - 1; i > q.head && q.buf[i-1].Timestamp > e.Timestamp; i-- {
+		q.buf[i] = q.buf[i-1]
+		q.buf[i-1] = e
+	}
 }
 
 // advance moves the watermark forward to ts-slack (never backwards) and
@@ -151,16 +177,12 @@ func (d *Dynamic) expire() {
 		return
 	}
 	cutoff := d.watermark - Timestamp(d.window)
-	for {
-		front := d.queue.Front()
-		if front == nil {
-			return
-		}
-		e := front.Value.(*Edge)
+	for d.queue.len() > 0 {
+		e := d.queue.front()
 		if e.Timestamp >= cutoff {
 			return
 		}
-		d.queue.Remove(front)
+		d.queue.popFront()
 		// The edge may already have been removed explicitly; ignore that.
 		if err := d.g.RemoveEdge(e.ID); err == nil {
 			d.expiredTotal++

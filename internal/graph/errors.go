@@ -20,6 +20,19 @@ var (
 	// ErrTimestampRegression is returned by the dynamic graph when an edge
 	// arrives with a timestamp older than the allowed out-of-order slack.
 	ErrTimestampRegression = errors.New("graph: edge timestamp regresses beyond slack")
+	// ErrReservedID is returned when an edge uses the all-ones vertex or
+	// edge ID, which the match representation reserves as its "unbound"
+	// sentinel. Enforcing the reservation at the ingest boundary keeps
+	// hostile or buggy sources from forging IDs that would corrupt match
+	// identity downstream.
+	ErrReservedID = errors.New("graph: all-ones id is reserved")
+)
+
+// ReservedVertexID and ReservedEdgeID are the all-ones IDs rejected by
+// AddEdge; internal/match uses them as unbound-binding sentinels.
+const (
+	ReservedVertexID = ^VertexID(0)
+	ReservedEdgeID   = ^EdgeID(0)
 )
 
 // VertexError decorates a vertex-related error with the offending ID.

@@ -62,10 +62,15 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 // AddVertex inserts or updates a vertex. If a vertex with the same ID exists
 // its type is overwritten when the new type is non-empty and its attributes
 // are merged.
+//
+// The graph takes the attribute map by reference: callers must not mutate
+// v.Attrs after insertion. Updates never mutate a stored map in place
+// (Attributes.Merge is copy-on-write), so sources are free to share one
+// attribute map across many inserted vertices and edges.
 func (g *Graph) AddVertex(v Vertex) *Vertex {
 	existing, ok := g.vertices[v.ID]
 	if !ok {
-		nv := v.Clone()
+		nv := &Vertex{ID: v.ID, Type: v.Type, Attrs: v.Attrs}
 		g.vertices[v.ID] = nv
 		g.indexVertexType(nv)
 		return nv
@@ -75,7 +80,10 @@ func (g *Graph) AddVertex(v Vertex) *Vertex {
 		existing.Type = v.Type
 		g.indexVertexType(existing)
 	}
-	if len(v.Attrs) > 0 {
+	// Streams repeat endpoint metadata on every edge (sharded routing
+	// requires it); skip the copy-on-write merge entirely when it would
+	// change nothing, which is the overwhelmingly common case.
+	if len(v.Attrs) > 0 && !existing.Attrs.Covers(v.Attrs) {
 		existing.Attrs = existing.Attrs.Merge(v.Attrs)
 	}
 	return existing
@@ -125,7 +133,14 @@ func (g *Graph) HasEdge(id EdgeID) bool {
 
 // AddEdge inserts a directed edge. Both endpoints must already exist unless
 // the graph was built WithAutoVertices. Duplicate edge IDs are rejected.
+//
+// As with AddVertex, the attribute map is taken by reference and must not be
+// mutated by the caller after insertion; the graph itself never modifies
+// edge attributes.
 func (g *Graph) AddEdge(e Edge) (*Edge, error) {
+	if e.ID == ReservedEdgeID || e.Source == ReservedVertexID || e.Target == ReservedVertexID {
+		return nil, &EdgeError{ID: e.ID, Err: ErrReservedID}
+	}
 	if _, dup := g.edges[e.ID]; dup {
 		return nil, &EdgeError{ID: e.ID, Err: ErrDuplicateEdge}
 	}
@@ -141,7 +156,8 @@ func (g *Graph) AddEdge(e Edge) (*Edge, error) {
 		}
 		g.AddVertex(Vertex{ID: e.Target})
 	}
-	ne := e.Clone()
+	ne := new(Edge)
+	*ne = e
 	g.edges[ne.ID] = ne
 	g.out[ne.Source] = append(g.out[ne.Source], ne)
 	g.in[ne.Target] = append(g.in[ne.Target], ne)

@@ -338,3 +338,20 @@ func TestIntervalUnionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAddEdgeRejectsReservedIDs(t *testing.T) {
+	cases := []Edge{
+		{ID: ReservedEdgeID, Source: 1, Target: 2, Type: "x", Timestamp: 1},
+		{ID: 1, Source: ReservedVertexID, Target: 2, Type: "x", Timestamp: 1},
+		{ID: 1, Source: 1, Target: ReservedVertexID, Type: "x", Timestamp: 1},
+	}
+	for _, e := range cases {
+		g := New(WithAutoVertices())
+		if _, err := g.AddEdge(e); !errors.Is(err, ErrReservedID) {
+			t.Fatalf("AddEdge(%+v) err = %v, want ErrReservedID", e, err)
+		}
+		if g.NumEdges() != 0 {
+			t.Fatalf("reserved-ID edge was stored")
+		}
+	}
+}

@@ -225,6 +225,21 @@ func (a Attributes) Clone() Attributes {
 	return out
 }
 
+// Covers reports whether every entry of b is already present in a with an
+// equal value — the "merge would be a no-op" test that lets the stream
+// ingestion path skip per-edge attribute copies.
+func (a Attributes) Covers(b Attributes) bool {
+	if len(b) > len(a) {
+		return false
+	}
+	for k, v := range b {
+		if av, ok := a[k]; !ok || av != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Merge returns a new attribute set containing all entries of a overridden
 // by entries of b.
 func (a Attributes) Merge(b Attributes) Attributes {

@@ -14,7 +14,13 @@
 // The matcher is a VF2-style backtracking search over a connected ordering
 // of the pattern edges: each step binds one pattern edge to a data edge
 // incident to the already-matched region, checking vertex/edge type and
-// attribute constraints plus injectivity of the vertex binding.
+// attribute constraints plus injectivity of the vertex binding. Candidate
+// bindings are validated in place against the current partial match before
+// anything is allocated — the only allocations on the search path are the
+// matches that actually extend, so the per-edge hot path stays off the
+// garbage collector. The matcher itself is stateless apart from the query
+// and can be shared across goroutines that hold read-only access to the
+// data graph.
 package isomorphism
 
 import (
@@ -23,9 +29,7 @@ import (
 	"github.com/streamworks/streamworks/internal/query"
 )
 
-// Matcher runs subgraph isomorphism searches for one query graph. It is
-// stateless apart from the query and can be shared across goroutines that
-// hold read-only access to the data graph.
+// Matcher runs subgraph isomorphism searches for one query graph.
 type Matcher struct {
 	q *query.Graph
 }
@@ -44,20 +48,15 @@ func (m *Matcher) FindAll(g *graph.Graph, edges []query.EdgeID, limit int) []*ma
 	if len(edges) == 0 || g == nil {
 		return nil
 	}
-	order := m.connectedOrder(edges, edges[0])
+	order := m.ConnectedOrder(edges, edges[0])
 	if order == nil {
 		return nil
 	}
 	first := m.q.Edge(order[0])
 	var results []*match.Match
 	g.Edges(func(de *graph.Edge) bool {
-		for _, seed := range m.seedMatches(g, first, de) {
-			results = m.extend(g, seed, order, 1, results, limit)
-			if limit > 0 && len(results) >= limit {
-				return false
-			}
-		}
-		return true
+		results = m.seedAndExtend(g, first, de, order, results, limit)
+		return limit <= 0 || len(results) < limit
 	})
 	return results
 }
@@ -68,61 +67,109 @@ func (m *Matcher) FindAll(g *graph.Graph, edges []query.EdgeID, limit int) []*ma
 // data edges reachable from the seed within the primitive, so its cost is
 // bounded by local neighbourhood size, not graph size.
 func (m *Matcher) LocalSearch(g *graph.Graph, edges []query.EdgeID, seedQE query.EdgeID, seedDE *graph.Edge) []*match.Match {
-	if g == nil || seedDE == nil {
+	if m.q.Edge(seedQE) == nil || !containsEdge(edges, seedQE) {
 		return nil
 	}
-	qe := m.q.Edge(seedQE)
-	if qe == nil || !containsEdge(edges, seedQE) {
-		return nil
-	}
-	order := m.connectedOrder(edges, seedQE)
-	if order == nil {
-		return nil
-	}
-	var results []*match.Match
-	for _, seed := range m.seedMatches(g, qe, seedDE) {
-		results = m.extend(g, seed, order, 1, results, 0)
-	}
-	return results
+	order := m.ConnectedOrder(edges, seedQE)
+	return m.LocalSearchInto(nil, g, order, seedDE)
 }
 
-// seedMatches returns the 0, 1 or 2 single-edge matches binding pattern edge
-// qe to data edge de (two when the pattern edge is undirected and both
-// orientations satisfy the endpoint constraints).
-func (m *Matcher) seedMatches(g *graph.Graph, qe *query.Edge, de *graph.Edge) []*match.Match {
+// LocalSearchInto is LocalSearch with a precomputed connected order (whose
+// first entry is the seed pattern edge — see ConnectedOrder) and an
+// append-destination, letting per-registration callers hoist the ordering
+// computation out of the per-edge path and reuse one result buffer across
+// calls. The matches appended to dst are freshly allocated; only the dst
+// backing array is reused.
+func (m *Matcher) LocalSearchInto(dst []*match.Match, g *graph.Graph, order []query.EdgeID, seedDE *graph.Edge) []*match.Match {
+	if g == nil || seedDE == nil || len(order) == 0 {
+		return dst
+	}
+	qe := m.q.Edge(order[0])
+	if qe == nil {
+		return dst
+	}
+	return m.seedAndExtend(g, qe, seedDE, order, dst, 0)
+}
+
+// seedAndExtend tries both admissible orientations of binding pattern edge
+// qe to data edge de as a fresh single-edge match and extends each seed
+// through the rest of the order.
+func (m *Matcher) seedAndExtend(g *graph.Graph, qe *query.Edge, de *graph.Edge, order []query.EdgeID, acc []*match.Match, limit int) []*match.Match {
 	if !qe.MatchesEdge(de) {
+		return acc
+	}
+	if seed := m.trySeed(g, qe, de, false); seed != nil {
+		acc = m.extend(g, seed, order, 1, acc, limit)
+	}
+	if qe.AnyDirection && de.Source != de.Target {
+		if limit > 0 && len(acc) >= limit {
+			return acc
+		}
+		if seed := m.trySeed(g, qe, de, true); seed != nil {
+			acc = m.extend(g, seed, order, 1, acc, limit)
+		}
+	}
+	return acc
+}
+
+// checkEndpoints validates the vertex-level constraints of binding qe to the
+// data endpoints (srcID, dstID): endpoint existence, type/attribute
+// predicates and self-loop consistency. It allocates nothing.
+func (m *Matcher) checkEndpoints(g *graph.Graph, qe *query.Edge, srcID, dstID graph.VertexID) bool {
+	// A pattern edge whose endpoints are the same pattern vertex (self
+	// loop) requires the data edge to also be a self loop, and vice versa.
+	if (qe.Source == qe.Target) != (srcID == dstID) {
+		return false
+	}
+	dsrc, okS := g.Vertex(srcID)
+	ddst, okD := g.Vertex(dstID)
+	if !okS || !okD {
+		return false
+	}
+	return m.q.Vertex(qe.Source).Matches(dsrc) && m.q.Vertex(qe.Target).Matches(ddst)
+}
+
+// trySeed builds the single-edge match binding qe to de in the given
+// orientation, or returns nil when the endpoint constraints fail. The
+// edge-level constraints (qe.MatchesEdge) are the caller's responsibility.
+func (m *Matcher) trySeed(g *graph.Graph, qe *query.Edge, de *graph.Edge, reversed bool) *match.Match {
+	srcID, dstID := de.Source, de.Target
+	if reversed {
+		srcID, dstID = dstID, srcID
+	}
+	if !m.checkEndpoints(g, qe, srcID, dstID) {
 		return nil
 	}
-	var out []*match.Match
-	trial := func(reversed bool) {
-		srcID, dstID := de.Source, de.Target
-		if reversed {
-			srcID, dstID = dstID, srcID
-		}
-		qsrc, qdst := m.q.Vertex(qe.Source), m.q.Vertex(qe.Target)
-		dsrc, okS := g.Vertex(srcID)
-		ddst, okD := g.Vertex(dstID)
-		if !okS || !okD {
-			return
-		}
-		if !qsrc.Matches(dsrc) || !qdst.Matches(ddst) {
-			return
-		}
-		// A pattern edge whose endpoints are the same pattern vertex (self
-		// loop) requires the data edge to also be a self loop.
-		if qe.Source == qe.Target && srcID != dstID {
-			return
-		}
-		if qe.Source != qe.Target && srcID == dstID {
-			return
-		}
-		out = append(out, match.NewFromEdge(qe.ID, qe.Source, qe.Target, de, reversed))
+	seed := match.NewForQuery(m.q)
+	seed.BindVertex(qe.Source, srcID)
+	seed.BindVertex(qe.Target, dstID)
+	seed.BindEdge(qe.ID, de.ID, de.Timestamp)
+	return seed
+}
+
+// tryExtend returns a copy of cur extended by binding qe to de in the given
+// orientation, or nil when the binding is inconsistent with cur. All checks
+// run against cur before the copy is made, so rejected candidates cost no
+// allocation.
+func (m *Matcher) tryExtend(g *graph.Graph, cur *match.Match, qe *query.Edge, de *graph.Edge, reversed bool) *match.Match {
+	srcID, dstID := de.Source, de.Target
+	if reversed {
+		srcID, dstID = dstID, srcID
 	}
-	trial(false)
-	if qe.AnyDirection && de.Source != de.Target {
-		trial(true)
+	if existing, bound := cur.Edge(qe.ID); bound && existing != de.ID {
+		return nil
 	}
-	return out
+	if !cur.CanBindVertex(qe.Source, srcID) || !cur.CanBindVertex(qe.Target, dstID) {
+		return nil
+	}
+	if !m.checkEndpoints(g, qe, srcID, dstID) {
+		return nil
+	}
+	next := cur.Clone()
+	next.BindVertex(qe.Source, srcID)
+	next.BindVertex(qe.Target, dstID)
+	next.BindEdge(qe.ID, de.ID, de.Timestamp)
+	return next
 }
 
 // extend recursively binds order[idx:] given the partial match so far.
@@ -134,91 +181,81 @@ func (m *Matcher) extend(g *graph.Graph, cur *match.Match, order []query.EdgeID,
 		return append(acc, cur)
 	}
 	qe := m.q.Edge(order[idx])
-	for _, cand := range m.candidateBindings(g, cur, qe) {
-		next := cur.Join(cand)
-		if next == nil {
-			continue
-		}
-		acc = m.extend(g, next, order, idx+1, acc, limit)
-		if limit > 0 && len(acc) >= limit {
-			return acc
-		}
-	}
-	return acc
-}
-
-// candidateBindings enumerates single-edge matches for pattern edge qe that
-// are anchored at a data vertex already bound by cur. The connected edge
-// ordering guarantees at least one endpoint of qe is bound.
-func (m *Matcher) candidateBindings(g *graph.Graph, cur *match.Match, qe *query.Edge) []*match.Match {
 	srcBound, haveSrc := cur.Vertex(qe.Source)
 	dstBound, haveDst := cur.Vertex(qe.Target)
 
-	var out []*match.Match
-	consider := func(de *graph.Edge) {
-		if cur.UsesDataEdge(de.ID) {
-			return
+	consider := func(de *graph.Edge) bool {
+		if cur.UsesDataEdge(de.ID) || !qe.MatchesEdge(de) {
+			return limit <= 0 || len(acc) < limit
 		}
-		for _, seed := range m.seedMatches(g, qe, de) {
-			// The seed must agree with the existing endpoint bindings.
-			if haveSrc {
-				if v, _ := seed.Vertex(qe.Source); v != srcBound {
-					continue
-				}
-			}
-			if haveDst {
-				if v, _ := seed.Vertex(qe.Target); v != dstBound {
-					continue
-				}
-			}
-			out = append(out, seed)
+		if next := m.tryExtend(g, cur, qe, de, false); next != nil {
+			acc = m.extend(g, next, order, idx+1, acc, limit)
 		}
+		if qe.AnyDirection && de.Source != de.Target {
+			if next := m.tryExtend(g, cur, qe, de, true); next != nil {
+				acc = m.extend(g, next, order, idx+1, acc, limit)
+			}
+		}
+		return limit <= 0 || len(acc) < limit
 	}
 
 	switch {
 	case haveSrc && haveDst:
 		for _, de := range g.EdgesBetween(srcBound, dstBound) {
-			consider(de)
+			if !consider(de) {
+				return acc
+			}
 		}
 		if qe.AnyDirection {
 			for _, de := range g.EdgesBetween(dstBound, srcBound) {
-				consider(de)
+				if !consider(de) {
+					return acc
+				}
 			}
 		}
 	case haveSrc:
 		for _, de := range g.OutEdges(srcBound) {
-			consider(de)
+			if !consider(de) {
+				return acc
+			}
 		}
 		if qe.AnyDirection {
 			for _, de := range g.InEdges(srcBound) {
-				consider(de)
+				if !consider(de) {
+					return acc
+				}
 			}
 		}
 	case haveDst:
 		for _, de := range g.InEdges(dstBound) {
-			consider(de)
+			if !consider(de) {
+				return acc
+			}
 		}
 		if qe.AnyDirection {
 			for _, de := range g.OutEdges(dstBound) {
-				consider(de)
+				if !consider(de) {
+					return acc
+				}
 			}
 		}
 	default:
-		// Disconnected ordering; should not happen because connectedOrder
+		// Disconnected ordering; should not happen because ConnectedOrder
 		// rejects such subsets.
 		g.Edges(func(de *graph.Edge) bool {
-			consider(de)
-			return true
+			return consider(de)
 		})
 	}
-	return out
+	return acc
 }
 
-// connectedOrder returns the pattern edges of the subset in an order where
+// ConnectedOrder returns the pattern edges of the subset in an order where
 // every edge after the first shares a pattern vertex with an earlier edge,
 // starting at `start`. It returns nil when the subset is not connected or
-// start is not part of it.
-func (m *Matcher) connectedOrder(edges []query.EdgeID, start query.EdgeID) []query.EdgeID {
+// start is not part of it. Orders depend only on the pattern, so callers on
+// the per-edge path precompute them at registration time and reuse them with
+// LocalSearchInto.
+func (m *Matcher) ConnectedOrder(edges []query.EdgeID, start query.EdgeID) []query.EdgeID {
 	if !containsEdge(edges, start) {
 		return nil
 	}

@@ -1,0 +1,140 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// randomEdgeSet binds a random set of pattern edges to data edges drawn from
+// a deliberately tiny ID space so that distinct random matches frequently
+// collide on equal bindings — exercising both sides of the equivalence.
+func randomEdgeSet(rng *rand.Rand, sized bool) *Match {
+	var m *Match
+	if sized {
+		m = NewSized(6, 6)
+	} else {
+		m = New() // grown on demand: a different slice shape, same identity
+	}
+	n := rng.Intn(4) + 1
+	for i := 0; i < n; i++ {
+		qe := query.EdgeID(rng.Intn(5))
+		de := graph.EdgeID(rng.Intn(6))
+		m.BindEdge(qe, de, graph.Timestamp(rng.Intn(100)))
+	}
+	return m
+}
+
+// TestEdgeSetKeyAgreesWithSignatureEquality is the key-equivalence property
+// behind the flat-match refactor: for arbitrary matches, the legacy string
+// signatures are equal exactly when SameEdges reports equality, and equal
+// edge sets always share the cached 64-bit EdgeSetHash. Together these make
+// the (hash, SameEdges-bucket) pair a faithful replacement for string-keyed
+// dedup everywhere in the engine.
+func TestEdgeSetKeyAgreesWithSignatureEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1357))
+	for i := 0; i < 50_000; i++ {
+		a := randomEdgeSet(rng, rng.Intn(2) == 0)
+		b := randomEdgeSet(rng, rng.Intn(2) == 0)
+		sigEq := a.Signature() == b.Signature()
+		if same := a.SameEdges(b); same != sigEq {
+			t.Fatalf("SameEdges = %v but signature equality = %v\na = %q\nb = %q", same, sigEq, a.Signature(), b.Signature())
+		}
+		if got := a.SameEdgeSet(b.EdgeSet()); got != sigEq {
+			t.Fatalf("SameEdgeSet = %v but signature equality = %v\na = %q\nb = %q", got, sigEq, a.Signature(), b.Signature())
+		}
+		if sigEq && a.EdgeSetHash() != b.EdgeSetHash() {
+			t.Fatalf("equal signatures %q hash differently: %x vs %x", a.Signature(), a.EdgeSetHash(), b.EdgeSetHash())
+		}
+		if !a.SameEdges(a) || !b.SameEdges(b) {
+			t.Fatalf("SameEdges not reflexive")
+		}
+	}
+}
+
+// TestEdgeSetHashInsensitiveToBindOrder mirrors the canonical-signature
+// property: binding the same edges in any order yields the same hash and
+// the same equality class.
+func TestEdgeSetHashInsensitiveToBindOrder(t *testing.T) {
+	f := func(ids [4]uint8, perm uint8) bool {
+		a, b := New(), New()
+		order := []int{0, 1, 2, 3}
+		// A cheap permutation derived from perm.
+		for i := range order {
+			j := int(perm) % (i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for i := 0; i < 4; i++ {
+			a.BindEdge(query.EdgeID(i), graph.EdgeID(ids[i]), graph.Timestamp(i))
+		}
+		for _, i := range order {
+			b.BindEdge(query.EdgeID(i), graph.EdgeID(ids[i]), graph.Timestamp(i))
+		}
+		return a.SameEdges(b) && a.EdgeSetHash() == b.EdgeSetHash() && a.Signature() == b.Signature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeSetHashCachedAcrossCloneAndInvalidatedByBind checks the cache
+// discipline: clones carry the cached hash, and binding a new edge
+// invalidates it.
+func TestEdgeSetHashCachedAcrossCloneAndInvalidatedByBind(t *testing.T) {
+	m := NewSized(4, 4)
+	m.BindEdge(0, 10, 1)
+	h1 := m.EdgeSetHash()
+	c := m.Clone()
+	if c.EdgeSetHash() != h1 {
+		t.Fatalf("clone hash differs")
+	}
+	c.BindEdge(1, 11, 2)
+	if c.EdgeSetHash() == h1 {
+		t.Fatalf("hash not invalidated by new binding")
+	}
+	if m.EdgeSetHash() != h1 {
+		t.Fatalf("original perturbed by clone's binding")
+	}
+}
+
+// TestProjectionKeyMatchesProjectKeyEquality checks the partition-key
+// replacement: two matches agree on the integer Projection key whenever
+// their legacy ProjectKey strings agree (over cuts both narrower and wider
+// than the inline array).
+func TestProjectionKeyMatchesProjectKeyEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2468))
+	cuts := [][]query.VertexID{
+		{0},
+		{1, 3},
+		{0, 1, 2, 3},
+		{0, 1, 2, 3, 4, 5}, // wider than the inline array: hash spillover
+	}
+	for i := 0; i < 20_000; i++ {
+		a, b := NewSized(6, 0), NewSized(6, 0)
+		for qv := 0; qv < 6; qv++ {
+			if rng.Intn(3) > 0 {
+				a.BindVertex(query.VertexID(qv), graph.VertexID(rng.Intn(4)+1))
+			}
+			if rng.Intn(3) > 0 {
+				b.BindVertex(query.VertexID(qv), graph.VertexID(rng.Intn(4)+1))
+			}
+		}
+		for _, cut := range cuts {
+			strEq := a.ProjectKey(cut) == b.ProjectKey(cut)
+			keyEq := a.Projection(cut) == b.Projection(cut)
+			if strEq && !keyEq {
+				t.Fatalf("equal string keys %q disagree on Projection", a.ProjectKey(cut))
+			}
+			// The converse (keyEq && !strEq) is possible only past the
+			// inline width by hash collision, which is harmless for
+			// correctness (joins re-check compatibility); within the inline
+			// width the keys must be exact.
+			if len(cut) <= 4 && keyEq && !strEq {
+				t.Fatalf("inline Projection collides: %q vs %q", a.ProjectKey(cut), b.ProjectKey(cut))
+			}
+		}
+	}
+}

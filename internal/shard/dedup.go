@@ -6,26 +6,32 @@ import (
 
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/match"
 )
 
 // dedup is the merge-side duplicate filter: replicated edges let the same
 // complete match surface on several shards, and each occurrence carries the
-// same canonical key — the query name plus the sorted pattern-edge →
-// data-edge binding (match.Signature). Only the first occurrence passes.
+// same canonical identity — the query name plus the exact pattern-edge →
+// data-edge binding. Only the first occurrence passes. The identity is a
+// comparable struct (query name + the match's cached 64-bit edge-set hash)
+// with equality-checked buckets, replacing the old query+"\x1f"+Signature()
+// string concatenation, so admitting a match allocates no strings and a
+// hash collision can never suppress a genuine match.
 //
-// Seen keys are evicted by maybeSweep against the minimum shard watermark
+// Seen entries are evicted by maybeSweep against the minimum shard watermark
 // the merger has observed through progress marks. A shard emits a duplicate
 // of match M while its watermark is at most End(M)+retention+slack (M's
 // edges must still be live and admissible there), and the merge channel
 // preserves each shard's send order, so once every shard's observed
 // watermark has passed that bound, all possible duplicates of M have already
-// been received — the key is safe to drop regardless of how far any mailbox
-// lags. With unbounded retention nothing ever expires and keys are kept
-// forever.
+// been received — the entry is safe to drop regardless of how far any
+// mailbox lags. With unbounded retention nothing ever expires and entries
+// are kept forever.
 type dedup struct {
 	mu        sync.Mutex
-	seen      map[string]graph.Timestamp // key → span end
-	perQuery  map[string]uint64          // deduplicated matches per query
+	seen      map[matchKey][]dedupEntry // bucketed by (query, edge-set hash)
+	count     int                       // total entries across all buckets
+	perQuery  map[string]uint64         // deduplicated matches per query
 	unique    uint64
 	dups      uint64
 	retention time.Duration // grows with registered query windows
@@ -33,9 +39,22 @@ type dedup struct {
 	sweepAt   int
 }
 
+// matchKey is the comparable bucket key of one match identity.
+type matchKey struct {
+	query string
+	hash  uint64
+}
+
+// dedupEntry pins one admitted match for exact equality checks and records
+// its span end for watermark-based eviction.
+type dedupEntry struct {
+	m   *match.Match
+	end graph.Timestamp
+}
+
 func newDedup(retention, slack time.Duration) *dedup {
 	return &dedup{
-		seen:      make(map[string]graph.Timestamp),
+		seen:      make(map[matchKey][]dedupEntry),
 		perQuery:  make(map[string]uint64),
 		retention: retention,
 		slack:     slack,
@@ -53,46 +72,55 @@ func (d *dedup) noteWindow(w time.Duration) {
 	}
 }
 
-// key computes the canonical match identity.
-func key(ev core.MatchEvent) string {
-	return ev.Query + "\x1f" + ev.Match.Signature()
-}
-
 // admit reports whether ev is the first occurrence of its match.
 func (d *dedup) admit(ev core.MatchEvent) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	k := key(ev)
-	if _, dup := d.seen[k]; dup {
-		d.dups++
-		return false
+	k := matchKey{query: ev.Query, hash: ev.Match.EdgeSetHash()}
+	bucket := d.seen[k]
+	for _, entry := range bucket {
+		if entry.m.SameEdges(ev.Match) {
+			d.dups++
+			return false
+		}
 	}
-	d.seen[k] = ev.Match.Span.End
+	d.seen[k] = append(bucket, dedupEntry{m: ev.Match, end: ev.Match.Span.End})
+	d.count++
 	d.unique++
 	d.perQuery[ev.Query]++
 	return true
 }
 
-// maybeSweep evicts keys whose matches can no longer be rediscovered, given
-// the minimum watermark the merger has observed across all shards. Cheap to
-// call often: it only scans once the map has grown past a threshold.
+// maybeSweep evicts entries whose matches can no longer be rediscovered,
+// given the minimum watermark the merger has observed across all shards.
+// Cheap to call often: it only scans once the map has grown past a
+// threshold.
 func (d *dedup) maybeSweep(minShardWM graph.Timestamp) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.seen) < d.sweepAt {
+	if d.count < d.sweepAt {
 		return
 	}
 	if d.retention <= 0 {
-		d.sweepAt = len(d.seen) * 2
+		d.sweepAt = d.count * 2
 		return
 	}
 	horizon := minShardWM - graph.Timestamp(d.retention+d.slack)
-	for k, end := range d.seen {
-		if end < horizon {
+	for k, bucket := range d.seen {
+		kept := bucket[:0]
+		for _, entry := range bucket {
+			if entry.end >= horizon {
+				kept = append(kept, entry)
+			}
+		}
+		d.count -= len(bucket) - len(kept)
+		if len(kept) == 0 {
 			delete(d.seen, k)
+		} else {
+			d.seen[k] = kept
 		}
 	}
-	d.sweepAt = len(d.seen)*2 + 4096
+	d.sweepAt = d.count*2 + 4096
 }
 
 // stats returns the deduplication counters: unique matches passed through,

@@ -166,7 +166,8 @@ func TestDedupSweepEvictsExpiredKeys(t *testing.T) {
 	if len(d.seen) != 15 {
 		t.Fatalf("sweep left %d keys, want 15", len(d.seen))
 	}
-	if _, ok := d.seen[key(matchEvent("q", 64, 6300))]; !ok {
+	recent := matchEvent("q", 64, 6300)
+	if _, ok := d.seen[matchKey{query: recent.Query, hash: recent.Match.EdgeSetHash()}]; !ok {
 		t.Fatalf("recent key evicted")
 	}
 	// A shard watermark far in the past must hold everything back.

@@ -1,0 +1,79 @@
+package sjtree
+
+import (
+	"github.com/streamworks/streamworks/internal/match"
+)
+
+// sigSet deduplicates matches by their exact pattern-edge → data-edge
+// binding. It is keyed on the match's cached 64-bit EdgeSetHash with
+// equality-checked buckets (match.SameEdges), so it never builds the legacy
+// Signature string and a hash collision can never drop a genuine match.
+// Bucket slices are almost always length 1.
+type sigSet struct {
+	buckets map[uint64][]*match.Match
+}
+
+func newSigSet() sigSet {
+	return sigSet{buckets: make(map[uint64][]*match.Match)}
+}
+
+// add records m's edge set. It returns false (and leaves the set unchanged)
+// when an equal edge set is already present.
+func (s *sigSet) add(m *match.Match) bool {
+	h := m.EdgeSetHash()
+	bucket := s.buckets[h]
+	for _, other := range bucket {
+		if other.SameEdges(m) {
+			return false
+		}
+	}
+	s.buckets[h] = append(bucket, m)
+	return true
+}
+
+// completeSet deduplicates emitted complete matches by edge binding. Unlike
+// sigSet — whose entries are the very matches the node stores and removes —
+// this set lives for the tree's lifetime, so it keeps compact EdgeSet
+// copies instead of pinning every emitted Match (bindings, span, caches)
+// forever.
+type completeSet struct {
+	buckets map[uint64][]match.EdgeSet
+}
+
+func newCompleteSet() completeSet {
+	return completeSet{buckets: make(map[uint64][]match.EdgeSet)}
+}
+
+// add records m's edge set, returning false when already present.
+func (s *completeSet) add(m *match.Match) bool {
+	h := m.EdgeSetHash()
+	bucket := s.buckets[h]
+	for _, es := range bucket {
+		if m.SameEdgeSet(es) {
+			return false
+		}
+	}
+	s.buckets[h] = append(bucket, m.EdgeSet())
+	return true
+}
+
+// remove forgets the previously added match (by pointer identity, falling
+// back to edge-set equality for safety). Removing an absent match is a
+// no-op.
+func (s *sigSet) remove(m *match.Match) {
+	h := m.EdgeSetHash()
+	bucket := s.buckets[h]
+	for i, other := range bucket {
+		if other == m || other.SameEdges(m) {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket[last] = nil
+			if last == 0 {
+				delete(s.buckets, h)
+			} else {
+				s.buckets[h] = bucket[:last]
+			}
+			return
+		}
+	}
+}

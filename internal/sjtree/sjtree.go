@@ -40,11 +40,13 @@ type Node struct {
 	right  *Node
 
 	// matches stores this node's match collection, hash-partitioned by the
-	// projection of each match onto the parent's cut vertices (Property 4).
+	// projection of each match onto the parent's cut vertices (Property 4),
+	// keyed on the comparable integer projection key rather than a string.
 	// The root does not store matches; complete matches are emitted.
-	matches map[string][]*match.Match
-	// signatures deduplicates stored matches by their bound data-edge set.
-	signatures map[string]struct{}
+	matches map[match.ProjectionKey][]*match.Match
+	// signatures deduplicates stored matches by their bound data-edge set,
+	// keyed on the match's cached 64-bit edge-set hash.
+	signatures sigSet
 	stored     int
 	inserted   uint64
 }
@@ -98,7 +100,7 @@ type Tree struct {
 
 	onMatch func(*match.Match)
 
-	completeSignatures map[string]struct{}
+	completeSignatures completeSet
 	completeTotal      uint64
 	duplicateDrops     uint64
 	windowDrops        uint64
@@ -125,7 +127,7 @@ func New(plan *decompose.Plan, opts ...Option) (*Tree, error) {
 		q:                  plan.Query,
 		plan:               plan,
 		window:             plan.Query.Window(),
-		completeSignatures: make(map[string]struct{}),
+		completeSignatures: newCompleteSet(),
 	}
 	for _, o := range opts {
 		o(t)
@@ -138,8 +140,8 @@ func (t *Tree) build(pn *decompose.Node, parent *Node) *Node {
 	n := &Node{
 		plan:       pn,
 		parent:     parent,
-		matches:    make(map[string][]*match.Match),
-		signatures: make(map[string]struct{}),
+		matches:    make(map[match.ProjectionKey][]*match.Match),
+		signatures: newSigSet(),
 	}
 	t.nodes = append(t.nodes, n)
 	if pn.Left != nil {
@@ -184,13 +186,11 @@ func (t *Tree) Insert(n *Node, m *match.Match) []*match.Match {
 	if n.IsRoot() {
 		return t.acceptComplete(m)
 	}
-	sig := m.Signature()
-	if _, dup := n.signatures[sig]; dup {
+	if !n.signatures.add(m) {
 		t.duplicateDrops++
 		return nil
 	}
-	n.signatures[sig] = struct{}{}
-	key := m.ProjectKey(n.projectionVertices())
+	key := m.Projection(n.projectionVertices())
 	n.matches[key] = append(n.matches[key], m)
 	n.stored++
 	n.inserted++
@@ -217,17 +217,46 @@ func (t *Tree) acceptComplete(m *match.Match) []*match.Match {
 		// bug; drop it rather than report a wrong result.
 		return nil
 	}
-	sig := m.Signature()
-	if _, dup := t.completeSignatures[sig]; dup {
+	if !t.completeSignatures.add(m) {
 		t.duplicateDrops++
 		return nil
 	}
-	t.completeSignatures[sig] = struct{}{}
 	t.completeTotal++
 	if t.onMatch != nil {
 		t.onMatch(m)
 	}
 	return []*match.Match{m}
+}
+
+// pruneWhere removes every stored partial match for which drop returns
+// true, in one scan over all non-root nodes. Removal uses the match's
+// cached edge-set hash — no signature strings are rebuilt.
+func (t *Tree) pruneWhere(drop func(*match.Match) bool) int {
+	removed := 0
+	for _, n := range t.nodes {
+		if n.IsRoot() {
+			continue
+		}
+		for key, list := range n.matches {
+			kept := list[:0]
+			for _, m := range list {
+				if drop(m) {
+					n.signatures.remove(m)
+					removed++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			if len(kept) == 0 {
+				delete(n.matches, key)
+			} else {
+				n.matches[key] = kept
+			}
+			n.stored -= len(list) - len(kept)
+		}
+	}
+	t.prunedTotal += uint64(removed)
+	return removed
 }
 
 // Prune removes partial matches whose earliest edge is older than cutoff.
@@ -236,62 +265,40 @@ func (t *Tree) acceptComplete(m *match.Match) []*match.Match {
 // watermark. It returns the number of matches removed. The engine calls this
 // as the dynamic graph's window slides.
 func (t *Tree) Prune(cutoff graph.Timestamp) int {
-	removed := 0
-	for _, n := range t.nodes {
-		if n.IsRoot() {
-			continue
-		}
-		for key, list := range n.matches {
-			kept := list[:0]
-			for _, m := range list {
-				if m.HasSpan() && m.Span.Start < cutoff {
-					delete(n.signatures, m.Signature())
-					removed++
-					continue
-				}
-				kept = append(kept, m)
-			}
-			if len(kept) == 0 {
-				delete(n.matches, key)
-			} else {
-				n.matches[key] = kept
-			}
-			n.stored -= len(list) - len(kept)
-		}
-	}
-	t.prunedTotal += uint64(removed)
-	return removed
+	return t.pruneWhere(func(m *match.Match) bool {
+		return m.HasSpan() && m.Span.Start < cutoff
+	})
 }
 
 // PruneExpiredEdge removes partial matches that bind the given data edge.
-// The engine wires it to the dynamic graph's expiry callback so stored state
-// never references edges outside the sliding window.
+// The engine wires the dynamic graph's expiry callback (batched through
+// PruneExpiredEdges) so stored state never references edges outside the
+// sliding window.
 func (t *Tree) PruneExpiredEdge(id graph.EdgeID) int {
-	removed := 0
-	for _, n := range t.nodes {
-		if n.IsRoot() {
-			continue
-		}
-		for key, list := range n.matches {
-			kept := list[:0]
-			for _, m := range list {
-				if m.UsesDataEdge(id) {
-					delete(n.signatures, m.Signature())
-					removed++
-					continue
-				}
-				kept = append(kept, m)
-			}
-			if len(kept) == 0 {
-				delete(n.matches, key)
-			} else {
-				n.matches[key] = kept
-			}
-			n.stored -= len(list) - len(kept)
-		}
+	return t.pruneWhere(func(m *match.Match) bool {
+		return m.UsesDataEdge(id)
+	})
+}
+
+// PruneExpiredEdges removes partial matches binding any of the given data
+// edges in a single scan — the batch form the engine uses when draining the
+// expiry callback, so a burst of expiries costs one pass over the stored
+// matches instead of one per edge.
+func (t *Tree) PruneExpiredEdges(ids map[graph.EdgeID]struct{}) int {
+	if len(ids) == 0 {
+		return 0
 	}
-	t.prunedTotal += uint64(removed)
-	return removed
+	return t.pruneWhere(func(m *match.Match) bool {
+		found := false
+		m.ForEachEdge(func(_ query.EdgeID, de graph.EdgeID) bool {
+			if _, ok := ids[de]; ok {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	})
 }
 
 // PartialMatchCount returns the total number of matches stored across all

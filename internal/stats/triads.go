@@ -79,14 +79,22 @@ func (t *TriadTable) ObserveEdge(g *graph.Graph, e *graph.Edge, typeOf func(grap
 func (t *TriadTable) observeAround(g *graph.Graph, e *graph.Edge, center graph.VertexID, typeOf func(graph.VertexID) string) {
 	ct := typeOf(center)
 	newOut := e.Source == center
-	for _, other := range g.IncidentEdges(center) {
+	// Walk the two incidence lists directly; IncidentEdges would allocate a
+	// combined slice per observed edge.
+	observe := func(other *graph.Edge) {
 		if other.ID == e.ID {
-			continue
+			return
 		}
 		otherOut := other.Source == center
 		key := canonicalTriad(ct, e.Type, newOut, other.Type, otherOut)
 		t.counts[key]++
 		t.total++
+	}
+	for _, other := range g.OutEdges(center) {
+		observe(other)
+	}
+	for _, other := range g.InEdges(center) {
+		observe(other)
 	}
 }
 
