@@ -1,9 +1,13 @@
 // Command bench is the repo's core-engine benchmark harness: it replays the
-// canonical netflow and news workloads through the single-threaded
-// core.Engine and (optionally) the sharded front-end under testing.Benchmark
-// with allocation accounting, and writes the results as JSON. BENCH_core.json
-// at the repo root is produced by this command; CI runs a short configuration
-// of it informationally on every push.
+// canonical netflow and news workloads through the public streamworks API —
+// streamworks.New for the single engine, streamworks.NewSharded for the
+// sharded front-end — under testing.Benchmark with allocation accounting,
+// and writes the results as JSON, so the numbers tracked across PRs measure
+// exactly the surface users program against (push subscriptions included).
+// BENCH_core.json at the repo root is produced by this command; CI runs a
+// short configuration of it informationally on every push, and
+// internal/gen's TestPublicAPISingleEngineMatchesGolden pins the measured
+// path's match sets to the pre-redesign goldens.
 //
 //	bench -workload netflow -edges 25000 -out BENCH_core.json
 //	bench -workload all -shards 0,4 -benchtime 2s

@@ -1,9 +1,10 @@
 // Command loadgen replays a generated StreamWorks workload (netflow or
 // news) against a live streamworksd over HTTP and reports throughput and
 // end-to-end match latency. It drives the server exactly like a production
-// feeder: queries registered through the DSL endpoint, edges pushed as
-// NDJSON batches with 429 backoff, matches consumed from a streaming
-// subscription while ingest is running.
+// feeder: the public streamworks.Connect backend for health, query
+// registration, the push match subscription and metrics, plus the raw typed
+// client for asynchronous NDJSON edge batches with 429 backoff (the public
+// Engine's ProcessBatch waits for routing, which a load generator must not).
 //
 //	loadgen -addr http://127.0.0.1:8090 -workload netflow -edges 100000
 //	loadgen -json -out BENCH_server.json   # machine-readable results
@@ -27,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/client"
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/gen"
@@ -66,62 +68,56 @@ func main() {
 
 	c := client.New(*addr)
 	ctx := context.Background()
-	waitHealthy(ctx, c, 10*time.Second)
+	rem := connect(ctx, *addr, 10*time.Second)
+	log.Printf("loadgen: connected (api %s, %d shards)", rem.ServerInfo().Version, rem.ServerInfo().Shards)
 
 	for _, q := range w.Queries {
-		if _, err := c.RegisterQuery(ctx, q); err != nil {
+		if err := rem.RegisterQuery(ctx, q); err != nil {
 			log.Fatalf("loadgen: registering %q: %v", q.Name(), err)
 		}
 	}
 
-	// Track when each edge was handed to the server so the subscriber can
+	// Track when each edge was handed to the server so the match sink can
 	// compute per-match detect-and-deliver latency.
 	var (
 		sendMu    sync.Mutex
 		sendTimes = make(map[uint64]time.Time, len(w.Edges))
 	)
-	subCtx, cancelSub := context.WithCancel(ctx)
-	sub, err := c.SubscribeMatches(subCtx, "")
-	if err != nil {
-		log.Fatalf("loadgen: subscribing: %v", err)
-	}
 	var (
 		latMu     sync.Mutex
 		latencies []float64 // milliseconds
 		matches   int
 	)
-	// Set when the subscription ends before we cancel it ourselves — the
-	// server evicted us for falling behind, so match counts and latency
-	// percentiles below are truncated and must be flagged, not reported as
-	// complete.
-	var truncated atomic.Bool
-	subDone := make(chan struct{})
+	// truncated is set when the subscription ends before we close it
+	// ourselves — the server evicted us for falling behind, so match counts
+	// and latency percentiles below are truncated and must be flagged, not
+	// reported as complete.
+	var truncated, closing atomic.Bool
+	sub, err := rem.Subscribe("", streamworks.SinkFunc(func(rep streamworks.Match) {
+		now := time.Now()
+		var last time.Time
+		sendMu.Lock()
+		for _, id := range rep.EdgeIDs {
+			if t, ok := sendTimes[id]; ok && t.After(last) {
+				last = t
+			}
+		}
+		sendMu.Unlock()
+		latMu.Lock()
+		matches++
+		if !last.IsZero() {
+			latencies = append(latencies, float64(now.Sub(last))/float64(time.Millisecond))
+		}
+		latMu.Unlock()
+	}))
+	if err != nil {
+		log.Fatalf("loadgen: subscribing: %v", err)
+	}
 	go func() {
-		defer close(subDone)
-		for {
-			rep, err := sub.Next()
-			if err != nil {
-				if subCtx.Err() == nil {
-					truncated.Store(true)
-					log.Printf("loadgen: match stream ended early (evicted as a slow consumer?): %v", err)
-				}
-				return
-			}
-			now := time.Now()
-			var last time.Time
-			sendMu.Lock()
-			for _, id := range rep.EdgeIDs {
-				if t, ok := sendTimes[id]; ok && t.After(last) {
-					last = t
-				}
-			}
-			sendMu.Unlock()
-			latMu.Lock()
-			matches++
-			if !last.IsZero() {
-				latencies = append(latencies, float64(now.Sub(last))/float64(time.Millisecond))
-			}
-			latMu.Unlock()
+		<-sub.Done()
+		if !closing.Load() {
+			truncated.Store(true)
+			log.Printf("loadgen: match stream ended early (evicted as a slow consumer?): err=%v", sub.Err())
 		}
 	}()
 
@@ -159,10 +155,10 @@ func main() {
 	}
 	ingestDur := time.Since(start)
 
-	metrics := settle(ctx, c)
-	cancelSub()
+	metrics := settle(ctx, rem)
+	closing.Store(true)
 	sub.Close()
-	<-subDone
+	<-sub.Done()
 
 	latMu.Lock()
 	defer latMu.Unlock()
@@ -240,14 +236,16 @@ func buildWorkload(name string, edges, hosts, articles int, window time.Duration
 	}
 }
 
-func waitHealthy(ctx context.Context, c *client.Client, timeout time.Duration) {
+// connect dials the daemon through the public API, retrying until it is
+// healthy or the timeout elapses.
+func connect(ctx context.Context, addr string, timeout time.Duration) *streamworks.Remote {
 	deadline := time.Now().Add(timeout)
 	for {
 		hctx, cancel := context.WithTimeout(ctx, time.Second)
-		err := c.Health(hctx)
+		rem, err := streamworks.Connect(hctx, addr)
 		cancel()
 		if err == nil {
-			return
+			return rem
 		}
 		if time.Now().After(deadline) {
 			log.Fatalf("loadgen: server not healthy after %s: %v", timeout, err)
@@ -258,12 +256,12 @@ func waitHealthy(ctx context.Context, c *client.Client, timeout time.Duration) {
 
 // settle polls metrics until the deduplicated match count stops moving, so
 // in-flight matches still crossing shards and the fan-out are counted.
-func settle(ctx context.Context, c *client.Client) *serverMetrics {
+func settle(ctx context.Context, rem *streamworks.Remote) *serverMetrics {
 	var last uint64
 	stable := 0
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		m, err := c.Metrics(ctx)
+		m, err := rem.ServerMetrics(ctx)
 		if err != nil {
 			log.Fatalf("loadgen: metrics: %v", err)
 		}

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/server"
 	"github.com/streamworks/streamworks/internal/shard"
@@ -79,8 +80,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("streamworksd: listening on %s (shards=%d retention=%s slack=%s)",
-			*addr, *shards, *retention, *slack)
+		log.Printf("streamworksd: listening on %s (api=%s shards=%d retention=%s slack=%s)",
+			*addr, api.Version, *shards, *retention, *slack)
 		errc <- hs.ListenAndServe()
 	}()
 

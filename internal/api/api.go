@@ -1,0 +1,89 @@
+// Package api defines the wire types of the StreamWorks HTTP API, shared by
+// the server (internal/server) and the typed client (internal/client) so the
+// two sides can never drift, and by the public streamworks package, whose
+// remote backend surfaces some of them directly. Everything here is a plain
+// data type: no behaviour, no engine imports beyond the metrics snapshot.
+package api
+
+import "github.com/streamworks/streamworks/internal/core"
+
+// Version identifies the HTTP API generation served under the /v1 prefix and
+// reported by GET /healthz. Incompatible wire changes bump it.
+const Version = "v1"
+
+// HealthResponse is the GET /healthz payload.
+type HealthResponse struct {
+	// Status is "ok" while serving, "draining" once shutdown has begun.
+	Status string `json:"status"`
+	// Version is the API generation (Version).
+	Version string `json:"version"`
+	// Shards is the number of engine shards behind this daemon.
+	Shards int `json:"shards"`
+	// UptimeSeconds is the time since the serving layer started.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// RegisterResponse summarizes a successful query registration: the query
+// shape and an informational decomposition summary (computed without stream
+// statistics; each shard plans against its own evolving summary).
+type RegisterResponse struct {
+	Name       string   `json:"name"`
+	Window     string   `json:"window"`
+	Vertices   int      `json:"vertices"`
+	Edges      int      `json:"edges"`
+	Strategy   string   `json:"strategy"`
+	PlanNodes  int      `json:"plan_nodes"`
+	PlanDepth  int      `json:"plan_depth"`
+	Primitives []string `json:"primitives"`
+	Plan       string   `json:"plan"`
+}
+
+// QueryInfo is one entry of the GET /v1/queries listing.
+type QueryInfo struct {
+	Name     string `json:"name"`
+	Window   string `json:"window"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// IngestResponse reports how an edge batch was handled.
+type IngestResponse struct {
+	// Accepted is the number of edges admitted: decoded and queued (async)
+	// or routed to the shards (wait=1).
+	Accepted int `json:"accepted"`
+	// Queued is true when the batch was accepted asynchronously and is still
+	// in (or being drained from) the ingest queue.
+	Queued bool `json:"queued"`
+	// Error carries a processing error for wait=1 batches that failed
+	// part-way.
+	Error string `json:"error,omitempty"`
+}
+
+// AdvanceRequest is the body of POST /v1/advance: an explicit stream-time
+// signal (nanoseconds, same clock as edge timestamps) broadcast to every
+// shard, driving window expiry and pruning between sparse batches.
+type AdvanceRequest struct {
+	TS int64 `json:"ts"`
+}
+
+// ServerMetrics counts serving-layer activity, complementing the engine
+// counters.
+type ServerMetrics struct {
+	Subscribers        int    `json:"subscribers"`
+	SubscribersEvicted uint64 `json:"subscribers_evicted"`
+	MatchesDelivered   uint64 `json:"matches_delivered"`
+	EdgesIngested      uint64 `json:"edges_ingested"`
+	BatchesIngested    uint64 `json:"batches_ingested"`
+	BatchesRejected    uint64 `json:"batches_rejected"`
+	IngestQueueLen     int    `json:"ingest_queue_len"`
+	IngestQueueCap     int    `json:"ingest_queue_cap"`
+}
+
+// MetricsResponse is the GET /v1/metrics payload: the aggregated engine
+// view, each shard's raw counters (replicated edges, pre-dedup matches), and
+// the serving-layer counters.
+type MetricsResponse struct {
+	Engine core.Metrics   `json:"engine"`
+	Shards []core.Metrics `json:"shards"`
+	Server ServerMetrics  `json:"server"`
+}

@@ -16,11 +16,11 @@ import (
 	"net/url"
 	"strings"
 
+	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/export"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/query"
-	"github.com/streamworks/streamworks/internal/server"
 )
 
 // Client talks to one streamworksd instance.
@@ -100,19 +100,25 @@ func (c *Client) roundTrip(ctx context.Context, method, path, contentType string
 	return nil
 }
 
-// Health probes /healthz.
-func (c *Client) Health(ctx context.Context) error {
-	return c.roundTrip(ctx, http.MethodGet, "/healthz", "", nil, nil)
+// Health probes /healthz and returns the daemon's self-description: API
+// version, shard count and uptime. A draining or unreachable daemon returns
+// an error.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.roundTrip(ctx, http.MethodGet, "/healthz", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // RegisterQuery serializes q into the text DSL and registers it.
-func (c *Client) RegisterQuery(ctx context.Context, q *query.Graph) (*server.RegisterResponse, error) {
+func (c *Client) RegisterQuery(ctx context.Context, q *query.Graph) (*api.RegisterResponse, error) {
 	return c.RegisterQueryDSL(ctx, query.Format(q))
 }
 
 // RegisterQueryDSL registers a query written in the text DSL.
-func (c *Client) RegisterQueryDSL(ctx context.Context, dsl string) (*server.RegisterResponse, error) {
-	var out server.RegisterResponse
+func (c *Client) RegisterQueryDSL(ctx context.Context, dsl string) (*api.RegisterResponse, error) {
+	var out api.RegisterResponse
 	err := c.roundTrip(ctx, http.MethodPost, "/v1/queries", "text/plain; charset=utf-8",
 		strings.NewReader(dsl), &out)
 	if err != nil {
@@ -127,8 +133,8 @@ func (c *Client) UnregisterQuery(ctx context.Context, name string) error {
 }
 
 // Queries lists the registered queries.
-func (c *Client) Queries(ctx context.Context) ([]server.QueryInfo, error) {
-	var out []server.QueryInfo
+func (c *Client) Queries(ctx context.Context) ([]api.QueryInfo, error) {
+	var out []api.QueryInfo
 	if err := c.roundTrip(ctx, http.MethodGet, "/v1/queries", "", nil, &out); err != nil {
 		return nil, err
 	}
@@ -158,7 +164,7 @@ func (c *Client) QueryDSL(ctx context.Context, name string) (string, error) {
 // them. wait=true blocks until the batch has been routed to the shards;
 // wait=false returns as soon as the batch is queued. A full ingest queue
 // surfaces as an *APIError with status 429 (check with IsOverloaded).
-func (c *Client) IngestBatch(ctx context.Context, edges []graph.StreamEdge, wait bool) (*server.IngestResponse, error) {
+func (c *Client) IngestBatch(ctx context.Context, edges []graph.StreamEdge, wait bool) (*api.IngestResponse, error) {
 	var buf bytes.Buffer
 	if err := loader.WriteJSONL(&buf, edges); err != nil {
 		return nil, err
@@ -168,12 +174,12 @@ func (c *Client) IngestBatch(ctx context.Context, edges []graph.StreamEdge, wait
 
 // IngestReader posts an NDJSON edge stream (e.g. a Workload.NDJSON dump or
 // a file) without re-encoding.
-func (c *Client) IngestReader(ctx context.Context, r io.Reader, wait bool) (*server.IngestResponse, error) {
+func (c *Client) IngestReader(ctx context.Context, r io.Reader, wait bool) (*api.IngestResponse, error) {
 	path := "/v1/edges"
 	if wait {
 		path += "?wait=1"
 	}
-	var out server.IngestResponse
+	var out api.IngestResponse
 	if err := c.roundTrip(ctx, http.MethodPost, path, "application/x-ndjson", r, &out); err != nil {
 		return nil, err
 	}
@@ -182,14 +188,14 @@ func (c *Client) IngestReader(ctx context.Context, r io.Reader, wait bool) (*ser
 
 // Advance broadcasts an explicit stream-time signal to every shard.
 func (c *Client) Advance(ctx context.Context, ts graph.Timestamp) error {
-	body, _ := json.Marshal(server.AdvanceRequest{TS: int64(ts)})
+	body, _ := json.Marshal(api.AdvanceRequest{TS: int64(ts)})
 	return c.roundTrip(ctx, http.MethodPost, "/v1/advance", "application/json",
 		bytes.NewReader(body), nil)
 }
 
 // Metrics fetches engine, per-shard and serving-layer counters.
-func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
-	var out server.MetricsResponse
+func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
+	var out api.MetricsResponse
 	if err := c.roundTrip(ctx, http.MethodGet, "/v1/metrics", "", nil, &out); err != nil {
 		return nil, err
 	}

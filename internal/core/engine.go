@@ -39,6 +39,29 @@ func (e MatchEvent) String() string {
 	return fmt.Sprintf("[%s] %s (detected at %d)", e.Query, e.Match, e.DetectedAt)
 }
 
+// MatchSink receives complete matches at the moment of emission, the push
+// half of the engine API: front-ends register sinks once and the engine
+// drives them, instead of every caller polling ProcessEdge's scratch-backed
+// return slice. OnMatch is invoked synchronously on the goroutine driving
+// the engine, so implementations must be fast and must not call back into
+// the engine. The MatchEvent value is safe to retain.
+type MatchSink interface {
+	OnMatch(MatchEvent)
+}
+
+// MatchSinkFunc adapts a plain function to the MatchSink interface.
+type MatchSinkFunc func(MatchEvent)
+
+// OnMatch implements MatchSink.
+func (f MatchSinkFunc) OnMatch(ev MatchEvent) { f(ev) }
+
+// engineSink is one registered sink with its query filter.
+type engineSink struct {
+	id    int
+	query string // "" subscribes to every query
+	sink  MatchSink
+}
+
 // Config controls engine-wide behaviour.
 type Config struct {
 	// Retention is the width of the dynamic graph's sliding window. Zero
@@ -89,6 +112,13 @@ type Engine struct {
 	// data edges they bind (the window-less-query leak the expiry callback
 	// exists to plug).
 	expiredPending map[graph.EdgeID]struct{}
+
+	// sinks are the registered per-query match subscriptions, dispatched at
+	// the emission point (Registration.processCandidates). Like the rest of
+	// the engine they are driver-goroutine state: Subscribe and the returned
+	// cancel functions must be called from the goroutine streaming edges.
+	sinks      []engineSink
+	nextSinkID int
 
 	metrics Metrics
 }
@@ -214,6 +244,36 @@ func (e *Engine) extendRetention(w time.Duration) error {
 	}
 	e.dyn = graph.NewDynamic(w, graph.WithSlack(e.cfg.Slack), graph.WithExpiryCallback(e.noteExpired))
 	return nil
+}
+
+// Subscribe registers a push subscription: sink receives every complete
+// match of the query named by queryFilter ("" subscribes to all queries) as
+// it is emitted, before ProcessEdge returns it. The filter may name a query
+// that is not registered yet; matches flow once it is. The returned cancel
+// function removes the subscription; both Subscribe and cancel must be
+// called from the goroutine driving the engine.
+func (e *Engine) Subscribe(queryFilter string, sink MatchSink) (cancel func()) {
+	id := e.nextSinkID
+	e.nextSinkID++
+	e.sinks = append(e.sinks, engineSink{id: id, query: queryFilter, sink: sink})
+	return func() {
+		for i, s := range e.sinks {
+			if s.id == id {
+				e.sinks = append(e.sinks[:i], e.sinks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// dispatch pushes one emitted match to every subscribed sink whose filter
+// admits it.
+func (e *Engine) dispatch(ev MatchEvent) {
+	for _, s := range e.sinks {
+		if s.query == "" || s.query == ev.Query {
+			s.sink.OnMatch(ev)
+		}
+	}
 }
 
 // noteExpired is the dynamic graph's expiry callback: it records the evicted

@@ -177,6 +177,7 @@ func (r *Registration) processCandidates(cands []leafCandidate, de *graph.Edge, 
 				if r.callback != nil {
 					r.callback(ev)
 				}
+				r.engine.dispatch(ev)
 				events = append(events, ev)
 			}
 		}

@@ -1,14 +1,15 @@
 package gen
 
 import (
+	"context"
 	"io"
 	"time"
 
+	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/query"
-	"github.com/streamworks/streamworks/internal/shard"
 	"github.com/streamworks/streamworks/internal/stream"
 )
 
@@ -117,37 +118,73 @@ func (s MatchSet) Equal(o MatchSet) bool {
 	return true
 }
 
-// RunSingle replays the workload through one core.Engine and returns the
-// canonical match set and final metrics.
-func RunSingle(w Workload) (MatchSet, core.Metrics, error) {
-	cfg := w.Engine
-	eng := core.New(&cfg)
+// RunEngine replays the workload through an in-process public
+// streamworks.Engine (New or NewSharded): it registers the workload's
+// queries, subscribes to every match, streams the edges and closes the
+// engine, returning the canonical match set. Its drain protocol — Close,
+// then wait for the subscription's Done — relies on Close being the drain,
+// which holds for the in-process backends only; a Remote tears its streams
+// down abortively on Close, so remote runs must instead drain the daemon
+// (server Close) and wait for Done before closing the engine, as the
+// cross-backend acceptance test does. The engine is always closed on
+// return.
+func RunEngine(eng streamworks.Engine, w Workload) (MatchSet, error) {
+	defer eng.Close()
+	ctx := context.Background()
 	for _, q := range w.Queries {
-		if _, err := eng.RegisterQuery(q); err != nil {
-			return nil, core.Metrics{}, err
+		if err := eng.RegisterQuery(ctx, q); err != nil {
+			return nil, err
 		}
 	}
+	// The sink runs on the engine's delivery goroutine; the Done wait below
+	// (after Close) orders every AddKey before the return.
 	set := make(MatchSet)
-	if _, err := eng.Run(w.Source(), func(ev core.MatchEvent) { set.Add(ev) }); err != nil {
-		return nil, core.Metrics{}, err
+	sub, err := eng.Subscribe("", streamworks.SinkFunc(func(m streamworks.Match) {
+		set.AddKey(m.Query, m.Signature)
+	}))
+	if err != nil {
+		return nil, err
 	}
-	return set, eng.Metrics(), nil
+	if err := eng.ProcessBatch(ctx, w.Edges); err != nil {
+		return nil, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+	<-sub.Done()
+	return set, nil
 }
 
-// RunSharded replays the workload through a ShardedEngine with the given
-// shard count and returns the deduplicated canonical match set and the
-// aggregated metrics.
-func RunSharded(w Workload, shards int) (MatchSet, core.Metrics, error) {
-	cfg := shard.Config{Shards: shards, Engine: w.Engine}
-	eng := shard.New(&cfg)
-	for _, q := range w.Queries {
-		if err := eng.RegisterQuery(q); err != nil {
-			return nil, core.Metrics{}, err
-		}
-	}
-	set := make(MatchSet)
-	if _, err := eng.Run(w.Source(), func(ev core.MatchEvent) { set.Add(ev) }); err != nil {
+// RunSingle replays the workload through the public single-engine backend
+// (streamworks.New) and returns the canonical match set and final metrics.
+func RunSingle(w Workload) (MatchSet, core.Metrics, error) {
+	eng := streamworks.New(streamworks.WithEngineConfig(w.Engine))
+	set, err := RunEngine(eng, w)
+	if err != nil {
 		return nil, core.Metrics{}, err
 	}
-	return set, eng.Metrics(), nil
+	m, err := eng.Metrics(context.Background())
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	return set, m, nil
+}
+
+// RunSharded replays the workload through the public sharded backend
+// (streamworks.NewSharded) with the given shard count and returns the
+// deduplicated canonical match set and the aggregated metrics.
+func RunSharded(w Workload, shards int) (MatchSet, core.Metrics, error) {
+	eng := streamworks.NewSharded(
+		streamworks.WithEngineConfig(w.Engine),
+		streamworks.WithShards(shards),
+	)
+	set, err := RunEngine(eng, w)
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	m, err := eng.Metrics(context.Background())
+	if err != nil {
+		return nil, core.Metrics{}, err
+	}
+	return set, m, nil
 }

@@ -1,0 +1,120 @@
+package query_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// corpus returns the generator query suite — every query shipped with the
+// repo's workloads — rendered as DSL text, the seed corpus for both fuzz
+// targets. (This lives in an external test package so it can import gen,
+// which itself imports query.)
+func corpus() []string {
+	qs := []*query.Graph{
+		gen.SmurfQuery(30 * time.Second),
+		gen.WormQuery(time.Minute),
+		gen.WormChainQuery(5 * time.Minute),
+		gen.ExfiltrationQuery(30 * time.Minute),
+		gen.NewsEventQuery(15*time.Minute, 2, ""),
+		gen.NewsEventQuery(time.Hour, 3, "budget"),
+	}
+	out := make([]string, 0, len(qs)+4)
+	for _, q := range qs {
+		out = append(out, query.Format(q))
+	}
+	// Hand-written seeds covering DSL shapes the generators do not emit.
+	out = append(out,
+		"vertex a\nvertex b\nedge a --> b\n",
+		"query undirected\nvertex a : T\nvertex b : T\nedge a -[peer]- b\nedge a -- b\n",
+		"query preds\nwindow 90s\nvertex a : Host where role = \"server farm\" and load > 1.5\nvertex b where patched exists\nedge a -[flow]-> b where bytes > 1000000 and tcp = true\n",
+		"# comment\n\nquery sparse\nvertex x:T\nvertex y\nedge x -[t]-> y\n",
+	)
+	return out
+}
+
+// FuzzParse asserts the DSL parser never panics: arbitrary input either
+// parses or returns an error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range corpus() {
+		f.Add(seed)
+	}
+	f.Add("")
+	f.Add("query\n")
+	f.Add("edge a -[x> b\n")
+	f.Add("vertex \" : \"\n")
+	f.Add("window 1h30m\nwindow 2h\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := query.ParseString(input)
+		if err == nil && q == nil {
+			t.Fatal("Parse returned nil query and nil error")
+		}
+	})
+}
+
+// FuzzFormatRoundTrip asserts the Parse/Format pair is a stable round trip:
+// for any input the parser accepts, Format renders DSL that re-parses into
+// an ID-identical query — same name, window, and vertex/edge lists in the
+// same ID order, so match signatures stay comparable across the trip. This
+// is the property the HTTP API depends on (queries travel as DSL text).
+func FuzzFormatRoundTrip(f *testing.F) {
+	for _, seed := range corpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := query.ParseString(input)
+		if err != nil {
+			return // not a query; nothing to round-trip
+		}
+		text := query.Format(q)
+		got, err := query.ParseString(text)
+		if err != nil {
+			t.Fatalf("Format output does not re-parse: %v\n%s", err, text)
+		}
+		requireIdentical(t, q, got, text)
+		// A second trip must be byte-stable (Format is canonical).
+		if text2 := query.Format(got); text2 != text {
+			t.Fatalf("Format not canonical:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}
+
+// requireIdentical asserts got is ID-identical to want: every vertex and
+// edge under the same ID with the same name, type, direction and predicates.
+func requireIdentical(t *testing.T, want, got *query.Graph, text string) {
+	t.Helper()
+	if got.Name() != want.Name() {
+		t.Fatalf("name: got %q, want %q\n%s", got.Name(), want.Name(), text)
+	}
+	if got.Window() != want.Window() {
+		t.Fatalf("window: got %s, want %s\n%s", got.Window(), want.Window(), text)
+	}
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape: got %dv/%de, want %dv/%de\n%s",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges(), text)
+	}
+	for i := 0; i < want.NumVertices(); i++ {
+		a, b := want.Vertex(query.VertexID(i)), got.Vertex(query.VertexID(i))
+		if a.String() != b.String() {
+			t.Fatalf("vertex %d: got %q, want %q\n%s", i, b.String(), a.String(), text)
+		}
+	}
+	for i := 0; i < want.NumEdges(); i++ {
+		a, b := want.Edge(query.EdgeID(i)), got.Edge(query.EdgeID(i))
+		if a.Source != b.Source || a.Target != b.Target ||
+			a.Type != b.Type || a.AnyDirection != b.AnyDirection {
+			t.Fatalf("edge %d: got %+v, want %+v\n%s", i, b, a, text)
+		}
+		if len(a.Preds) != len(b.Preds) {
+			t.Fatalf("edge %d predicates: got %d, want %d\n%s", i, len(b.Preds), len(a.Preds), text)
+		}
+		for j := range a.Preds {
+			if a.Preds[j].String() != b.Preds[j].String() {
+				t.Fatalf("edge %d pred %d: got %q, want %q\n%s",
+					i, j, b.Preds[j].String(), a.Preds[j].String(), text)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/client"
 	"github.com/streamworks/streamworks/internal/gen"
 	"github.com/streamworks/streamworks/internal/graph"
@@ -51,6 +52,19 @@ func TestEndToEndNetflow(t *testing.T) {
 	defer hs.Close()
 	c := client.New(hs.URL)
 	ctx := context.Background()
+
+	// The health endpoint self-describes the daemon: API version, shard
+	// count, uptime.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.Status != "ok" || h.Version != api.Version || h.Shards != 4 {
+		t.Fatalf("health = %+v, want status=ok version=%s shards=4", h, api.Version)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("health uptime negative: %v", h.UptimeSeconds)
+	}
 
 	for _, q := range w.Queries {
 		reg, err := c.RegisterQuery(ctx, q)

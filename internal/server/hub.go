@@ -1,21 +1,25 @@
 package server
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
-	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks"
 )
 
-// hub fans the engine's deduplicated match stream out to HTTP subscribers.
-// It is the sole consumer of ShardedEngine.Events, so the engine can never
-// be stalled by a slow network peer: each subscriber gets a bounded buffer,
-// and a subscriber whose buffer is full when a match arrives is evicted
-// (its channel closed, ending its HTTP stream) rather than waited on. The
-// paper's alerting loop demands exactly this priority — ingest keeps pace
-// with the stream; a lagging dashboard reconnects and resubscribes.
+// hub manages the server's HTTP match subscribers. Each subscriber is its
+// own per-query push subscription on the engine — the engine filters and
+// fans out; the hub only adds the bounded buffer between the engine's
+// delivery goroutine and the subscriber's network writes. A subscriber whose
+// buffer is full when a match arrives is evicted (its channel closed, ending
+// its HTTP stream) rather than waited on: ingest keeps pace with the stream,
+// a lagging dashboard reconnects and resubscribes.
 type hub struct {
 	buffer int
+	// subscribe attaches a sink to the engine; injected so the delivery
+	// mechanics are unit-testable without an engine.
+	subscribe func(query string, sink streamworks.MatchSink) (streamworks.Subscription, error)
 
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
@@ -25,81 +29,115 @@ type hub struct {
 	evicted   atomic.Uint64
 }
 
-// subscriber is one live match stream. query filters by registered query
-// name; empty subscribes to every query.
+// subscriber is one live match stream: a bounded buffer fed by an engine
+// subscription.
 type subscriber struct {
-	query string
-	ch    chan core.MatchEvent
+	ch chan streamworks.Match
+	// sub is the engine-side subscription; its Done closes when the engine
+	// has drained and no further matches can arrive.
+	sub streamworks.Subscription
 	// evicted is set when the hub dropped this subscriber for falling
-	// behind, distinguishing eviction from a graceful server drain (both
-	// close ch).
+	// behind, distinguishing eviction from a graceful server drain.
 	evicted atomic.Bool
 }
 
-func newHub(buffer int) *hub {
+// errHubClosed is reported for subscriptions arriving after drain began.
+var errHubClosed = errors.New("server: hub closed")
+
+func newHub(buffer int, subscribe func(string, streamworks.MatchSink) (streamworks.Subscription, error)) *hub {
 	if buffer <= 0 {
 		buffer = 256
 	}
-	return &hub{buffer: buffer, subs: make(map[*subscriber]struct{})}
+	return &hub{buffer: buffer, subscribe: subscribe, subs: make(map[*subscriber]struct{})}
 }
 
-// run consumes the engine's event stream until the engine closes it (on
-// drain), then closes every remaining subscriber so their HTTP handlers
-// finish with a clean end-of-stream.
-func (h *hub) run(events <-chan core.MatchEvent) {
-	for ev := range events {
-		h.broadcast(ev)
+// register attaches an engine subscription to a new subscriber for query
+// ("" subscribes to every query).
+func (h *hub) register(query string) (*subscriber, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errHubClosed
+	}
+	sub := &subscriber{ch: make(chan streamworks.Match, h.buffer)}
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+
+	engSub, err := h.subscribe(query, streamworks.SinkFunc(func(m streamworks.Match) {
+		h.deliver(sub, m)
+	}))
+	if err != nil {
+		h.unsubscribe(sub)
+		return nil, err
 	}
 	h.mu.Lock()
-	h.closed = true
-	for sub := range h.subs {
-		close(sub.ch)
-		delete(h.subs, sub)
+	if _, live := h.subs[sub]; !live {
+		// A match flood can evict the subscriber between the two critical
+		// sections (its buffer overflowed before the engine subscription
+		// handle was recorded, so eviction could not close it — do that
+		// here). Hand the subscriber back anyway: its channel is already
+		// closed, so the handler serves the normal evicted-subscriber
+		// contract — a clean end-of-stream the client answers by
+		// resubscribing — instead of a bogus 503 from a healthy server.
+		sub.sub = engSub
+		h.mu.Unlock()
+		engSub.Close()
+		return sub, nil
 	}
+	sub.sub = engSub
 	h.mu.Unlock()
+	return sub, nil
 }
 
-func (h *hub) broadcast(ev core.MatchEvent) {
-	h.mu.Lock()
-	for sub := range h.subs {
-		if sub.query != "" && sub.query != ev.Query {
-			continue
-		}
-		select {
-		case sub.ch <- ev:
-			h.delivered.Add(1)
-		default:
-			sub.evicted.Store(true)
-			close(sub.ch)
-			delete(h.subs, sub)
-			h.evicted.Add(1)
-		}
-	}
-	h.mu.Unlock()
-}
-
-// subscribe registers a new match consumer; it reports false once the hub
-// has shut down.
-func (h *hub) subscribe(query string) (*subscriber, bool) {
+// deliver runs on the engine's delivery goroutine: non-blocking hand-off to
+// the subscriber's buffer, eviction on overflow. Membership is checked under
+// the lock so a concurrent unsubscribe can never race a send against the
+// channel close.
+func (h *hub) deliver(sub *subscriber, m streamworks.Match) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.closed {
-		return nil, false
+	if _, live := h.subs[sub]; !live {
+		return
 	}
-	sub := &subscriber{query: query, ch: make(chan core.MatchEvent, h.buffer)}
-	h.subs[sub] = struct{}{}
-	return sub, true
+	select {
+	case sub.ch <- m:
+		h.delivered.Add(1)
+	default:
+		sub.evicted.Store(true)
+		delete(h.subs, sub)
+		close(sub.ch)
+		h.evicted.Add(1)
+		if sub.sub != nil {
+			// Safe under h.mu: subscription teardown never waits behind
+			// engine ingestion.
+			sub.sub.Close()
+		}
+	}
 }
 
 // unsubscribe detaches sub (e.g. the HTTP peer hung up). Safe to call after
-// the hub evicted or closed it.
+// the hub evicted it.
 func (h *hub) unsubscribe(sub *subscriber) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, ok := h.subs[sub]; ok {
+	_, live := h.subs[sub]
+	if live {
 		delete(h.subs, sub)
 		close(sub.ch)
 	}
+	engSub := sub.sub
+	h.mu.Unlock()
+	if live && engSub != nil {
+		engSub.Close()
+	}
+}
+
+// close rejects new subscribers. Existing streams are ended by the engine
+// drain (each subscription's Done closes), not forcibly here, so buffered
+// matches still reach their subscribers.
+func (h *hub) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
 }
 
 // count returns the number of live subscribers.

@@ -1,21 +1,22 @@
 package server
 
 import (
+	"context"
 	"sync/atomic"
 
+	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/graph"
-	"github.com/streamworks/streamworks/internal/shard"
 )
 
-// runner owns the ShardedEngine. The engine's control surface (Process,
-// RegisterQuery, Metrics, …) must be driven from a single goroutine; the
-// runner is that goroutine. HTTP handlers never touch the engine directly:
-// ingest handlers enqueue edge batches onto a bounded queue (returning 429
-// upstream when it is full — backpressure by admission control rather than
-// by blocking request goroutines), and control handlers post closures that
-// the runner executes between batches, serialized with edge processing.
+// runner owns ingestion into the engine. The public engine is safe for
+// concurrent use, but the serving layer still funnels all edge processing
+// through this one goroutine: ingest handlers enqueue edge batches onto a
+// bounded queue (returning 429 upstream when it is full — backpressure by
+// admission control rather than by blocking request goroutines), and control
+// handlers post closures that the runner executes between batches,
+// serialized with edge processing.
 type runner struct {
-	eng *shard.ShardedEngine
+	eng *streamworks.Sharded
 
 	// batches is the bounded ingest queue. Closing it (after the draining
 	// flag stops producers) asks the loop to finish the queued work and exit.
@@ -42,7 +43,7 @@ type ingestResult struct {
 	err       error
 }
 
-func newRunner(eng *shard.ShardedEngine, queueDepth int) *runner {
+func newRunner(eng *streamworks.Sharded, queueDepth int) *runner {
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
@@ -77,7 +78,7 @@ func (r *runner) loop() {
 func (r *runner) process(b ingestBatch) {
 	var res ingestResult
 	for _, se := range b.edges {
-		if err := r.eng.Process(se); err != nil {
+		if err := r.eng.Process(context.Background(), se); err != nil {
 			res.err = err
 			break
 		}

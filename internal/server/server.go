@@ -4,15 +4,15 @@
 // receive every complete match as it emerges, streamed as NDJSON or
 // server-sent events.
 //
-// The serving layer adapts the engine's strict threading contract to a
-// concurrent front door. A single runner goroutine owns the ShardedEngine;
-// ingest requests enqueue decoded batches onto a bounded queue (HTTP 429
-// when full — overload sheds at admission instead of stacking blocked
-// request goroutines), and control requests execute as closures on the
-// runner, serialized with edge processing. On the output side a hub is the
-// sole consumer of the engine's match stream and fans it out to per-
-// subscriber bounded buffers; a subscriber that cannot keep up is evicted,
-// never waited on, so a stalled dashboard cannot stall detection.
+// The serving layer fronts the public streamworks engine (a Sharded
+// backend). A single runner goroutine funnels all edge processing; ingest
+// requests enqueue decoded batches onto a bounded queue (HTTP 429 when full
+// — overload sheds at admission instead of stacking blocked request
+// goroutines), and control requests execute as closures on the runner,
+// serialized with edge processing. On the output side every match
+// subscriber is its own per-query push subscription on the engine, buffered
+// by the hub; a subscriber that cannot keep up is evicted, never waited on,
+// so a stalled dashboard cannot stall detection.
 //
 // Endpoints:
 //
@@ -35,6 +35,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,10 +44,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
-	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks"
+	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/decompose"
-	"github.com/streamworks/streamworks/internal/export"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/query"
@@ -84,7 +86,7 @@ var ErrDraining = errors.New("server: draining")
 // listener (net/http, httptest). Create with New, stop with Close.
 type Server struct {
 	cfg Config
-	eng *shard.ShardedEngine
+	eng *streamworks.Sharded
 	run *runner
 	hub *hub
 	mux *http.ServeMux
@@ -94,8 +96,9 @@ type Server struct {
 	// planner sees none, so the summary reflects the frequency-blind plan.
 	planner *decompose.Planner
 
-	hubDone   chan struct{}
+	started   time.Time
 	closeOnce sync.Once
+	closed    chan struct{}
 
 	// mu guards draining and queries. Handlers hold the read lock across
 	// their engine hand-off (queue send or control round trip); Close takes
@@ -108,8 +111,8 @@ type Server struct {
 	batchesRejected atomic.Uint64
 }
 
-// New builds and starts a server: the shard workers, the engine-driving
-// runner and the match-distributing hub all spin up immediately. cfg may be
+// New builds and starts a server: the engine shards, the ingest-driving
+// runner and the subscriber hub all spin up immediately. cfg may be
 // zero-valued; defaults are applied.
 func New(cfg Config) *Server {
 	if cfg.Shard.Shards == 0 {
@@ -129,21 +132,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueryBytes <= 0 {
 		cfg.MaxQueryBytes = 1 << 20
 	}
+	eng := streamworks.NewSharded(
+		streamworks.WithEngineConfig(cfg.Shard.Engine),
+		streamworks.WithShards(cfg.Shard.Shards),
+		streamworks.WithShardBuffer(cfg.Shard.Buffer),
+		streamworks.WithAdvanceEvery(cfg.Shard.AdvanceEvery),
+	)
 	s := &Server{
 		cfg:     cfg,
-		eng:     shard.New(&cfg.Shard),
-		hub:     newHub(cfg.SubscriberBuffer),
+		eng:     eng,
 		planner: decompose.NewPlanner(stats.NewEstimator(nil)),
-		hubDone: make(chan struct{}),
+		started: time.Now(),
+		closed:  make(chan struct{}),
 		queries: make(map[string]*query.Graph),
 	}
+	s.hub = newHub(cfg.SubscriberBuffer, eng.Subscribe)
 	s.run = newRunner(s.eng, cfg.QueueDepth)
-	s.eng.Start()
 	go s.run.loop()
-	go func() {
-		defer close(s.hubDone)
-		s.hub.run(s.eng.Events())
-	}()
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -161,16 +166,19 @@ func New(cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Engine exposes the underlying sharded engine for tests and embedders.
-// Direct control calls race with the runner; use the HTTP surface instead.
-func (s *Server) Engine() *shard.ShardedEngine { return s.eng }
+// Engine exposes the underlying public engine for tests and embedders. It
+// is safe for concurrent use, but mutating it directly bypasses the serving
+// layer's queue accounting; prefer the HTTP surface.
+func (s *Server) Engine() *streamworks.Sharded { return s.eng }
 
 // Close drains the server: subsequent work is refused with 503, queued
-// ingest batches are flushed through the shards, the engine closes its event
-// stream, and the hub ends every subscriber's stream. It is idempotent and
-// safe to call concurrently; all callers block until the drain completes.
+// ingest batches are flushed through the shards, and the engine drain ends
+// every subscriber's stream after its final buffered matches. It is
+// idempotent and safe to call concurrently; all callers block until the
+// drain completes.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		defer close(s.closed)
 		s.mu.Lock()
 		s.draining = true
 		s.mu.Unlock()
@@ -178,12 +186,13 @@ func (s *Server) Close() {
 		// the runner finishes everything already accepted and exits.
 		close(s.run.batches)
 		<-s.run.stopped
-		// Flush shard mailboxes and close the deduplicated event stream …
+		// New subscribers are refused from here on …
+		s.hub.close()
+		// … and the engine drain finishes every live subscription: each
+		// handler sees Done after its final delivery and ends its stream.
 		s.eng.Close()
-		// … which the hub drains before closing all subscribers.
-		<-s.hubDone
 	})
-	<-s.hubDone
+	<-s.closed
 }
 
 // do runs fn on the runner goroutine, serialized with edge processing, and
@@ -220,34 +229,32 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// HealthResponse is the GET /healthz payload (see api.HealthResponse).
+type HealthResponse = api.HealthResponse
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
+	resp := HealthResponse{
+		Status:        "ok",
+		Version:       api.Version,
+		Shards:        s.eng.Shards(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
 	if draining {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- queries ----------------------------------------------------------
 
-// RegisterResponse summarizes a successful registration: the query shape and
-// an informational decomposition summary (computed without stream statistics;
-// each shard plans against its own evolving summary).
-type RegisterResponse struct {
-	Name       string   `json:"name"`
-	Window     string   `json:"window"`
-	Vertices   int      `json:"vertices"`
-	Edges      int      `json:"edges"`
-	Strategy   string   `json:"strategy"`
-	PlanNodes  int      `json:"plan_nodes"`
-	PlanDepth  int      `json:"plan_depth"`
-	Primitives []string `json:"primitives"`
-	Plan       string   `json:"plan"`
-}
+// RegisterResponse summarizes a successful registration (see
+// api.RegisterResponse).
+type RegisterResponse = api.RegisterResponse
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxQueryBytes+1))
@@ -272,13 +279,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var regErr error
-	if err := s.do(func() { regErr = s.eng.RegisterQuery(q) }); err != nil {
+	if err := s.do(func() { regErr = s.eng.RegisterQuery(context.Background(), q) }); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	if regErr != nil {
 		status := http.StatusUnprocessableEntity
-		if errors.Is(regErr, core.ErrDuplicateQuery) {
+		if errors.Is(regErr, streamworks.ErrDuplicateQuery) {
 			status = http.StatusConflict
 		}
 		writeError(w, status, "registering %q: %v", q.Name(), regErr)
@@ -327,13 +334,8 @@ func primitiveStrings(p *decompose.Plan) []string {
 	return out
 }
 
-// QueryInfo is one entry of the GET /v1/queries listing.
-type QueryInfo struct {
-	Name     string `json:"name"`
-	Window   string `json:"window"`
-	Vertices int    `json:"vertices"`
-	Edges    int    `json:"edges"`
-}
+// QueryInfo is one entry of the GET /v1/queries listing (see api.QueryInfo).
+type QueryInfo = api.QueryInfo
 
 func (s *Server) handleListQueries(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
@@ -366,7 +368,7 @@ func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var unregErr error
-	if err := s.do(func() { unregErr = s.eng.UnregisterQuery(name) }); err != nil {
+	if err := s.do(func() { unregErr = s.eng.UnregisterQuery(context.Background(), name) }); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -382,18 +384,9 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 
 // ---- ingest -----------------------------------------------------------
 
-// IngestResponse reports how an edge batch was handled.
-type IngestResponse struct {
-	// Accepted is the number of edges admitted: decoded and queued (async)
-	// or routed to the shards (wait=1).
-	Accepted int `json:"accepted"`
-	// Queued is true when the batch was accepted asynchronously and is still
-	// in (or being drained from) the ingest queue.
-	Queued bool `json:"queued"`
-	// Error carries a processing error for wait=1 batches that failed
-	// part-way.
-	Error string `json:"error,omitempty"`
-}
+// IngestResponse reports how an edge batch was handled (see
+// api.IngestResponse).
+type IngestResponse = api.IngestResponse
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Shed before decoding: during drain or sustained overload the expensive
@@ -469,12 +462,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// AdvanceRequest is the body of POST /v1/advance: an explicit stream-time
-// signal (nanoseconds, same clock as edge timestamps) broadcast to every
-// shard, driving window expiry and pruning between sparse batches.
-type AdvanceRequest struct {
-	TS int64 `json:"ts"`
-}
+// AdvanceRequest is the body of POST /v1/advance (see api.AdvanceRequest).
+type AdvanceRequest = api.AdvanceRequest
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	var req AdvanceRequest
@@ -482,7 +471,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding advance request: %v", err)
 		return
 	}
-	if err := s.do(func() { s.eng.Advance(graph.Timestamp(req.TS)) }); err != nil {
+	if err := s.do(func() { _ = s.eng.Advance(context.Background(), graph.Timestamp(req.TS)) }); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -507,8 +496,17 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
-	sub, ok := s.hub.subscribe(queryName)
-	if !ok {
+	// The subscriber is a per-query push subscription on the engine — the
+	// engine filters and delivers, the hub only buffers. Matches arrive
+	// fully resolved (the public Match form), ready to encode.
+	sub, err := s.hub.register(queryName)
+	if errors.Is(err, streamworks.ErrUnknownQuery) {
+		// The s.queries pre-check can race an unregister; report the truth
+		// rather than a bogus "draining".
+		writeError(w, http.StatusNotFound, "unknown query %q", queryName)
+		return
+	}
+	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -525,28 +523,43 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	enc := json.NewEncoder(w)
+	write := func(rep streamworks.Match) bool {
+		if sse {
+			io.WriteString(w, "event: match\ndata: ")
+		}
+		if err := enc.Encode(rep); err != nil {
+			return false
+		}
+		if sse {
+			io.WriteString(w, "\n")
+		}
+		flusher.Flush()
+		return true
+	}
 	for {
 		select {
-		case ev, open := <-sub.ch:
+		case rep, open := <-sub.ch:
 			if !open {
-				// Evicted for falling behind, or the server drained; either
-				// way the stream ends cleanly and the client resubscribes.
+				// Evicted for falling behind; the stream ends cleanly and
+				// the client resubscribes.
 				return
 			}
-			s.mu.RLock()
-			q := s.queries[ev.Query]
-			s.mu.RUnlock()
-			rep := export.BuildReport(ev, q, nil)
-			if sse {
-				io.WriteString(w, "event: match\ndata: ")
-			}
-			if err := enc.Encode(rep); err != nil {
+			if !write(rep) {
 				return
 			}
-			if sse {
-				io.WriteString(w, "\n")
+		case <-sub.sub.Done():
+			// Engine drained: no further deliveries can happen, so flush
+			// whatever is still buffered and end the stream cleanly.
+			for {
+				select {
+				case rep, open := <-sub.ch:
+					if !open || !write(rep) {
+						return
+					}
+				default:
+					return
+				}
 			}
-			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -556,31 +569,16 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 // ---- metrics ----------------------------------------------------------
 
 // ServerMetrics counts serving-layer activity, complementing the engine
-// counters.
-type ServerMetrics struct {
-	Subscribers        int    `json:"subscribers"`
-	SubscribersEvicted uint64 `json:"subscribers_evicted"`
-	MatchesDelivered   uint64 `json:"matches_delivered"`
-	EdgesIngested      uint64 `json:"edges_ingested"`
-	BatchesIngested    uint64 `json:"batches_ingested"`
-	BatchesRejected    uint64 `json:"batches_rejected"`
-	IngestQueueLen     int    `json:"ingest_queue_len"`
-	IngestQueueCap     int    `json:"ingest_queue_cap"`
-}
+// counters (see api.ServerMetrics).
+type ServerMetrics = api.ServerMetrics
 
-// MetricsResponse is the GET /v1/metrics payload: the aggregated engine
-// view, each shard's raw counters (replicated edges, pre-dedup matches), and
-// the serving-layer counters.
-type MetricsResponse struct {
-	Engine core.Metrics   `json:"engine"`
-	Shards []core.Metrics `json:"shards"`
-	Server ServerMetrics  `json:"server"`
-}
+// MetricsResponse is the GET /v1/metrics payload (see api.MetricsResponse).
+type MetricsResponse = api.MetricsResponse
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var resp MetricsResponse
 	err := s.do(func() {
-		resp.Engine = s.eng.Metrics()
+		resp.Engine, _ = s.eng.Metrics(context.Background())
 		resp.Shards = s.eng.PerShardMetrics()
 	})
 	if err != nil {

@@ -8,9 +8,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/gen"
 	"github.com/streamworks/streamworks/internal/graph"
@@ -338,15 +340,39 @@ func TestSlowSubscriberEvictedNotBlocking(t *testing.T) {
 	}
 }
 
-// TestHubEviction pins down the eviction mechanics at the hub level.
+// fakeEngineSub is a stub streamworks.Subscription recording teardown.
+type fakeEngineSub struct {
+	done   chan struct{}
+	closed atomic.Bool
+}
+
+func (f *fakeEngineSub) Done() <-chan struct{} { return f.done }
+func (f *fakeEngineSub) Err() error            { return nil }
+func (f *fakeEngineSub) Close() error          { f.closed.Store(true); return nil }
+
+// TestHubEviction pins down the eviction mechanics at the hub level, with
+// the engine stubbed out: the hub registers a per-query sink per subscriber
+// and evicts a subscriber whose bounded buffer overflows, closing its
+// engine-side subscription too.
 func TestHubEviction(t *testing.T) {
-	h := newHub(2)
-	sub, ok := h.subscribe("")
-	if !ok {
-		t.Fatal("subscribe on fresh hub failed")
+	var (
+		sinks   = map[string]streamworks.MatchSink{}
+		engSubs = map[string]*fakeEngineSub{}
+	)
+	h := newHub(2, func(q string, sink streamworks.MatchSink) (streamworks.Subscription, error) {
+		es := &fakeEngineSub{done: make(chan struct{})}
+		sinks[q], engSubs[q] = sink, es
+		return es, nil
+	})
+	sub, err := h.register("")
+	if err != nil {
+		t.Fatalf("register on fresh hub failed: %v", err)
+	}
+	if sub.sub != engSubs[""] {
+		t.Fatal("subscriber not wired to its engine subscription")
 	}
 	for i := 0; i < 3; i++ {
-		h.broadcast(core.MatchEvent{Query: "q"})
+		sinks[""].OnMatch(streamworks.Match{Query: "q"})
 	}
 	if got := h.evicted.Load(); got != 1 {
 		t.Fatalf("evicted = %d, want 1", got)
@@ -356,6 +382,9 @@ func TestHubEviction(t *testing.T) {
 	}
 	if !sub.evicted.Load() {
 		t.Fatal("subscriber not flagged as evicted")
+	}
+	if !engSubs[""].closed.Load() {
+		t.Fatal("eviction did not close the engine-side subscription")
 	}
 	// Buffered events drain, then the closed channel reports end of stream.
 	for i := 0; i < 2; i++ {
@@ -367,13 +396,24 @@ func TestHubEviction(t *testing.T) {
 		t.Fatal("channel still open after eviction")
 	}
 	h.unsubscribe(sub) // idempotent after eviction
-	// Filtered subscribers only see their query.
-	fsub, _ := h.subscribe("other")
-	h.broadcast(core.MatchEvent{Query: "q"})
-	select {
-	case ev := <-fsub.ch:
-		t.Fatalf("filtered subscriber got %v", ev)
-	default:
+	// Deliveries racing an eviction are dropped, not sent on a closed
+	// channel.
+	sinks[""].OnMatch(streamworks.Match{Query: "q"})
+	if got := h.delivered.Load(); got != 2 {
+		t.Fatalf("delivered after eviction = %d, want 2", got)
+	}
+	// The hub passes the query filter through to the engine, which is the
+	// component that filters; a second subscriber registers under its name.
+	if _, err := h.register("other"); err != nil {
+		t.Fatalf("filtered register: %v", err)
+	}
+	if _, ok := sinks["other"]; !ok {
+		t.Fatal("query filter not passed to the engine subscription")
+	}
+	// After close, new registrations are refused.
+	h.close()
+	if _, err := h.register(""); err == nil {
+		t.Fatal("register after close succeeded")
 	}
 }
 

@@ -1,0 +1,142 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/shard"
+)
+
+func flowEdge(id int, src, dst graph.VertexID, ts graph.Timestamp) graph.StreamEdge {
+	return graph.StreamEdge{
+		Edge:       graph.Edge{ID: graph.EdgeID(id), Source: src, Target: dst, Type: gen.EdgeFlow, Timestamp: ts},
+		SourceType: gen.TypeHost, TargetType: gen.TypeHost,
+	}
+}
+
+// TestCloseIdempotentAndLateProcess is the regression test for engine
+// shutdown misuse: Close twice (and concurrently with nothing running) must
+// be a no-op, and Process/RegisterQuery after Close must fail with the
+// ErrClosed sentinel instead of risking a send on a stopped mailbox.
+func TestCloseIdempotentAndLateProcess(t *testing.T) {
+	cfg := shard.DefaultConfig()
+	cfg.Shards = 2
+	s := shard.New(&cfg)
+	if err := s.RegisterQuery(gen.SmurfQuery(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	base := graph.TimestampFromTime(time.Unix(5000, 0))
+	for i := 0; i < 16; i++ {
+		if err := s.Process(flowEdge(i+1, graph.VertexID(i), graph.VertexID(i+100), base.Add(time.Duration(i)*time.Millisecond))); err != nil {
+			t.Fatalf("Process(%d): %v", i, err)
+		}
+	}
+
+	s.Close()
+	s.Close() // double-Close: must return immediately, no panic, no hang
+
+	if err := s.Process(flowEdge(99, 1, 2, base.Add(time.Second))); !errors.Is(err, shard.ErrClosed) {
+		t.Fatalf("Process after Close: %v, want ErrClosed", err)
+	}
+	if err := s.ProcessContext(context.Background(), flowEdge(100, 1, 2, base.Add(time.Second))); !errors.Is(err, shard.ErrClosed) {
+		t.Fatalf("ProcessContext after Close: %v, want ErrClosed", err)
+	}
+	if err := s.RegisterQuery(gen.WormQuery(time.Minute)); !errors.Is(err, shard.ErrClosed) {
+		t.Fatalf("RegisterQuery after Close: %v, want ErrClosed", err)
+	}
+	if err := s.UnregisterQuery("smurf-ddos"); !errors.Is(err, shard.ErrClosed) {
+		t.Fatalf("UnregisterQuery after Close: %v, want ErrClosed", err)
+	}
+	// Start after Close is a no-op: the engine stays closed.
+	s.Start()
+	if err := s.Process(flowEdge(101, 1, 2, base.Add(time.Second))); !errors.Is(err, shard.ErrClosed) {
+		t.Fatalf("Process after Close+Start: %v, want ErrClosed", err)
+	}
+	// Metrics remain readable on a closed engine.
+	if m := s.Metrics(); m.EdgesProcessed == 0 {
+		t.Fatal("metrics lost after Close")
+	}
+}
+
+// TestCloseBeforeStartFinishesSubscriptions checks Close on a never-started
+// engine: idempotent, and every subscription's Done closes so waiters are
+// released.
+func TestCloseBeforeStartFinishesSubscriptions(t *testing.T) {
+	s := shard.New(nil)
+	sub := s.Subscribe("", core.MatchSinkFunc(func(core.MatchEvent) {}))
+	s.Close()
+	select {
+	case <-sub.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription not finished by Close on an unstarted engine")
+	}
+	s.Close()
+	// A subscription opened on a closed engine is born finished.
+	late := s.Subscribe("", core.MatchSinkFunc(func(core.MatchEvent) {}))
+	select {
+	case <-late.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("late subscription not born finished")
+	}
+	// The Events adapter on a closed engine is a closed channel.
+	if _, open := <-s.Events(); open {
+		t.Fatal("Events on a closed engine delivered a value")
+	}
+}
+
+// TestSubscriptionFiltersAndCancel checks the shard-level push subscription
+// surface directly: per-query filtering and mid-stream cancellation.
+func TestSubscriptionFiltersAndCancel(t *testing.T) {
+	w := smallNetflow(time.Minute, 37)
+	cfg := shard.DefaultConfig()
+	cfg.Engine = w.Engine
+	s := shard.New(&cfg)
+	for _, q := range w.Queries {
+		if err := s.RegisterQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start()
+	smurf := make(gen.MatchSet)
+	smurfSub := s.Subscribe("smurf-ddos", core.MatchSinkFunc(func(ev core.MatchEvent) {
+		if ev.Query != "smurf-ddos" {
+			t.Errorf("filtered subscription delivered %q", ev.Query)
+		}
+		smurf.Add(ev)
+	}))
+	all := make(gen.MatchSet)
+	allSub := s.Subscribe("", core.MatchSinkFunc(func(ev core.MatchEvent) { all.Add(ev) }))
+	canceled := s.Subscribe("", core.MatchSinkFunc(func(core.MatchEvent) {}))
+	canceled.Close()
+	<-canceled.Done()
+	canceled.Close() // idempotent
+
+	for _, se := range w.Edges {
+		if err := s.Process(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	<-smurfSub.Done()
+	<-allSub.Done()
+
+	if len(all) == 0 || len(smurf) == 0 {
+		t.Fatalf("degenerate workload: %d all / %d smurf matches", len(all), len(smurf))
+	}
+	want := make(gen.MatchSet)
+	for k := range all {
+		if strings.HasPrefix(k, "smurf-ddos\x1f") {
+			want[k] = struct{}{}
+		}
+	}
+	if !smurf.Equal(want) {
+		t.Fatalf("filtered subscription saw %d matches, full stream holds %d for the query", len(smurf), len(want))
+	}
+}

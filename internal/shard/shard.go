@@ -22,9 +22,11 @@
 // more than one shard. All shard outputs are funneled onto one merge channel
 // and deduplicated by canonical match key (query name plus the sorted
 // pattern-edge → data-edge binding), so replication never double-reports.
-// Stream time is coordinated by broadcasting watermark advances to shards
-// that did not receive an edge, keeping window expiry and SJ-tree pruning
-// moving on idle partitions.
+// Deduplicated matches are pushed to per-query subscriptions (Subscribe), the
+// primary consumption surface; Events remains as a single-channel adapter for
+// callers that prefer pulling from a channel. Stream time is coordinated by
+// broadcasting watermark advances to shards that did not receive an edge,
+// keeping window expiry and SJ-tree pruning moving on idle partitions.
 //
 // Sources feeding a ShardedEngine must populate endpoint metadata
 // (types/attributes) on every stream edge, not only on a vertex's first
@@ -33,8 +35,10 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/streamworks/streamworks/internal/core"
@@ -71,8 +75,9 @@ func DefaultConfig() Config {
 // ShardedEngine drives N core.Engine shards behind the same
 // register/process/metrics surface as a single engine. Control methods
 // (RegisterQuery, UnregisterQuery, Process, Advance, Metrics, Start, Close)
-// must be called from one goroutine — the stream driver — while Events may be
-// consumed concurrently; Run wires both sides together.
+// must be called from one goroutine — the stream driver — while Subscribe,
+// Events consumption and Subscription.Close are safe from any goroutine; Run
+// wires both sides together.
 type ShardedEngine struct {
 	cfg     Config
 	workers []*worker
@@ -80,9 +85,18 @@ type ShardedEngine struct {
 	dedup   *dedup
 
 	running    bool
-	out        chan shardEvent      // workers → merger (events + progress marks)
-	events     chan core.MatchEvent // merger → consumer, deduplicated
+	closed     bool            // Close was called; the engine is permanently stopped
+	out        chan shardEvent // workers → merger (events + progress marks)
 	mergerDone chan struct{}
+
+	// subMu guards the push-subscription registry and the lazy Events
+	// channel; it is taken briefly by Subscribe/unsubscribe and by the
+	// merger per delivered event.
+	subMu   sync.Mutex
+	subs    []*Subscription
+	subSeq  int
+	drained bool                 // merger has exited (or the engine closed unstarted)
+	events  chan core.MatchEvent // lazy compatibility adapter, see Events
 
 	seenTS        bool
 	maxTS         graph.Timestamp
@@ -93,6 +107,87 @@ type ShardedEngine struct {
 	// widened by pre-ingest registrations exactly as core.extendRetention
 	// widens it on each shard. Zero means unbounded.
 	retention time.Duration
+}
+
+// Subscription is one per-query push subscription on a ShardedEngine. The
+// registered sink receives every deduplicated match admitted for its query
+// (all queries when the filter is empty), invoked on the merger goroutine:
+// sinks must not block, or they stall merging and eventually ingestion.
+// Done is closed when no further matches can arrive — the engine closed and
+// drained, or the subscription was closed.
+type Subscription struct {
+	s     *ShardedEngine
+	id    int
+	query string
+	sink  core.MatchSink
+	done  chan struct{}
+	once  sync.Once
+}
+
+// Done reports delivery end: closed after the final OnMatch call.
+func (sub *Subscription) Done() <-chan struct{} { return sub.done }
+
+// Close cancels the subscription. Matches already being dispatched may still
+// be delivered concurrently with Close; after Done is closed none are. Safe
+// to call from any goroutine, more than once.
+func (sub *Subscription) Close() { sub.s.unsubscribe(sub) }
+
+func (sub *Subscription) finish() {
+	sub.once.Do(func() { close(sub.done) })
+}
+
+// Subscribe registers a push subscription for one query (queryFilter names
+// it) or all queries (queryFilter ""). It may be called from any goroutine, before
+// or after Start; matches emitted before Subscribe returns are not
+// redelivered. Subscribing on a closed (or drained) engine returns a
+// subscription whose Done is already closed.
+func (s *ShardedEngine) Subscribe(queryFilter string, sink core.MatchSink) *Subscription {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	s.subSeq++
+	sub := &Subscription{s: s, id: s.subSeq, query: queryFilter, sink: sink, done: make(chan struct{})}
+	if s.drained {
+		sub.finish()
+		return sub
+	}
+	subs := make([]*Subscription, 0, len(s.subs)+1)
+	subs = append(subs, s.subs...)
+	s.subs = append(subs, sub)
+	return sub
+}
+
+// unsubscribe removes sub from the registry and marks it finished.
+func (s *ShardedEngine) unsubscribe(sub *Subscription) {
+	s.subMu.Lock()
+	for i, o := range s.subs {
+		if o.id == sub.id {
+			subs := make([]*Subscription, 0, len(s.subs)-1)
+			subs = append(subs, s.subs[:i]...)
+			s.subs = append(subs, s.subs[i+1:]...)
+			break
+		}
+	}
+	s.subMu.Unlock()
+	sub.finish()
+}
+
+// finishSubscriptions marks the subscription registry drained: every live
+// subscription's Done closes and the Events adapter (if materialized) is
+// closed. Called by the merger on exit, and by Close on an engine that was
+// never started.
+func (s *ShardedEngine) finishSubscriptions() {
+	s.subMu.Lock()
+	s.drained = true
+	subs := s.subs
+	s.subs = nil
+	events := s.events
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.finish()
+	}
+	if events != nil {
+		close(events)
+	}
 }
 
 // New constructs a stopped ShardedEngine. cfg may be nil for DefaultConfig.
@@ -136,6 +231,11 @@ func (s *ShardedEngine) Shards() int { return len(s.workers) }
 var (
 	// ErrNotRunning is returned by Process when Start has not been called.
 	ErrNotRunning = errors.New("shard: engine not running (call Start)")
+	// ErrClosed is returned by Process, RegisterQuery and UnregisterQuery
+	// after Close: the mailboxes are gone, so accepting the call would mean
+	// either silently dropping work or sending on a stopped mailbox. Close
+	// is permanent (and idempotent); build a new engine to stream again.
+	ErrClosed = errors.New("shard: engine closed")
 	// ErrBroadcastRequired is returned when a query without a hub vertex is
 	// registered after edges have been routed: its edge types were
 	// endpoint-partitioned rather than broadcast up to that point, so shards
@@ -161,6 +261,9 @@ var (
 func (s *ShardedEngine) RegisterQuery(q *query.Graph, opts ...core.RegistrationOption) error {
 	if q == nil {
 		return core.ErrNilQuery
+	}
+	if s.closed {
+		return ErrClosed
 	}
 	if s.edgesRouted > 0 && len(s.workers) > 1 && !hasHubVertex(q) {
 		return fmt.Errorf("%w: %q", ErrBroadcastRequired, q.Name())
@@ -199,6 +302,9 @@ func (s *ShardedEngine) RegisterQuery(q *query.Graph, opts ...core.RegistrationO
 // held for the query are dropped with it; in-flight duplicates already queued
 // on the merge channel remain deduplicated.
 func (s *ShardedEngine) UnregisterQuery(name string) error {
+	if s.closed {
+		return ErrClosed
+	}
 	var firstErr error
 	for _, w := range s.workers {
 		if err := w.unregister(s.running, name); err != nil && firstErr == nil {
@@ -212,13 +318,12 @@ func (s *ShardedEngine) UnregisterQuery(name string) error {
 }
 
 // Start spawns the shard workers and the deduplicating merger. It is a no-op
-// when already running.
+// when already running or after Close.
 func (s *ShardedEngine) Start() {
-	if s.running {
+	if s.running || s.closed {
 		return
 	}
 	s.out = make(chan shardEvent, 64*len(s.workers))
-	s.events = make(chan core.MatchEvent, 256)
 	s.mergerDone = make(chan struct{})
 	for _, w := range s.workers {
 		w.start(s.cfg.Buffer, s.out)
@@ -227,14 +332,15 @@ func (s *ShardedEngine) Start() {
 	s.running = true
 }
 
-// merge funnels all shard outputs into the deduplicated event stream. It
-// exits when Close closes the merge channel after all workers have drained.
-// Progress marks from the shards drive dedup-key eviction: the minimum
-// observed shard watermark bounds, via channel FIFO order, which duplicates
-// can still be in flight.
+// merge funnels all shard outputs into the deduplicated push subscriptions
+// (and the Events adapter when materialized). It exits when Close closes the
+// merge channel after all workers have drained, then finishes every
+// subscription. Progress marks from the shards drive dedup-key eviction: the
+// minimum observed shard watermark bounds, via channel FIFO order, which
+// duplicates can still be in flight.
 func (s *ShardedEngine) merge() {
 	defer close(s.mergerDone)
-	defer close(s.events)
+	defer s.finishSubscriptions()
 	marks := make([]graph.Timestamp, len(s.workers))
 	marked := make([]bool, len(s.workers))
 	for se := range s.out {
@@ -248,8 +354,28 @@ func (s *ShardedEngine) merge() {
 			continue
 		}
 		if s.dedup.admit(se.ev) {
-			s.events <- se.ev
+			s.deliver(se.ev)
 		}
+	}
+}
+
+// deliver pushes one admitted match to every matching subscription and to
+// the Events adapter. The registry is copy-on-write: the snapshot is taken
+// under subMu, the sink calls happen outside it, so Subscribe never blocks
+// behind a slow sink. A subscription closed concurrently with delivery may
+// receive this final event.
+func (s *ShardedEngine) deliver(ev core.MatchEvent) {
+	s.subMu.Lock()
+	subs := s.subs
+	events := s.events
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		if sub.query == "" || sub.query == ev.Query {
+			sub.sink.OnMatch(ev)
+		}
+	}
+	if events != nil {
+		events <- ev
 	}
 }
 
@@ -268,23 +394,58 @@ func minMark(marks []graph.Timestamp, marked []bool) (graph.Timestamp, bool) {
 	return min, true
 }
 
-// Events returns the deduplicated match stream. It is closed by Close once
-// all shards have drained. Valid after Start; consumers must drain it (Run
-// does) or ingestion eventually blocks.
-func (s *ShardedEngine) Events() <-chan core.MatchEvent { return s.events }
+// Events returns the deduplicated match stream as a channel — the
+// compatibility adapter over the push-subscription surface. The channel is
+// materialized on first call and receives matches admitted from then on
+// (subscribe before processing edges to see everything); it is closed once
+// the engine closes and drains. Consumers must drain it or ingestion
+// eventually blocks — push subscriptions (Subscribe) do not have that
+// failure mode and are the preferred surface.
+func (s *ShardedEngine) Events() <-chan core.MatchEvent {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.events == nil {
+		s.events = make(chan core.MatchEvent, 256)
+		if s.drained {
+			close(s.events)
+		}
+	}
+	return s.events
+}
 
 // Process routes one stream edge to the shards that need it and broadcasts a
 // watermark advance to the others when stream time has moved far enough.
 // Edges must be supplied in non-decreasing timestamp order up to the
 // configured slack, as with a single engine. It returns ErrNotRunning when
-// called before Start.
+// called before Start and ErrClosed after Close.
 func (s *ShardedEngine) Process(se graph.StreamEdge) error {
+	return s.ProcessContext(context.Background(), se)
+}
+
+// ProcessContext is Process with a cancellation bound on the blocking
+// mailbox hand-off: when the shards cannot accept the edge before ctx is
+// done, it returns the context error. Cancellation can interrupt a
+// multi-shard delivery part-way; the edge may then have reached a subset of
+// its shards, exactly as if the stream had been cut at that point.
+func (s *ShardedEngine) ProcessContext(ctx context.Context, se graph.StreamEdge) error {
+	if s.closed {
+		return ErrClosed
+	}
 	if !s.running {
 		return ErrNotRunning
 	}
 	dests := s.router.route(se)
-	for _, d := range dests {
-		s.workers[d].enqueueEdge(se)
+	for i, d := range dests {
+		if err := s.workers[d].enqueueEdge(ctx, se); err != nil {
+			if i > 0 {
+				// At least one shard already consumed the edge under
+				// endpoint-partition routing: the stream is no longer
+				// pristine, so the hub-free registration guard
+				// (edgesRouted > 0) must still engage.
+				s.edgesRouted++
+			}
+			return err
+		}
 	}
 	s.edgesRouted++
 	ts := se.Edge.Timestamp
@@ -316,6 +477,9 @@ func (s *ShardedEngine) Process(se graph.StreamEdge) error {
 // throttled by AdvanceEvery and individual shards may lag well behind it;
 // per-shard watermarks are monotone, so a stale signal is harmless.
 func (s *ShardedEngine) Advance(ts graph.Timestamp) {
+	if s.closed {
+		return
+	}
 	if !s.seenTS || ts > s.maxTS {
 		s.maxTS, s.seenTS = ts, true
 	}
@@ -331,11 +495,19 @@ func (s *ShardedEngine) Advance(ts graph.Timestamp) {
 	}
 }
 
-// Close flushes the mailboxes, stops the workers and the merger, and closes
-// the Events channel. The engine can be Started again afterwards; dedup
-// state survives so a restart on the same stream does not re-report.
+// Close flushes the mailboxes, stops the workers and the merger, finishes
+// every subscription (Done closes after the final delivery) and closes the
+// Events adapter. Close is idempotent and permanent: a closed engine cannot
+// be restarted, Process returns ErrClosed, and a second Close returns
+// immediately.
 func (s *ShardedEngine) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if !s.running {
+		// Never started: there is no merger to finish the subscriptions.
+		s.finishSubscriptions()
 		return
 	}
 	for _, w := range s.workers {
@@ -351,28 +523,24 @@ func (s *ShardedEngine) Close() {
 
 // Run streams src through the sharded engine: it starts the workers, routes
 // every edge, and invokes fn (when non-nil) for each deduplicated match
-// event. It returns the number of deduplicated matches. The engine is closed
-// when the source is exhausted.
+// event via a push subscription. It returns the number of deduplicated
+// matches. The engine is closed when the source is exhausted.
 func (s *ShardedEngine) Run(src stream.Source, fn func(core.MatchEvent)) (int, error) {
 	s.Start()
 	total := 0
-	consumerDone := make(chan struct{})
-	go func() {
-		defer close(consumerDone)
-		for ev := range s.events {
-			total++
-			if fn != nil {
-				fn(ev)
-			}
+	sub := s.Subscribe("", core.MatchSinkFunc(func(ev core.MatchEvent) {
+		total++
+		if fn != nil {
+			fn(ev)
 		}
-	}()
+	}))
 	var procErr error
 	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
 		procErr = s.Process(se)
 		return procErr == nil
 	})
 	s.Close()
-	<-consumerDone
+	<-sub.Done()
 	if procErr != nil {
 		return total, procErr
 	}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"sync"
 
 	"github.com/streamworks/streamworks/internal/core"
@@ -76,12 +77,25 @@ type worker struct {
 	in   chan message
 	out  chan<- shardEvent
 	done sync.WaitGroup
+
+	// sinkAttached records that the engine-level match sink forwarding to
+	// the merge channel has been registered (once, on first start).
+	sinkAttached bool
 }
 
-// start spawns the worker goroutine with a fresh mailbox.
+// start spawns the worker goroutine with a fresh mailbox. Matches are pushed
+// onto the merge channel by an engine-level sink at the moment of emission —
+// the core MatchSink path threaded up through the merger — rather than by
+// collecting ProcessEdge return slices.
 func (w *worker) start(buffer int, out chan<- shardEvent) {
 	w.in = make(chan message, buffer)
 	w.out = out
+	if !w.sinkAttached {
+		w.sinkAttached = true
+		w.eng.Subscribe("", core.MatchSinkFunc(func(ev core.MatchEvent) {
+			w.out <- shardEvent{ev: ev}
+		}))
+	}
 	w.done.Add(1)
 	go w.loop()
 }
@@ -98,9 +112,10 @@ func (w *worker) loop() {
 	for msg := range w.in {
 		switch msg.kind {
 		case msgEdge:
-			for _, ev := range w.eng.ProcessEdge(msg.edge) {
-				w.out <- shardEvent{ev: ev}
-			}
+			// Complete matches reach the merge channel through the engine
+			// sink registered in start; the scratch-backed return slice is
+			// deliberately unused.
+			w.eng.ProcessEdge(msg.edge)
 			if edges++; edges%markEvery == 0 {
 				w.sendMark()
 			}
@@ -143,9 +158,19 @@ func (w *worker) roundTrip(req *ctrlReq) ctrlResp {
 }
 
 // enqueueEdge delivers an edge to the shard (blocking when the mailbox is
-// full — backpressure to the stream driver).
-func (w *worker) enqueueEdge(se graph.StreamEdge) {
+// full — backpressure to the stream driver). A context with cancellation
+// bounds the wait; context.Background() takes the uninstrumented fast path.
+func (w *worker) enqueueEdge(ctx context.Context, se graph.StreamEdge) error {
+	if d := ctx.Done(); d != nil {
+		select {
+		case w.in <- message{kind: msgEdge, edge: se}:
+			return nil
+		case <-d:
+			return ctx.Err()
+		}
+	}
 	w.in <- message{kind: msgEdge, edge: se}
+	return nil
 }
 
 // enqueueAdvance delivers a watermark broadcast.

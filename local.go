@@ -1,0 +1,227 @@
+package streamworks
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/export"
+)
+
+// Local is the single-engine backend: one core engine behind a mutex, so
+// the public concurrency contract holds even though the underlying engine is
+// single-threaded. Matches are pushed to subscriptions synchronously, on the
+// goroutine whose Process call emitted them.
+type Local struct {
+	mu      sync.Mutex
+	eng     *core.Engine
+	queries map[string]*Query
+	subs    map[int]*localSub
+	seq     int
+	closed  bool
+
+	// deadMu guards the list of subscriptions closed since the last sweep.
+	// Subscription.Close only touches this list and the sub's own flag, so
+	// it is safe from any goroutine — including from inside the
+	// subscription's own sink, which runs while mu is held; the engine-side
+	// sink de-registration is deferred to the next mu-holding call.
+	deadMu sync.Mutex
+	dead   []int
+}
+
+var _ Engine = (*Local)(nil)
+
+// New builds a single-engine backend. With no options it uses the default
+// engine configuration (unbounded retention, summaries on).
+func New(opts ...Option) *Local {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Local{
+		eng:     core.New(&cfg.engine),
+		queries: make(map[string]*Query),
+		subs:    make(map[int]*localSub),
+	}
+}
+
+// localSub is one push subscription on a Local engine.
+type localSub struct {
+	l      *Local
+	id     int
+	cancel func() // de-registers the core sink; called under l.mu (sweep)
+	closed atomic.Bool
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (s *localSub) Done() <-chan struct{} { return s.done }
+func (s *localSub) Err() error            { return nil }
+
+// Close cancels the subscription: delivery stops immediately (the wrapper
+// sink checks the flag), Done closes, and the engine-side sink is reclaimed
+// on the engine's next call. Idempotent and safe from inside the
+// subscription's own sink.
+func (s *localSub) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.l.deadMu.Lock()
+	s.l.dead = append(s.l.dead, s.id)
+	s.l.deadMu.Unlock()
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+
+// sweepLocked reclaims engine-side sinks of closed subscriptions. Caller
+// holds l.mu.
+func (l *Local) sweepLocked() {
+	l.deadMu.Lock()
+	dead := l.dead
+	l.dead = nil
+	l.deadMu.Unlock()
+	for _, id := range dead {
+		if sub, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			sub.cancel()
+		}
+	}
+}
+
+// RegisterQuery installs a continuous query.
+func (l *Local) RegisterQuery(ctx context.Context, q *Query) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.sweepLocked()
+	reg, err := l.eng.RegisterQuery(q)
+	if err != nil {
+		return err
+	}
+	l.queries[reg.Name()] = q
+	return nil
+}
+
+// UnregisterQuery removes a registered query and its partial state.
+func (l *Local) UnregisterQuery(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.sweepLocked()
+	if err := l.eng.UnregisterQuery(name); err != nil {
+		return err
+	}
+	delete(l.queries, name)
+	return nil
+}
+
+// Process ingests one stream edge; matches it completes are pushed to
+// subscriptions before Process returns.
+func (l *Local) Process(ctx context.Context, se StreamEdge) error {
+	return l.ProcessBatch(ctx, []StreamEdge{se})
+}
+
+// ProcessBatch ingests a batch of edges in order, checking ctx between
+// edges.
+func (l *Local) ProcessBatch(ctx context.Context, edges []StreamEdge) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.sweepLocked()
+	for _, se := range edges {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		l.eng.ProcessEdge(se)
+	}
+	return nil
+}
+
+// Advance signals the passage of stream time in the absence of edges.
+func (l *Local) Advance(ctx context.Context, ts Timestamp) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.eng.Advance(ts)
+	return nil
+}
+
+// Subscribe attaches sink to the query named by queryFilter ("" for all
+// queries). The sink runs synchronously inside Process; it may close its
+// own subscription, but must not otherwise call back into this engine.
+func (l *Local) Subscribe(queryFilter string, sink MatchSink) (Subscription, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	l.sweepLocked()
+	if queryFilter != "" {
+		if _, known := l.queries[queryFilter]; !known {
+			return nil, ErrUnknownQuery
+		}
+	}
+	l.seq++
+	sub := &localSub{l: l, id: l.seq, done: make(chan struct{})}
+	// The core sink fires while l.mu is held by Process, so reading the
+	// query map here is race-free.
+	sub.cancel = l.eng.Subscribe(queryFilter, core.MatchSinkFunc(func(ev core.MatchEvent) {
+		if sub.closed.Load() {
+			return
+		}
+		sink.OnMatch(export.BuildReport(ev, l.queries[ev.Query], nil))
+	}))
+	l.subs[sub.id] = sub
+	return sub, nil
+}
+
+// Metrics snapshots engine counters; it keeps working after Close.
+func (l *Local) Metrics(ctx context.Context) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.eng.Metrics(), nil
+}
+
+// Close shuts the engine down: idempotent, and every subscription's Done
+// closes. Subsequent mutating calls return ErrClosed.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.sweepLocked()
+	subs := l.subs
+	l.subs = map[int]*localSub{}
+	for _, sub := range subs {
+		sub.closed.Store(true)
+		sub.cancel()
+	}
+	l.mu.Unlock()
+	for _, sub := range subs {
+		sub.once.Do(func() { close(sub.done) })
+	}
+	return nil
+}

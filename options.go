@@ -1,0 +1,97 @@
+package streamworks
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/shard"
+)
+
+// config collects every backend's tunables; each constructor reads the
+// fields that apply to it and ignores the rest.
+type config struct {
+	engine       core.Config
+	shards       int
+	shardBuffer  int
+	advanceEvery time.Duration
+	httpClient   *http.Client
+}
+
+func defaultConfig() config {
+	return config{
+		engine: core.DefaultConfig(),
+		shards: shard.DefaultConfig().Shards,
+	}
+}
+
+// Option customizes an engine constructor. Options that do not apply to the
+// chosen backend are ignored (e.g. WithShards on New, WithRetention on
+// Connect — a remote engine's window is fixed by the daemon).
+type Option func(*config)
+
+// WithRetention sets the sliding window width of the dynamic graph. Zero
+// (the default) retains every edge; registrations with time windows widen
+// retention automatically before streaming begins. In-process backends only.
+func WithRetention(d time.Duration) Option {
+	return func(c *config) { c.engine.Retention = d }
+}
+
+// WithSlack sets the tolerated out-of-order arrival lag. In-process
+// backends only.
+func WithSlack(d time.Duration) Option {
+	return func(c *config) { c.engine.Slack = d }
+}
+
+// WithSummaries toggles continuous stream-statistics collection (degree,
+// type and triad distributions) used by the selective query planner.
+// In-process backends only; default on.
+func WithSummaries(enabled bool) Option {
+	return func(c *config) { c.engine.EnableSummaries = enabled }
+}
+
+// WithTriadSampling sets the 1-in-n triad sampling rate (0 disables triads).
+// In-process backends only.
+func WithTriadSampling(n int) Option {
+	return func(c *config) { c.engine.TriadSampling = n }
+}
+
+// WithPruneInterval sets the number of processed edges between partial-match
+// pruning sweeps. In-process backends only.
+func WithPruneInterval(n int) Option {
+	return func(c *config) { c.engine.PruneInterval = n }
+}
+
+// WithEngineConfig replaces the whole per-engine configuration at once, for
+// embedders that already manage an EngineConfig. Later fine-grained options
+// still apply on top. In-process backends only.
+func WithEngineConfig(cfg EngineConfig) Option {
+	return func(c *config) { c.engine = cfg }
+}
+
+// WithShards sets the number of engine shards for NewSharded (default 4,
+// minimum 1). Ignored by the other backends.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithShardBuffer sets the per-shard mailbox depth in messages for
+// NewSharded (default 1024). Ignored by the other backends.
+func WithShardBuffer(n int) Option {
+	return func(c *config) { c.shardBuffer = n }
+}
+
+// WithAdvanceEvery sets the watermark-broadcast granularity for NewSharded:
+// shards that did not receive an edge are sent an explicit time advance
+// whenever observed stream time has moved at least this far. Zero picks a
+// default; negative disables broadcasts. Ignored by the other backends.
+func WithAdvanceEvery(d time.Duration) Option {
+	return func(c *config) { c.advanceEvery = d }
+}
+
+// WithHTTPClient substitutes the http.Client Connect uses for every request.
+// The client must not enforce an overall request timeout (subscriptions are
+// long-lived streams); use per-call contexts instead. Connect only.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *config) { c.httpClient = hc }
+}

@@ -1,0 +1,306 @@
+package streamworks
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/export"
+	"github.com/streamworks/streamworks/internal/shard"
+)
+
+// Sharded is the scale-out in-process backend: N core engines over hash
+// partitions of the vertex space, with deduplicated per-query push
+// subscriptions delivered from the merge goroutine. A mutex serializes the
+// underlying front-end's single-driver control surface, so the public
+// concurrency contract holds; Subscribe and subscription teardown bypass the
+// mutex entirely and never wait behind ingestion.
+type Sharded struct {
+	mu  sync.Mutex // serializes engine control ops (the single-driver contract)
+	eng *shard.ShardedEngine
+
+	// qmu guards the query map, which the match-delivery path reads from
+	// the merger goroutine — it must never wait behind mu, or a blocked
+	// ingest could deadlock delivery.
+	qmu     sync.RWMutex
+	queries map[string]*Query
+
+	// smu guards the public subscription registry (copy-on-write snapshot
+	// in subs) and the lazy engine-side subscription feeding it. One engine
+	// subscription serves every public subscriber, so each match is
+	// resolved into its public Match form exactly once, however many
+	// subscribers are attached.
+	smu     sync.Mutex
+	subs    []*shardedSub
+	seq     int
+	inner   *shard.Subscription
+	drained bool
+
+	closed atomic.Bool
+}
+
+var _ Engine = (*Sharded)(nil)
+
+// NewSharded builds and starts a sharded backend (default: 4 shards of the
+// default engine configuration).
+func NewSharded(opts ...Option) *Sharded {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng := shard.New(&shard.Config{
+		Shards:       cfg.shards,
+		Engine:       cfg.engine,
+		Buffer:       cfg.shardBuffer,
+		AdvanceEvery: cfg.advanceEvery,
+	})
+	eng.Start()
+	return &Sharded{eng: eng, queries: make(map[string]*Query)}
+}
+
+// Shards returns the number of engine shards.
+func (s *Sharded) Shards() int { return s.eng.Shards() }
+
+// shardedSub is one public subscription, fed by the engine-side fan-out.
+type shardedSub struct {
+	s      *Sharded
+	id     int
+	query  string
+	sink   MatchSink
+	closed atomic.Bool
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (sub *shardedSub) Done() <-chan struct{} { return sub.done }
+func (sub *shardedSub) Err() error            { return nil }
+
+// Close cancels the subscription. It only touches the registry lock, so it
+// is safe from any goroutine — including from inside the subscription's own
+// sink. A delivery already in flight may still arrive concurrently.
+func (sub *shardedSub) Close() error {
+	if sub.closed.Swap(true) {
+		return nil
+	}
+	s := sub.s
+	s.smu.Lock()
+	for i, o := range s.subs {
+		if o.id == sub.id {
+			subs := make([]*shardedSub, 0, len(s.subs)-1)
+			subs = append(subs, s.subs[:i]...)
+			s.subs = append(subs, s.subs[i+1:]...)
+			break
+		}
+	}
+	s.smu.Unlock()
+	sub.finish()
+	return nil
+}
+
+func (sub *shardedSub) finish() {
+	sub.once.Do(func() { close(sub.done) })
+}
+
+// fanout runs on the merge goroutine for every deduplicated match: resolve
+// the event into the public Match form once, then push it to every
+// subscription whose filter admits it.
+func (s *Sharded) fanout(ev core.MatchEvent) {
+	s.smu.Lock()
+	subs := s.subs
+	s.smu.Unlock()
+	built := false
+	var rep Match
+	for _, sub := range subs {
+		if sub.closed.Load() || (sub.query != "" && sub.query != ev.Query) {
+			continue
+		}
+		if !built {
+			s.qmu.RLock()
+			q := s.queries[ev.Query]
+			s.qmu.RUnlock()
+			rep = export.BuildReport(ev, q, nil)
+			built = true
+		}
+		sub.sink.OnMatch(rep)
+	}
+}
+
+// finishSubs marks the registry drained (the engine subscription ended) and
+// finishes every public subscription.
+func (s *Sharded) finishSubs() {
+	s.smu.Lock()
+	s.drained = true
+	subs := s.subs
+	s.subs = nil
+	s.smu.Unlock()
+	for _, sub := range subs {
+		sub.finish()
+	}
+}
+
+// translate maps front-end sentinels onto the public ones.
+func translate(err error) error {
+	if errors.Is(err, shard.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// RegisterQuery replicates a continuous query onto every shard. Queries
+// without a hub vertex must be registered before streaming begins (the
+// front-end's broadcast-routing requirement).
+func (s *Sharded) RegisterQuery(ctx context.Context, q *Query) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.RegisterQuery(q); err != nil {
+		return translate(err)
+	}
+	s.qmu.Lock()
+	s.queries[q.Name()] = q
+	s.qmu.Unlock()
+	return nil
+}
+
+// UnregisterQuery removes a registration from every shard.
+func (s *Sharded) UnregisterQuery(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.UnregisterQuery(name); err != nil {
+		return translate(err)
+	}
+	s.qmu.Lock()
+	delete(s.queries, name)
+	s.qmu.Unlock()
+	return nil
+}
+
+// Process routes one stream edge to the shards that need it. ctx bounds the
+// blocking mailbox hand-off under backpressure.
+func (s *Sharded) Process(ctx context.Context, se StreamEdge) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return translate(s.eng.ProcessContext(ctx, se))
+}
+
+// ProcessBatch routes a batch of edges in order.
+func (s *Sharded) ProcessBatch(ctx context.Context, edges []StreamEdge) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, se := range edges {
+		if err := s.eng.ProcessContext(ctx, se); err != nil {
+			return translate(err)
+		}
+	}
+	return nil
+}
+
+// Advance broadcasts an explicit stream-time signal to every shard.
+func (s *Sharded) Advance(ctx context.Context, ts Timestamp) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.Advance(ts)
+	return nil
+}
+
+// Subscribe attaches sink to the query named by queryFilter ("" for all
+// queries). Sinks run on the merge goroutine: a sink that blocks stalls
+// match delivery and eventually ingestion, so hand work off quickly.
+// Subscribe never waits behind ingestion and is safe while Process runs.
+func (s *Sharded) Subscribe(queryFilter string, sink MatchSink) (Subscription, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if queryFilter != "" {
+		s.qmu.RLock()
+		_, known := s.queries[queryFilter]
+		s.qmu.RUnlock()
+		if !known {
+			return nil, ErrUnknownQuery
+		}
+	}
+	s.smu.Lock()
+	s.seq++
+	sub := &shardedSub{s: s, id: s.seq, query: queryFilter, sink: sink, done: make(chan struct{})}
+	if s.drained {
+		s.smu.Unlock()
+		sub.finish()
+		return sub, nil
+	}
+	subs := make([]*shardedSub, 0, len(s.subs)+1)
+	subs = append(subs, s.subs...)
+	s.subs = append(subs, sub)
+	if s.inner == nil {
+		// First subscriber: attach the one engine-side subscription that
+		// feeds the whole registry, and watch its Done to finish every
+		// public subscription when the engine drains.
+		s.inner = s.eng.Subscribe("", core.MatchSinkFunc(s.fanout))
+		go func(inner *shard.Subscription) {
+			<-inner.Done()
+			s.finishSubs()
+		}(s.inner)
+	}
+	s.smu.Unlock()
+	return sub, nil
+}
+
+// Metrics aggregates per-shard counters into the single-engine Metrics
+// shape (matches post-deduplication); it keeps working after Close.
+func (s *Sharded) Metrics(ctx context.Context) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Metrics(), nil
+}
+
+// PerShardMetrics snapshots every shard engine's raw counters in shard
+// order (replicated edges included, match counts pre-deduplication), for
+// operators watching partition skew.
+func (s *Sharded) PerShardMetrics() []Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.PerShardMetrics()
+}
+
+// Close flushes the shard mailboxes, stops the workers and finishes every
+// subscription (Done closes after the final delivery). Idempotent;
+// subsequent mutating calls return ErrClosed.
+func (s *Sharded) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	s.eng.Close()
+	s.mu.Unlock()
+	// With no subscriber ever attached there is no inner subscription to
+	// propagate the drain; finish directly (idempotent otherwise).
+	s.finishSubs()
+	return nil
+}
