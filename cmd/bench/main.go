@@ -11,6 +11,7 @@
 //
 //	bench -workload netflow -edges 25000 -out BENCH_core.json
 //	bench -workload all -shards 0,4 -benchtime 2s
+//	bench -workload drift               # frozen vs adaptive re-planning, post-drift edges/s
 //	bench -baseline old.json -out BENCH_core.json   # embed a prior run + deltas
 package main
 
@@ -30,16 +31,17 @@ import (
 )
 
 type report struct {
-	GeneratedAt string            `json:"generated_at"`
-	GoVersion   string            `json:"go_version"`
-	GOOS        string            `json:"goos"`
-	GOARCH      string            `json:"goarch"`
-	NumCPU      int               `json:"num_cpu"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Note        string            `json:"note,omitempty"`
-	Results     []gen.BenchResult `json:"results"`
-	Baseline    *report           `json:"baseline,omitempty"`
-	Comparison  []comparison      `json:"comparison,omitempty"`
+	GeneratedAt  string                 `json:"generated_at"`
+	GoVersion    string                 `json:"go_version"`
+	GOOS         string                 `json:"goos"`
+	GOARCH       string                 `json:"goarch"`
+	NumCPU       int                    `json:"num_cpu"`
+	GOMAXPROCS   int                    `json:"gomaxprocs"`
+	Note         string                 `json:"note,omitempty"`
+	Results      []gen.BenchResult      `json:"results"`
+	DriftResults []gen.DriftBenchResult `json:"drift_results,omitempty"`
+	Baseline     *report                `json:"baseline,omitempty"`
+	Comparison   []comparison           `json:"comparison,omitempty"`
 }
 
 // comparison pairs one current result with the baseline result of the same
@@ -67,6 +69,7 @@ func main() {
 		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
 		baseline  = flag.String("baseline", "", "embed a prior report as the baseline and compute deltas")
 		note      = flag.String("note", "", "free-form note recorded in the report")
+		driftRuns = flag.Int("drift-runs", 3, "replays per drift configuration (best post-drift throughput is reported)")
 	)
 	testing.Init() // registers test.* flags so -benchtime can be forwarded
 	flag.Parse()
@@ -77,18 +80,22 @@ func main() {
 	}
 
 	var workloads []gen.Workload
+	runDrift := false
 	switch *workload {
 	case "netflow":
 		workloads = []gen.Workload{gen.BenchNetFlowWorkload(*edges, *hosts, *window)}
 	case "news":
 		workloads = []gen.Workload{gen.BenchNewsWorkload(*edges, 10**window)}
+	case "drift":
+		runDrift = true
 	case "all":
 		workloads = []gen.Workload{
 			gen.BenchNetFlowWorkload(*edges, *hosts, *window),
 			gen.BenchNewsWorkload(*edges, 10**window),
 		}
+		runDrift = true
 	default:
-		log.Fatalf("bench: unknown workload %q (want netflow, news or all)", *workload)
+		log.Fatalf("bench: unknown workload %q (want netflow, news, drift or all)", *workload)
 	}
 	shardCounts, err := parseShards(*shards)
 	if err != nil {
@@ -113,6 +120,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-8s %-10s %8d edges/op  %10.0f edges/s  %9d allocs/op  %11d B/op  %d matches\n",
 				res.Workload, res.Engine, res.EdgesPerOp, res.EdgesPerSec, res.AllocsPerOp, res.BytesPerOp, res.Matches)
 			rep.Results = append(rep.Results, res)
+		}
+	}
+	if runDrift {
+		// The drift benchmark is its own harness: the same workload replayed
+		// with the plan frozen at registration and with adaptive re-planning
+		// on, timing the post-drift segment separately. The two runs must
+		// detect the identical match set — the hot swap is a pure
+		// performance lever.
+		dw := gen.BenchDriftWorkload(*edges, *hosts, *window)
+		for _, sc := range shardCounts {
+			frozen, fset, err := gen.BenchDrift(dw, sc, false, *driftRuns)
+			if err != nil {
+				log.Fatalf("bench: drift frozen: %v", err)
+			}
+			adaptive, aset, err := gen.BenchDrift(dw, sc, true, *driftRuns)
+			if err != nil {
+				log.Fatalf("bench: drift adaptive: %v", err)
+			}
+			if !fset.Equal(aset) {
+				log.Fatalf("bench: drift match sets diverge: frozen %d vs adaptive %d", len(fset), len(aset))
+			}
+			for _, res := range []gen.DriftBenchResult{frozen, adaptive} {
+				fmt.Fprintf(os.Stderr, "%-8s %-10s %-9s %8d edges  %10.0f post-drift edges/s  %10.0f total edges/s  %2d replans  %d matches\n",
+					res.Workload, res.Engine, res.Mode, res.Edges, res.PostDriftEdgesPerSec, res.TotalEdgesPerSec, res.Replans, res.Matches)
+			}
+			rep.DriftResults = append(rep.DriftResults, frozen, adaptive)
 		}
 	}
 	if *baseline != "" {

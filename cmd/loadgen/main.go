@@ -37,7 +37,8 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8090", "server base URL")
-		workload = flag.String("workload", "netflow", "workload to replay: netflow or news")
+		workload = flag.String("workload", "netflow", "workload to replay: netflow, news or drift")
+		adaptive = flag.Bool("adaptive", false, "register queries with adaptive re-planning (daemon plans hot-swap on selectivity drift)")
 		edges    = flag.Int("edges", 100_000, "background edges (netflow)")
 		hosts    = flag.Int("hosts", 2000, "hosts (netflow)")
 		articles = flag.Int("articles", 2000, "articles (news)")
@@ -71,8 +72,12 @@ func main() {
 	rem := connect(ctx, *addr, 10*time.Second)
 	log.Printf("loadgen: connected (api %s, %d shards)", rem.ServerInfo().Version, rem.ServerInfo().Shards)
 
+	regOpts := streamworks.RegisterOptions{}
+	if *adaptive {
+		regOpts.Adaptive = streamworks.AdaptiveOn
+	}
 	for _, q := range w.Queries {
-		if err := rem.RegisterQuery(ctx, q); err != nil {
+		if err := rem.RegisterQueryWith(ctx, q, regOpts); err != nil {
 			log.Fatalf("loadgen: registering %q: %v", q.Name(), err)
 		}
 	}
@@ -230,8 +235,10 @@ func buildWorkload(name string, edges, hosts, articles int, window time.Duration
 		cfg.Articles = articles
 		cfg.Seed = seed
 		return gen.NewsWorkload(cfg, window, 2)
+	case "drift":
+		return gen.BenchDriftWorkload(edges, hosts, window)
 	default:
-		log.Fatalf("loadgen: unknown workload %q (want netflow or news)", name)
+		log.Fatalf("loadgen: unknown workload %q (want netflow, news or drift)", name)
 		panic("unreachable")
 	}
 }

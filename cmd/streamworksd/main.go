@@ -22,8 +22,10 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/server"
 	"github.com/streamworks/streamworks/internal/shard"
 )
@@ -41,8 +43,28 @@ func main() {
 		subBuffer = flag.Int("sub-buffer", 256, "per-subscriber match buffer; overflow evicts the subscriber")
 		maxBatch  = flag.Int("max-batch", 65536, "maximum edges accepted per ingest request")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+
+		strategy     = flag.String("strategy", "", "default decomposition strategy for registrations (selective, lazy, eager, balanced; empty = selective)")
+		adaptive     = flag.Bool("adaptive", false, "adapt query plans to live stream statistics by default (per-query override: POST /v1/queries?adaptive=on|off)")
+		replanEvery  = flag.Int("replan-every", 0, "edges between adaptive re-planning drift checks (0 = default 2048)")
+		replanThresh = flag.Float64("replan-threshold", 0, "cost-ratio hysteresis before a plan hot-swap (0 = default 2.0)")
+		replanCool   = flag.Duration("replan-cooldown", 0, "minimum stream time between plan swaps of one query (0 = default 10s; negative disables)")
 	)
 	flag.Parse()
+
+	if *strategy != "" {
+		// Fail at boot, not as a 422 on every later registration.
+		valid := false
+		for _, s := range streamworks.PlanStrategies() {
+			if s == *strategy {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			log.Fatalf("streamworksd: unknown -strategy %q (want one of %v)", *strategy, streamworks.PlanStrategies())
+		}
+	}
 
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: profiling stays off the
@@ -70,18 +92,25 @@ func main() {
 				Slack:           *slack,
 				EnableSummaries: *summaries,
 				TriadSampling:   *triad,
+				Replan: replan.Config{
+					CheckEvery: *replanEvery,
+					Threshold:  *replanThresh,
+					Cooldown:   *replanCool,
+				},
 			},
 		},
 		QueueDepth:       *queue,
 		SubscriberBuffer: *subBuffer,
 		MaxBatchEdges:    *maxBatch,
+		DefaultStrategy:  *strategy,
+		AdaptivePlanning: *adaptive,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("streamworksd: listening on %s (api=%s shards=%d retention=%s slack=%s)",
-			*addr, api.Version, *shards, *retention, *slack)
+		log.Printf("streamworksd: listening on %s (api=%s shards=%d retention=%s slack=%s adaptive=%v)",
+			*addr, api.Version, *shards, *retention, *slack, *adaptive)
 		errc <- hs.ListenAndServe()
 	}()
 

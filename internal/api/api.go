@@ -23,15 +23,27 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// RegisterOptions are the optional query parameters of POST /v1/queries
+// (the body stays pure DSL text): ?strategy= selects the decomposition
+// strategy, ?adaptive= opts the query in to ("on"/"1"/"true") or out of
+// ("off"/"0"/"false") adaptive re-planning, overriding the daemon default.
+// Empty fields defer to the daemon's configuration.
+type RegisterOptions struct {
+	Strategy string
+	Adaptive string
+}
+
 // RegisterResponse summarizes a successful query registration: the query
-// shape and an informational decomposition summary (computed without stream
-// statistics; each shard plans against its own evolving summary).
+// shape, the strategy and adaptive-planning mode in force, and an
+// informational decomposition summary (computed without stream statistics;
+// each shard plans against its own evolving summary).
 type RegisterResponse struct {
 	Name       string   `json:"name"`
 	Window     string   `json:"window"`
 	Vertices   int      `json:"vertices"`
 	Edges      int      `json:"edges"`
 	Strategy   string   `json:"strategy"`
+	Adaptive   bool     `json:"adaptive"`
 	PlanNodes  int      `json:"plan_nodes"`
 	PlanDepth  int      `json:"plan_depth"`
 	Primitives []string `json:"primitives"`

@@ -111,15 +111,39 @@ func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 	return &out, nil
 }
 
-// RegisterQuery serializes q into the text DSL and registers it.
+// RegisterQuery serializes q into the text DSL and registers it with the
+// daemon's default planning options.
 func (c *Client) RegisterQuery(ctx context.Context, q *query.Graph) (*api.RegisterResponse, error) {
 	return c.RegisterQueryDSL(ctx, query.Format(q))
 }
 
+// RegisterQueryWith serializes q into the text DSL and registers it with
+// explicit planning options (decomposition strategy, adaptive re-planning).
+func (c *Client) RegisterQueryWith(ctx context.Context, q *query.Graph, opts api.RegisterOptions) (*api.RegisterResponse, error) {
+	return c.RegisterQueryDSLWith(ctx, query.Format(q), opts)
+}
+
 // RegisterQueryDSL registers a query written in the text DSL.
 func (c *Client) RegisterQueryDSL(ctx context.Context, dsl string) (*api.RegisterResponse, error) {
+	return c.RegisterQueryDSLWith(ctx, dsl, api.RegisterOptions{})
+}
+
+// RegisterQueryDSLWith registers a DSL query with explicit planning
+// options, carried as URL query parameters so the body stays pure DSL text.
+func (c *Client) RegisterQueryDSLWith(ctx context.Context, dsl string, opts api.RegisterOptions) (*api.RegisterResponse, error) {
+	path := "/v1/queries"
+	params := url.Values{}
+	if opts.Strategy != "" {
+		params.Set("strategy", opts.Strategy)
+	}
+	if opts.Adaptive != "" {
+		params.Set("adaptive", opts.Adaptive)
+	}
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
 	var out api.RegisterResponse
-	err := c.roundTrip(ctx, http.MethodPost, "/v1/queries", "text/plain; charset=utf-8",
+	err := c.roundTrip(ctx, http.MethodPost, path, "text/plain; charset=utf-8",
 		strings.NewReader(dsl), &out)
 	if err != nil {
 		return nil, err

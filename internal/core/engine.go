@@ -18,6 +18,7 @@ import (
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/match"
 	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/stats"
 	"github.com/streamworks/streamworks/internal/stream"
 )
@@ -80,6 +81,12 @@ type Config struct {
 	// PruneInterval is the number of processed edges between partial-match
 	// pruning sweeps. Zero uses the default of 1024.
 	PruneInterval int
+	// Replan tunes adaptive re-planning for registrations created with
+	// WithAdaptive: how often selectivity drift is checked, the hysteresis
+	// threshold, and the per-query swap cooldown. Zero fields take the
+	// replan package defaults. Adaptive planning needs live statistics, so
+	// it is inert when EnableSummaries is false.
+	Replan replan.Config
 }
 
 // DefaultConfig returns the configuration used by New when nil is passed.
@@ -99,6 +106,20 @@ type Engine struct {
 	dyn     *graph.Dynamic
 	summary *stats.Summary
 	planner *decompose.Planner
+	// est is the live estimator behind the planner: plans scored through it
+	// reflect whatever the summary has learned so far, which is what lets
+	// the replan tick notice selectivity drift.
+	est *stats.Estimator
+
+	// replanCfg is the normalized adaptive-planning policy; adaptiveCount
+	// tracks how many registrations opted in (the tick is free when zero);
+	// sinceReplanCheck counts edges towards the next drift check, and
+	// lastReplanTotal is the summary edge count at the previous check so
+	// idle heartbeats (Advance with no new statistics) skip the planner.
+	replanCfg        replan.Config
+	adaptiveCount    int
+	sinceReplanCheck int
+	lastReplanTotal  uint64
 
 	registrations map[string]*Registration
 	order         []string // registration order, for deterministic iteration
@@ -142,7 +163,9 @@ func New(cfg *Config) *Engine {
 	if c.EnableSummaries {
 		e.summary = stats.NewSummary(stats.WithTriadSampling(c.TriadSampling))
 	}
-	e.planner = decompose.NewPlanner(stats.NewEstimator(e.summary))
+	e.est = stats.NewEstimator(e.summary)
+	e.planner = decompose.NewPlanner(e.est)
+	e.replanCfg = c.Replan.WithDefaults()
 	return e
 }
 
@@ -210,13 +233,20 @@ func (e *Engine) RegisterQuery(q *query.Graph, opts ...RegistrationOption) (*Reg
 	}
 	e.registrations[name] = reg
 	e.order = append(e.order, name)
+	if reg.adaptive {
+		e.adaptiveCount++
+	}
 	return reg, nil
 }
 
 // UnregisterQuery removes a registered query and discards its partial state.
 func (e *Engine) UnregisterQuery(name string) error {
-	if _, ok := e.registrations[name]; !ok {
+	reg, ok := e.registrations[name]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownQuery, name)
+	}
+	if reg.adaptive {
+		e.adaptiveCount--
 	}
 	delete(e.registrations, name)
 	for i, n := range e.order {
@@ -314,6 +344,12 @@ func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 	if e.metrics.EdgesProcessed%uint64(e.cfg.PruneInterval) == 0 {
 		e.pruneAll()
 	}
+	if e.adaptiveCount > 0 {
+		if e.sinceReplanCheck++; e.sinceReplanCheck >= e.replanCfg.CheckEvery {
+			e.sinceReplanCheck = 0
+			e.maybeReplanAll()
+		}
+	}
 	return events
 }
 
@@ -356,6 +392,12 @@ func (e *Engine) Advance(ts graph.Timestamp) {
 	e.dyn.AdvanceTo(ts)
 	if e.dyn.Watermark() != before {
 		e.pruneAll()
+		if e.adaptiveCount > 0 {
+			// Stream time moved without edges: give drift detection a
+			// chance too. maybeReplanAll short-circuits when the summary
+			// has not changed, so idle-shard heartbeats stay cheap.
+			e.maybeReplanAll()
+		}
 	}
 }
 
@@ -397,6 +439,11 @@ func (e *Engine) Metrics() Metrics {
 			Matches:        reg.matches,
 			PartialMatches: reg.tree.PartialMatchCount(),
 			LocalSearches:  reg.localSearches,
+			Adaptive:       reg.adaptive,
+			PlanGeneration: reg.planGen,
+			Replans:        reg.replans,
+			PlanNodes:      reg.plan.NumNodes(),
+			PlanDepth:      reg.plan.Depth(),
 		})
 	}
 	return m

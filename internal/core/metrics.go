@@ -30,6 +30,14 @@ type Metrics struct {
 	// unregistering a query decreases it, keeping the snapshot truthful for
 	// long-lived multi-tenant servers.
 	Registrations uint64
+	// Replans is the cumulative number of adaptive plan hot-swaps across all
+	// registrations; ReplanChecks counts drift evaluations (a check costs a
+	// trial decomposition per adaptive query, a replan additionally replays
+	// the retained window), and ReplanEdgesReplayed is the total volume of
+	// that replay work.
+	Replans             uint64
+	ReplanChecks        uint64
+	ReplanEdgesReplayed uint64
 	// LiveEdges / LiveVertices describe the current dynamic graph size.
 	LiveEdges    int
 	LiveVertices int
@@ -46,17 +54,27 @@ type QueryMetrics struct {
 	Matches        uint64
 	PartialMatches int
 	LocalSearches  uint64
+	// Plan detail: Adaptive reports whether the registration opted into
+	// re-planning, PlanGeneration is the running plan's generation (1 = the
+	// registration-time plan; sharded engines report the maximum across
+	// shards), Replans counts completed hot-swaps (summed across shards),
+	// and PlanNodes/PlanDepth describe the current SJ-Tree shape.
+	Adaptive       bool
+	PlanGeneration uint64
+	Replans        uint64
+	PlanNodes      int
+	PlanDepth      int
 }
 
 // String renders the snapshot as a small fixed-width report.
 func (m Metrics) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "edges=%d dropped=%d matches=%d partials=%d localSearches=%d liveEdges=%d liveVertices=%d expired=%d\n",
+	fmt.Fprintf(&sb, "edges=%d dropped=%d matches=%d partials=%d localSearches=%d liveEdges=%d liveVertices=%d expired=%d replans=%d\n",
 		m.EdgesProcessed, m.EdgesDropped, m.MatchesEmitted, m.PartialMatches,
-		m.LocalSearches, m.LiveEdges, m.LiveVertices, m.ExpiredEdges)
+		m.LocalSearches, m.LiveEdges, m.LiveVertices, m.ExpiredEdges, m.Replans)
 	for _, q := range m.Queries {
-		fmt.Fprintf(&sb, "  %-24s strategy=%-10s matches=%-8d partials=%-8d searches=%d\n",
-			q.Name, q.Strategy, q.Matches, q.PartialMatches, q.LocalSearches)
+		fmt.Fprintf(&sb, "  %-24s strategy=%-10s matches=%-8d partials=%-8d searches=%-8d plan=gen%d/replans%d\n",
+			q.Name, q.Strategy, q.Matches, q.PartialMatches, q.LocalSearches, q.PlanGeneration, q.Replans)
 	}
 	return sb.String()
 }

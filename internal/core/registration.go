@@ -8,6 +8,7 @@ import (
 	"github.com/streamworks/streamworks/internal/isomorphism"
 	"github.com/streamworks/streamworks/internal/match"
 	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/sjtree"
 )
 
@@ -18,6 +19,7 @@ type registrationConfig struct {
 	strategy decompose.Strategy
 	plan     *decompose.Plan
 	callback func(MatchEvent)
+	adaptive bool
 }
 
 // WithStrategy selects the decomposition strategy for the query (default:
@@ -36,6 +38,18 @@ func WithPlan(p *decompose.Plan) RegistrationOption {
 // match of this query.
 func WithCallback(fn func(MatchEvent)) RegistrationOption {
 	return func(c *registrationConfig) { c.callback = fn }
+}
+
+// WithAdaptive opts the registration into adaptive re-planning: the engine
+// periodically re-costs the running decomposition against the live stream
+// statistics (Config.Replan tunes the cadence and hysteresis) and hot-swaps
+// the SJ-Tree when the frozen plan has drifted far enough from what current
+// selectivities would produce. The swap preserves the match stream exactly:
+// state is rebuilt from the retained window and emissions are deduplicated
+// across the boundary. Requires Config.EnableSummaries; without statistics
+// the drift check never fires.
+func WithAdaptive(enabled bool) RegistrationOption {
+	return func(c *registrationConfig) { c.adaptive = enabled }
 }
 
 // leafCandidate identifies one (leaf node, pattern edge) pair whose local
@@ -66,6 +80,17 @@ type Registration struct {
 	callback      func(MatchEvent)
 	matches       uint64
 	localSearches uint64
+
+	// Adaptive re-planning state: strategy is what the planner re-runs on a
+	// drift check (the strategy the registration was created with, or the
+	// supplied plan's), det applies the hysteresis policy, planGen counts
+	// plan generations (1 = the registration-time plan) and replans counts
+	// completed hot-swaps.
+	adaptive bool
+	strategy decompose.Strategy
+	det      replan.Detector
+	planGen  uint64
+	replans  uint64
 
 	// prims is the scratch buffer reused by processEdge for the primitive
 	// matches of each local search; only the backing array is reused, the
@@ -98,17 +123,30 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 		return nil, fmt.Errorf("core: building SJ-Tree for %q: %w", name, err)
 	}
 	r := &Registration{
-		engine:           e,
-		name:             name,
-		query:            q,
-		plan:             plan,
-		tree:             tree,
-		matcher:          isomorphism.New(q),
-		candidatesByType: make(map[string][]leafCandidate),
-		callback:         cfg.callback,
-		opts:             opts,
+		engine:   e,
+		name:     name,
+		query:    q,
+		plan:     plan,
+		tree:     tree,
+		matcher:  isomorphism.New(q),
+		callback: cfg.callback,
+		adaptive: cfg.adaptive,
+		strategy: plan.Strategy,
+		det:      replan.NewDetector(e.replanCfg),
+		planGen:  1,
+		opts:     opts,
 	}
-	for _, leaf := range tree.Leaves() {
+	r.rebuildCandidates()
+	return r, nil
+}
+
+// rebuildCandidates (re)derives the per-edge-type index of (leaf, seed
+// edge) pairs with their precomputed connected orders from the current
+// tree. It runs at registration and again after every plan swap — the new
+// tree's leaves are a different partition of the pattern edges.
+func (r *Registration) rebuildCandidates() {
+	r.candidatesByType = make(map[string][]leafCandidate)
+	for _, leaf := range r.tree.Leaves() {
 		for _, qe := range leaf.Edges() {
 			order := r.matcher.ConnectedOrder(leaf.Edges(), qe)
 			if order == nil {
@@ -116,11 +154,10 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 				// skip defensively rather than register a dead candidate.
 				continue
 			}
-			t := q.Edge(qe).Type
+			t := r.query.Edge(qe).Type
 			r.candidatesByType[t] = append(r.candidatesByType[t], leafCandidate{leaf: leaf, qe: qe, order: order})
 		}
 	}
-	return r, nil
 }
 
 // Name returns the registration name.
@@ -138,6 +175,17 @@ func (r *Registration) Tree() *sjtree.Tree { return r.tree }
 // Options returns the option list the registration was created with,
 // allowing a front-end to clone the registration onto another engine.
 func (r *Registration) Options() []RegistrationOption { return r.opts }
+
+// Adaptive reports whether the registration opted into adaptive
+// re-planning.
+func (r *Registration) Adaptive() bool { return r.adaptive }
+
+// PlanGeneration returns the current plan generation: 1 for the
+// registration-time plan, incremented by every hot-swap.
+func (r *Registration) PlanGeneration() uint64 { return r.planGen }
+
+// Replans returns how many plan hot-swaps this registration has undergone.
+func (r *Registration) Replans() uint64 { return r.replans }
 
 // Matches returns the number of complete matches reported so far.
 func (r *Registration) Matches() uint64 { return r.matches }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/replan"
+	"github.com/streamworks/streamworks/internal/sjtree"
+	"github.com/streamworks/streamworks/internal/stats"
+)
+
+// This file is the mechanism half of adaptive re-planning (the policy lives
+// in internal/replan): detecting that a registration's frozen SJ-Tree
+// decomposition has drifted away from what the live statistics would
+// produce, and hot-swapping the registration onto a fresh plan without
+// losing or duplicating a single match.
+//
+// The swap works because two invariants already hold:
+//
+//  1. The dynamic graph retains every edge that can still participate in a
+//     match (retention is never narrower than the widest query window), so
+//     replaying the retained window through a freshly built tree rebuilds
+//     exactly the partial-match state the new plan needs.
+//  2. Complete-match identity is the bound data-edge set (EdgeSetHash), and
+//     the new tree inherits the old tree's emitted-set, so a match
+//     re-derived during replay is recognized and suppressed as a duplicate
+//     while a match that only completes across the swap boundary is
+//     emitted exactly once.
+
+// maybeReplanAll runs one drift check across all adaptive registrations.
+// Both the trial plan and the cost comparison use a *window* estimator over
+// the retained graph rather than the cumulative summary: cumulative counts
+// dampen a mid-stream mix rotation roughly linearly in stream length, while
+// the retention window forgets the old regime as fast as its edges expire —
+// it is the current selectivity landscape the running plan must answer to.
+// Each adaptive registration is swapped when the detector's hysteresis
+// fires. Checks are skipped entirely while the summary has not observed new
+// edges since the previous check (idle-shard watermark heartbeats).
+func (e *Engine) maybeReplanAll() {
+	if e.adaptiveCount == 0 || e.summary == nil {
+		return
+	}
+	total := e.summary.TotalEdges()
+	if total == e.lastReplanTotal {
+		return
+	}
+	e.lastReplanTotal = total
+	now := e.dyn.Watermark()
+	wEst := stats.NewEstimatorFrom(stats.GraphSource{G: e.dyn.Graph()})
+	wPlanner := decompose.NewPlanner(wEst)
+	for _, name := range e.order {
+		reg := e.registrations[name]
+		if !reg.adaptive {
+			continue
+		}
+		e.metrics.ReplanChecks++
+		fresh, err := wPlanner.Plan(reg.query, reg.strategy)
+		if err != nil {
+			// Planning against the current statistics failed; keep the
+			// running plan — it is valid, just possibly stale.
+			continue
+		}
+		if fresh.EqualStructure(reg.plan) {
+			continue
+		}
+		frozenCost := replan.PlanCost(wEst, reg.plan)
+		freshCost := replan.PlanCost(wEst, fresh)
+		if _, swap := reg.det.Should(frozenCost, freshCost, total, now); !swap {
+			continue
+		}
+		if err := e.swapPlan(reg, fresh); err != nil {
+			continue
+		}
+		reg.det.NoteSwap(now)
+	}
+}
+
+// ReplanNow forces an immediate plan swap for the named registration: a
+// fresh decomposition is computed against the current statistics with the
+// given strategy ("" keeps the registration's own) and installed
+// unconditionally, bypassing the drift detector. Regression tests and
+// operational tooling use it; the periodic tick goes through the detector.
+// Like every engine method it must be called from the driving goroutine.
+func (e *Engine) ReplanNow(name string, strategy decompose.Strategy) error {
+	reg, ok := e.registrations[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownQuery, name)
+	}
+	s := strategy
+	if s == "" {
+		s = reg.strategy
+	}
+	wEst := stats.NewEstimatorFrom(stats.GraphSource{G: e.dyn.Graph()})
+	fresh, err := decompose.NewPlanner(wEst).Plan(reg.query, s)
+	if err != nil {
+		return fmt.Errorf("core: re-planning %q: %w", name, err)
+	}
+	if err := e.swapPlan(reg, fresh); err != nil {
+		return err
+	}
+	reg.det.NoteSwap(e.dyn.Watermark())
+	return nil
+}
+
+// swapPlan installs plan as reg's live decomposition: a new SJ-Tree is
+// built, it inherits the old tree's emitted-match identity (the cross-swap
+// dedup), the per-edge-type candidate index is rebuilt for the new leaves,
+// and the retained window is replayed through the new tree to reconstruct
+// every partial match that could still complete. Matches that emerge during
+// replay flow through the normal emission path (callback, sinks, counters);
+// in the expected case they are all already-emitted duplicates and the
+// inherited dedup silences them.
+func (e *Engine) swapPlan(reg *Registration, plan *decompose.Plan) error {
+	tree, err := sjtree.New(plan)
+	if err != nil {
+		return fmt.Errorf("core: building SJ-Tree for %q: %w", reg.name, err)
+	}
+	tree.InheritEmitted(reg.tree)
+	reg.plan = plan
+	reg.tree = tree
+	reg.rebuildCandidates()
+	reg.planGen++
+	reg.replans++
+	e.metrics.Replans++
+
+	replayed := 0
+	e.dyn.ForEachLiveEdge(func(de *graph.Edge) bool {
+		events := reg.processEdge(de, nil)
+		// Replay emissions bypass ProcessEdge's event accounting; fold any
+		// genuinely new completions (a match the old plan had not surfaced
+		// yet) into the emitted counter here so metrics stay truthful.
+		e.metrics.MatchesEmitted += uint64(len(events))
+		replayed++
+		return true
+	})
+	e.metrics.ReplanEdgesReplayed += uint64(replayed)
+	return nil
+}

@@ -71,7 +71,7 @@ func (p *Planner) Plan(q *query.Graph, s Strategy) (*Plan, error) {
 	var root *Node
 	switch s {
 	case StrategySelective:
-		root = p.leftDeep(q, p.primitives(q, p.maxLeafEdges), true)
+		root = p.leftDeep(q, p.primitivesByBenefit(q, p.maxLeafEdges), true)
 	case StrategyLazy:
 		root = p.leftDeep(q, p.primitives(q, 2), false)
 	case StrategyEager:
@@ -113,6 +113,76 @@ func (p *Planner) primitives(q *query.Graph, maxEdges int) [][]query.EdgeID {
 		prims = append(prims, prim)
 	}
 	return prims
+}
+
+// primitivesByBenefit partitions the query edges into primitives like
+// primitives, but pairs each edge with the adjacent partner that most
+// reduces the *total* estimated match volume stored at the leaves:
+//
+//	benefit(e, p) = card({e}) + card({p}) − card({e, p})
+//
+// i.e. how much cheaper one wedge leaf is than the two singleton leaves it
+// replaces. Minimizing the wedge estimate alone (bestPartner) can pair two
+// rare edges and strand a flood-frequency edge as its own leaf — every one
+// of those edges then becomes a stored partial match; absorbing the
+// expensive edge into a wedge gated by a rare one is what keeps the SJ-Tree
+// small. Pairs with no positive benefit stay singletons.
+func (p *Planner) primitivesByBenefit(q *query.Graph, maxEdges int) [][]query.EdgeID {
+	unused := make(map[query.EdgeID]bool)
+	for _, e := range q.EdgeIDs() {
+		unused[e] = true
+	}
+	var prims [][]query.EdgeID
+	for _, e := range q.EdgeIDs() {
+		if !unused[e] {
+			continue
+		}
+		prim := []query.EdgeID{e}
+		unused[e] = false
+		if maxEdges >= 2 {
+			if partner, ok := p.bestPartnerByBenefit(q, e, unused); ok {
+				prim = append(prim, partner)
+				unused[partner] = false
+			}
+		}
+		prims = append(prims, prim)
+	}
+	return prims
+}
+
+// bestPartnerByBenefit picks the unused adjacent edge maximizing the
+// pairing benefit. Neutral pairings (benefit 0, e.g. under cold statistics
+// where every estimate is 1) are still taken — small leaves are preferable
+// when nothing distinguishes them — but an actively harmful pairing
+// (negative benefit) leaves e a singleton.
+func (p *Planner) bestPartnerByBenefit(q *query.Graph, e query.EdgeID, unused map[query.EdgeID]bool) (query.EdgeID, bool) {
+	qe := q.Edge(e)
+	eCost := p.estimate(q, []query.EdgeID{e})
+	best := query.EdgeID(-1)
+	bestBenefit := 0.0
+	for _, cand := range q.EdgeIDs() {
+		if !unused[cand] || cand == e {
+			continue
+		}
+		ce := q.Edge(cand)
+		if !sharesVertex(qe, ce) {
+			continue
+		}
+		benefit := eCost + p.estimate(q, []query.EdgeID{cand}) - p.estimate(q, []query.EdgeID{e, cand})
+		if best == -1 {
+			if benefit >= 0 {
+				best, bestBenefit = cand, benefit
+			}
+			continue
+		}
+		if benefit > bestBenefit {
+			best, bestBenefit = cand, benefit
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
 }
 
 // bestPartner picks the unused edge adjacent to e that minimizes the

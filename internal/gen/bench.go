@@ -1,10 +1,12 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/graph"
 )
 
@@ -89,6 +91,142 @@ func BenchNetFlowWorkload(edges, hosts int, window time.Duration) Workload {
 		Seed:        41,
 	}
 	return NetFlowWorkload(cfg, window)
+}
+
+// BenchDriftWorkload builds the canonical selectivity-drift benchmark
+// workload: the netflow query suite over a background stream whose traffic
+// mix rotates from benign to scan-heavy halfway through, scaled to the
+// requested edge count.
+func BenchDriftWorkload(edges, hosts int, window time.Duration) Workload {
+	// Stretch the stream to ~5 query windows so the retention window fully
+	// rotates into the post-drift regime: drift detection reads selectivities
+	// from the retained window, which must outlive the old mix for the new
+	// one to dominate it.
+	gap := 5 * window / time.Duration(max(edges, 1))
+	if gap <= 0 {
+		gap = time.Millisecond
+	}
+	cfg := NetFlowConfig{
+		Hosts:       hosts,
+		Servers:     hosts/16 + 4,
+		Edges:       edges,
+		Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		MeanGap:     gap,
+		ContactSkew: 1.4,
+		Seed:        43,
+	}
+	return DriftWorkload(cfg, window)
+}
+
+// DriftBenchResult measures one replay of a drift workload, separating the
+// post-drift regime (where a frozen plan is maximally wrong) from the
+// total. The acceptance number tracked across PRs is
+// PostDriftEdgesPerSec(adaptive) vs PostDriftEdgesPerSec(frozen).
+type DriftBenchResult struct {
+	Workload             string  `json:"workload"`
+	Engine               string  `json:"engine"` // "single" or "sharded-N"
+	Mode                 string  `json:"mode"`   // "frozen" or "adaptive"
+	Edges                int     `json:"edges"`
+	PreDriftEdges        int     `json:"pre_drift_edges"`
+	Replans              uint64  `json:"replans"`
+	PartialMatches       int     `json:"partial_matches"`
+	TotalEdgesPerSec     float64 `json:"total_edges_per_sec"`
+	PostDriftEdgesPerSec float64 `json:"post_drift_edges_per_sec"`
+	Matches              int     `json:"matches"`
+}
+
+// BenchDrift replays a drift workload (one with SplitAt set) runs times
+// through the public API with adaptive planning on or off, timing the
+// pre-drift and post-drift segments separately, and reports the best run
+// by post-drift throughput (adaptive runs pay their plan-swap replay inside
+// the timed segment — the win shown is net of swap cost). The returned
+// match set lets callers assert frozen and adaptive runs detected the same
+// matches.
+func BenchDrift(w Workload, shards int, adaptive bool, runs int) (DriftBenchResult, MatchSet, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	mode := "frozen"
+	if adaptive {
+		mode = "adaptive"
+	}
+	engine := "single"
+	if shards > 0 {
+		engine = fmt.Sprintf("sharded-%d", shards)
+	}
+	res := DriftBenchResult{
+		Workload:      w.Name,
+		Engine:        engine,
+		Mode:          mode,
+		Edges:         len(w.Edges),
+		PreDriftEdges: w.SplitAt,
+	}
+	var bestSet MatchSet
+	for i := 0; i < runs; i++ {
+		set, m, preDur, postDur, err := runDriftOnce(w, shards, adaptive)
+		if err != nil {
+			return DriftBenchResult{}, nil, err
+		}
+		post := float64(len(w.Edges)-w.SplitAt) / postDur.Seconds()
+		if post > res.PostDriftEdgesPerSec {
+			res.PostDriftEdgesPerSec = post
+			res.TotalEdgesPerSec = float64(len(w.Edges)) / (preDur + postDur).Seconds()
+			res.Replans = m.Replans
+			res.PartialMatches = m.PartialMatches
+			res.Matches = len(set)
+			bestSet = set
+		}
+	}
+	return res, bestSet, nil
+}
+
+func runDriftOnce(w Workload, shards int, adaptive bool) (MatchSet, streamworks.Metrics, time.Duration, time.Duration, error) {
+	opts := []streamworks.Option{streamworks.WithEngineConfig(w.Engine)}
+	if adaptive {
+		opts = append(opts, streamworks.WithAdaptivePlanning(true))
+	}
+	var eng streamworks.Engine
+	if shards > 0 {
+		eng = streamworks.NewSharded(append(opts, streamworks.WithShards(shards))...)
+	} else {
+		eng = streamworks.New(opts...)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	for _, q := range w.Queries {
+		if err := eng.RegisterQuery(ctx, q); err != nil {
+			return nil, streamworks.Metrics{}, 0, 0, err
+		}
+	}
+	set := make(MatchSet)
+	sub, err := eng.Subscribe("", streamworks.SinkFunc(func(m streamworks.Match) {
+		set.AddKey(m.Query, m.Signature)
+	}))
+	if err != nil {
+		return nil, streamworks.Metrics{}, 0, 0, err
+	}
+	split := w.SplitAt
+	if split <= 0 || split > len(w.Edges) {
+		split = len(w.Edges)
+	}
+	t0 := time.Now()
+	if err := eng.ProcessBatch(ctx, w.Edges[:split]); err != nil {
+		return nil, streamworks.Metrics{}, 0, 0, err
+	}
+	t1 := time.Now()
+	if err := eng.ProcessBatch(ctx, w.Edges[split:]); err != nil {
+		return nil, streamworks.Metrics{}, 0, 0, err
+	}
+	postDur := time.Since(t1)
+	m, err := eng.Metrics(ctx)
+	if err != nil {
+		return nil, streamworks.Metrics{}, 0, 0, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, streamworks.Metrics{}, 0, 0, err
+	}
+	<-sub.Done()
+	return set, m, t1.Sub(t0), postDur, nil
 }
 
 // BenchNewsWorkload builds the canonical news benchmark workload: the Fig. 2

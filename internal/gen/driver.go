@@ -10,6 +10,7 @@ import (
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/stream"
 )
 
@@ -22,6 +23,10 @@ type Workload struct {
 	Edges   []graph.StreamEdge
 	Queries []*query.Graph
 	Engine  core.Config
+	// SplitAt, when non-zero, is the index of the first edge of the
+	// workload's second regime (the drift point of DriftWorkload). The
+	// drift benchmark times the post-split segment separately.
+	SplitAt int
 }
 
 // Source returns a replayable source over the workload's edges.
@@ -83,6 +88,76 @@ func NewsWorkload(cfg NewsConfig, window time.Duration, articles int) Workload {
 			EnableSummaries: true,
 			TriadSampling:   10,
 		},
+	}
+}
+
+// DriftWorkload builds the selectivity-drift evaluation workload: the
+// netflow background stream runs the benign DefaultTrafficMix for its first
+// half and then rotates to ScanHeavyTrafficMix — reconnaissance and
+// infection traffic, rare enough at plan time that the selective planner
+// anchors SJ-Trees on them, floods the second half and inverts every
+// selectivity ranking. The usual attacks are woven through both halves so
+// the Fig. 3 queries have real matches throughout. A plan frozen at
+// registration degrades after the rotation; adaptive re-planning is
+// expected to swap plans at least once. SplitAt marks the first post-drift
+// edge. The engine config uses a tighter replan cadence than the defaults
+// so that laptop-scale replays of the workload still exercise drift checks.
+func DriftWorkload(cfg NetFlowConfig, window time.Duration) Workload {
+	if len(cfg.Phases) == 0 {
+		cfg.Phases = []MixPhase{
+			{UpTo: 0.5, Mix: DefaultTrafficMix()},
+			{UpTo: 1.0, Mix: ScanHeavyTrafficMix()},
+		}
+	}
+	flow := NewNetFlow(cfg, nil)
+	bg := flow.Generate()
+	start := cfg.Start
+	end := start
+	if len(bg) > 0 {
+		end = bg[len(bg)-1].Edge.Timestamp
+	}
+	// The drift instant is the timestamp at which the background leaves its
+	// first phase.
+	driftTS := end
+	if len(cfg.Phases) > 1 {
+		if idx := int(cfg.Phases[0].UpTo * float64(len(bg))); idx >= 0 && idx < len(bg) {
+			driftTS = bg[idx].Edge.Timestamp
+		}
+	}
+	inj := NewInjector(DefaultInjectorConfig(), flow.Hosts(), flow.Sequence())
+	smurf, _ := inj.Inject(AttackSmurf, 3, start, end)
+	worm, _ := inj.Inject(AttackWorm, 3, start, end)
+	exfil, _ := inj.Inject(AttackExfiltration, 3, start, end)
+	edges := stream.Merge(bg, smurf, worm, exfil)
+	split := len(edges)
+	for i, se := range edges {
+		if se.Edge.Timestamp >= driftTS {
+			split = i
+			break
+		}
+	}
+	engine := core.Config{
+		Retention:       window,
+		EnableSummaries: true,
+		TriadSampling:   10,
+		Replan: replan.Config{
+			CheckEvery: 512,
+			MinEdges:   256,
+			Cooldown:   2 * time.Second,
+		},
+	}
+	return Workload{
+		Name:  "drift",
+		Edges: edges,
+		Queries: []*query.Graph{
+			SmurfQuery(window),
+			WormQuery(window),
+			WormChainQuery(window),
+			ExfiltrationQuery(window),
+			ReconBurstQuery(window),
+		},
+		Engine:  engine,
+		SplitAt: split,
 	}
 }
 
@@ -157,8 +232,12 @@ func RunEngine(eng streamworks.Engine, w Workload) (MatchSet, error) {
 
 // RunSingle replays the workload through the public single-engine backend
 // (streamworks.New) and returns the canonical match set and final metrics.
-func RunSingle(w Workload) (MatchSet, core.Metrics, error) {
-	eng := streamworks.New(streamworks.WithEngineConfig(w.Engine))
+// Extra options (e.g. streamworks.WithAdaptivePlanning,
+// streamworks.WithPlanStrategy) are applied after the workload's engine
+// config.
+func RunSingle(w Workload, extra ...streamworks.Option) (MatchSet, core.Metrics, error) {
+	opts := append([]streamworks.Option{streamworks.WithEngineConfig(w.Engine)}, extra...)
+	eng := streamworks.New(opts...)
 	set, err := RunEngine(eng, w)
 	if err != nil {
 		return nil, core.Metrics{}, err
@@ -172,12 +251,14 @@ func RunSingle(w Workload) (MatchSet, core.Metrics, error) {
 
 // RunSharded replays the workload through the public sharded backend
 // (streamworks.NewSharded) with the given shard count and returns the
-// deduplicated canonical match set and the aggregated metrics.
-func RunSharded(w Workload, shards int) (MatchSet, core.Metrics, error) {
-	eng := streamworks.NewSharded(
+// deduplicated canonical match set and the aggregated metrics. Extra
+// options are applied after the workload's engine config and shard count.
+func RunSharded(w Workload, shards int, extra ...streamworks.Option) (MatchSet, core.Metrics, error) {
+	opts := append([]streamworks.Option{
 		streamworks.WithEngineConfig(w.Engine),
 		streamworks.WithShards(shards),
-	)
+	}, extra...)
+	eng := streamworks.NewSharded(opts...)
 	set, err := RunEngine(eng, w)
 	if err != nil {
 		return nil, core.Metrics{}, err

@@ -1,0 +1,163 @@
+package gen
+
+// The cross-strategy equivalence matrix: every decomposition strategy ×
+// every workload regime × every backend mode must detect the identical
+// canonical match set. This is the safety net for all planner work — a
+// decomposition (or a runtime plan swap) is free to change HOW matches are
+// found, never WHICH matches are found. Run under -race in CI, the sharded
+// cells double as a concurrency check.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks"
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// tinyDriftWorkload is a laptop-second-scale drift workload: small enough
+// for the matrix, long enough (in stream time) that the retention window
+// rotates fully into the post-drift regime and adaptive cells actually
+// re-plan.
+func tinyDriftWorkload() Workload {
+	return BenchDriftWorkload(4000, 200, 10*time.Second)
+}
+
+func tinyNewsWorkload() Workload {
+	cfg := DefaultNewsConfig()
+	cfg.Articles = 300
+	cfg.Keywords = 90
+	cfg.Locations = 15
+	cfg.EventClusters = 2
+	return NewsWorkload(cfg, 5*time.Minute, 2)
+}
+
+func TestCrossStrategyEquivalenceMatrix(t *testing.T) {
+	workloads := []Workload{
+		tinyNetflowWorkload(),
+		tinyNewsWorkload(),
+		tinyDriftWorkload(),
+	}
+	type mode struct {
+		name     string
+		shards   int // 0 = single engine
+		adaptive bool
+	}
+	modes := []mode{
+		{"single", 0, false},
+		{"single-adaptive", 0, true},
+		{"sharded2", 2, false},
+		{"sharded2-adaptive", 2, true},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			// The reference cell: single engine, default selective plan,
+			// frozen.
+			ref, _, err := RunSingle(w)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			if len(ref) == 0 {
+				t.Fatalf("reference run found no matches; the workload proves nothing")
+			}
+			for _, strat := range decompose.Strategies() {
+				for _, m := range modes {
+					strat, m := strat, m
+					t.Run(fmt.Sprintf("%s/%s", strat, m.name), func(t *testing.T) {
+						t.Parallel()
+						opts := []streamworks.Option{
+							streamworks.WithPlanStrategy(string(strat)),
+							streamworks.WithAdaptivePlanning(m.adaptive),
+						}
+						var (
+							set MatchSet
+							err error
+						)
+						if m.shards == 0 {
+							set, _, err = RunSingle(w, opts...)
+						} else {
+							set, _, err = RunSharded(w, m.shards, opts...)
+						}
+						if err != nil {
+							t.Fatalf("run: %v", err)
+						}
+						if !set.Equal(ref) {
+							t.Fatalf("match set diverges from reference: got %d matches, want %d",
+								len(set), len(ref))
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveReplansOnDrift pins the drift workload's reason to exist:
+// with adaptive planning on, the engine actually re-plans (the matrix above
+// only proves it is safe).
+func TestAdaptiveReplansOnDrift(t *testing.T) {
+	w := tinyDriftWorkload()
+	_, m, err := RunSingle(w, streamworks.WithAdaptivePlanning(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Replans == 0 {
+		t.Fatalf("adaptive run never re-planned (checks=%d); drift workload or detector is broken\n%s",
+			m.ReplanChecks, m)
+	}
+	if m.ReplanChecks == 0 {
+		t.Fatalf("adaptive run never checked for drift")
+	}
+	var gens uint64
+	for _, q := range m.Queries {
+		if !q.Adaptive {
+			t.Fatalf("query %s not marked adaptive", q.Name)
+		}
+		gens += q.PlanGeneration - 1
+	}
+	if gens != m.Replans {
+		t.Fatalf("plan generations (%d swaps) disagree with Replans=%d", gens, m.Replans)
+	}
+}
+
+// TestDriftWorkloadShape sanity-checks the generator extension: the stream
+// is time-ordered with unique IDs, the split marks the mix rotation, and
+// the post-drift segment is scan-heavy while the pre-drift one is not.
+func TestDriftWorkloadShape(t *testing.T) {
+	w := tinyDriftWorkload()
+	if w.SplitAt <= 0 || w.SplitAt >= len(w.Edges) {
+		t.Fatalf("SplitAt=%d of %d edges", w.SplitAt, len(w.Edges))
+	}
+	ids := make(map[graph.EdgeID]bool, len(w.Edges))
+	last := w.Edges[0].Edge.Timestamp
+	for _, se := range w.Edges {
+		if se.Edge.Timestamp < last {
+			t.Fatalf("stream not time-ordered")
+		}
+		last = se.Edge.Timestamp
+		if ids[se.Edge.ID] {
+			t.Fatalf("duplicate edge ID %d", se.Edge.ID)
+		}
+		ids[se.Edge.ID] = true
+	}
+	scanShare := func(edges []graph.StreamEdge) float64 {
+		scans := 0
+		for _, se := range edges {
+			if se.Edge.Type == EdgeScan {
+				scans++
+			}
+		}
+		return float64(scans) / float64(max(len(edges), 1))
+	}
+	pre, post := scanShare(w.Edges[:w.SplitAt]), scanShare(w.Edges[w.SplitAt:])
+	if pre > 0.10 {
+		t.Fatalf("pre-drift stream already scan-heavy: %.2f", pre)
+	}
+	if post < 0.30 {
+		t.Fatalf("post-drift stream not scan-heavy: %.2f", post)
+	}
+}

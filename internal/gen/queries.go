@@ -67,6 +67,30 @@ func ExfiltrationQuery(window time.Duration) *query.Graph {
 		MustBuild()
 }
 
+// ReconBurstQuery returns the drift workload's plan-sensitive query: a
+// reconnaissance host probing one target while staging a payload (infect +
+// flow) on another. Its SJ-Tree decomposition matters in a way the Fig. 3
+// suite's mostly does not: the {scan, infect} wedge through the recon host
+// is vanishingly rare under benign traffic — so a plan frozen then happily
+// anchors on it — but floods once the mix turns scan-heavy (uniform scan and
+// infect sources make the wedge count the product of the two rates), while
+// the {scan, flow} pairing collapses after the drift. The right
+// decomposition is different in each regime; only re-planning gets both.
+func ReconBurstQuery(window time.Duration) *query.Graph {
+	// probed and staging are deliberately untyped: reconnaissance hits
+	// workstations and servers alike, and an untyped endpoint keeps every
+	// scan edge a candidate — the flood the frozen plan must drown in.
+	return query.NewBuilder("recon-burst").
+		Window(window).
+		Vertex("recon", TypeHost).
+		Vertex("probed", "").
+		Vertex("staging", "").
+		Edge("recon", "probed", EdgeScan).
+		Edge("recon", "staging", EdgeInfect).
+		Edge("recon", "staging", EdgeFlow).
+		MustBuild()
+}
+
 // NewsEventQuery returns the paper's Fig. 2 query: articles sharing a
 // keyword and a location within the window; count controls how many
 // articles the event must involve (the figure uses three).

@@ -172,6 +172,23 @@ func (d *Dynamic) AdvanceTo(ts Timestamp) {
 	d.advance(ts)
 }
 
+// ForEachLiveEdge visits every edge currently retained in the sliding
+// window, in timestamp order (up to the ingest slack), until fn returns
+// false. Edges removed from the graph explicitly (rather than by expiry) are
+// skipped. The adaptive re-planner replays the retained window through a
+// freshly built SJ-Tree with this; fn must not mutate the graph.
+func (d *Dynamic) ForEachLiveEdge(fn func(*Edge) bool) {
+	for i := d.queue.head; i < len(d.queue.buf); i++ {
+		e := d.queue.buf[i]
+		if !d.g.HasEdge(e.ID) {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
 func (d *Dynamic) expire() {
 	if d.window <= 0 {
 		return

@@ -72,6 +72,16 @@ type Config struct {
 	MaxBatchEdges int
 	// MaxQueryBytes caps a query registration body (default 1 MiB).
 	MaxQueryBytes int64
+	// DefaultStrategy is the decomposition strategy applied to
+	// registrations that do not pass ?strategy= (empty = selective). An
+	// unknown name is not rejected here — it surfaces as a 422 on every
+	// registration — so embedders should validate against
+	// streamworks.PlanStrategies up front (streamworksd does at boot).
+	DefaultStrategy string
+	// AdaptivePlanning makes registrations adapt their plans to the live
+	// stream statistics by default; individual registrations override with
+	// ?adaptive=on|off.
+	AdaptivePlanning bool
 }
 
 // DefaultConfig serves a DefaultConfig sharded engine with default bounds.
@@ -137,6 +147,8 @@ func New(cfg Config) *Server {
 		streamworks.WithShards(cfg.Shard.Shards),
 		streamworks.WithShardBuffer(cfg.Shard.Buffer),
 		streamworks.WithAdvanceEvery(cfg.Shard.AdvanceEvery),
+		streamworks.WithPlanStrategy(cfg.DefaultStrategy),
+		streamworks.WithAdaptivePlanning(cfg.AdaptivePlanning),
 	)
 	s := &Server{
 		cfg:     cfg,
@@ -278,8 +290,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query must be named (add a 'query <name>' line)")
 		return
 	}
+	opts, adaptive, err := s.parseRegisterOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	var regErr error
-	if err := s.do(func() { regErr = s.eng.RegisterQuery(context.Background(), q) }); err != nil {
+	if err := s.do(func() { regErr = s.eng.RegisterQueryWith(context.Background(), q, opts) }); err != nil {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -300,8 +317,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		Window:   q.Window().String(),
 		Vertices: q.NumVertices(),
 		Edges:    q.NumEdges(),
+		Adaptive: adaptive,
 	}
-	if plan, perr := s.planner.Plan(q, decompose.StrategySelective); perr == nil {
+	strategy := decompose.StrategySelective
+	if opts.Strategy != "" {
+		strategy = decompose.Strategy(opts.Strategy)
+	}
+	if plan, perr := s.planner.Plan(q, strategy); perr == nil {
 		resp.Strategy = string(plan.Strategy)
 		resp.PlanNodes = plan.NumNodes()
 		resp.PlanDepth = plan.Depth()
@@ -309,6 +331,30 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		resp.Plan = plan.String()
 	}
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// parseRegisterOptions maps the optional ?strategy= and ?adaptive= query
+// parameters of POST /v1/queries onto the public registration options,
+// also resolving the effective adaptive mode for the response (the engine
+// default applies when the parameter is absent).
+func (s *Server) parseRegisterOptions(r *http.Request) (streamworks.RegisterOptions, bool, error) {
+	opts := streamworks.RegisterOptions{Strategy: r.URL.Query().Get("strategy")}
+	adaptive := s.cfg.AdaptivePlanning
+	switch v := strings.ToLower(r.URL.Query().Get("adaptive")); v {
+	case "":
+	case "on", "1", "true":
+		opts.Adaptive = streamworks.AdaptiveOn
+		adaptive = true
+	case "off", "0", "false":
+		opts.Adaptive = streamworks.AdaptiveOff
+		adaptive = false
+	default:
+		return opts, false, fmt.Errorf("invalid adaptive value %q (want on or off)", v)
+	}
+	if opts.Strategy == "" && s.cfg.DefaultStrategy != "" {
+		opts.Strategy = s.cfg.DefaultStrategy
+	}
+	return opts, adaptive, nil
 }
 
 // primitiveStrings renders each plan leaf's pattern edges compactly.

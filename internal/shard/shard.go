@@ -32,6 +32,16 @@
 // (types/attributes) on every stream edge, not only on a vertex's first
 // appearance: shards see disjoint subsets of the stream, so "first
 // appearance" is a per-shard notion. All generators in internal/gen do this.
+//
+// Adaptive re-planning (core.WithAdaptive, replicated like every other
+// registration option) runs independently on each shard: a shard re-plans
+// against its own partition's statistics on its own worker goroutine, so no
+// cross-shard coordination or stop-the-world pause is needed. The merged
+// match set stays canonical through two dedup layers — each shard's engine
+// deduplicates its own emissions across swap boundaries (the new tree
+// inherits the emitted-set), and the merger deduplicates identical matches
+// across shards exactly as it does for replicated edges. Metrics report the
+// maximum plan generation and the summed replan count across shards.
 package shard
 
 import (
@@ -579,6 +589,9 @@ func (s *ShardedEngine) Metrics() core.Metrics {
 		m.LiveEdges += sm.LiveEdges
 		m.LiveVertices += sm.LiveVertices
 		m.ExpiredEdges += sm.ExpiredEdges
+		m.Replans += sm.Replans
+		m.ReplanChecks += sm.ReplanChecks
+		m.ReplanEdgesReplayed += sm.ReplanEdgesReplayed
 		for _, qm := range sm.Queries {
 			idx, ok := perQueryIdx[qm.Name]
 			if !ok {
@@ -588,6 +601,21 @@ func (s *ShardedEngine) Metrics() core.Metrics {
 			}
 			m.Queries[idx].PartialMatches += qm.PartialMatches
 			m.Queries[idx].LocalSearches += qm.LocalSearches
+			// Each shard re-plans against its own partition's statistics, so
+			// plan state can legitimately differ per shard: report the
+			// furthest generation (with that shard's tree shape) and the
+			// total swap count. Match-set canonicality does not depend on
+			// the shards agreeing — every shard deduplicates its own
+			// emissions across swap boundaries and the merger deduplicates
+			// across shards.
+			m.Queries[idx].Adaptive = m.Queries[idx].Adaptive || qm.Adaptive
+			m.Queries[idx].Replans += qm.Replans
+			if qm.PlanGeneration > m.Queries[idx].PlanGeneration {
+				m.Queries[idx].PlanGeneration = qm.PlanGeneration
+				m.Queries[idx].PlanNodes = qm.PlanNodes
+				m.Queries[idx].PlanDepth = qm.PlanDepth
+				m.Queries[idx].Strategy = qm.Strategy
+			}
 		}
 	}
 	if len(snaps) > 0 {

@@ -171,6 +171,23 @@ func (t *Tree) Leaves() []*Node { return t.leaves }
 // SetMatchCallback replaces the complete-match callback.
 func (t *Tree) SetMatchCallback(fn func(*match.Match)) { t.onMatch = fn }
 
+// InheritEmitted transfers old's emitted-match identity across a plan swap:
+// the new tree adopts the old tree's complete-match dedup set (and its
+// cumulative emission counters), so that re-deriving an already-reported
+// match while the engine rebuilds state from the retained window is dropped
+// as a duplicate rather than emitted twice. The old tree is expected to be
+// discarded after the call — the set is moved, not copied.
+func (t *Tree) InheritEmitted(old *Tree) {
+	if old == nil {
+		return
+	}
+	t.completeSignatures = old.completeSignatures
+	t.completeTotal = old.completeTotal
+	t.duplicateDrops = old.duplicateDrops
+	t.windowDrops = old.windowDrops
+	t.prunedTotal = old.prunedTotal
+}
+
 // Insert adds a match of node n's query subgraph to the tree and propagates
 // joins upward. It returns the complete matches (if any) that the insertion
 // produced at the root. Matches whose temporal span already exceeds the

@@ -11,11 +11,13 @@ import (
 const DefaultPredicateSelectivity = 0.25
 
 // Estimator derives cardinality and selectivity estimates for query
-// subgraphs from a Summary. The query planner uses it to pick the most
-// selective search primitives and to order joins so that rare substructures
-// sit lowest in the SJ-Tree (paper §4.1).
+// subgraphs from a statistics Source — a cumulative Summary or a windowed
+// GraphSource. The query planner uses it to pick the most selective search
+// primitives and to order joins so that rare substructures sit lowest in
+// the SJ-Tree (paper §4.1); the adaptive re-planner scores running plans
+// through a window-backed estimator to detect selectivity drift.
 type Estimator struct {
-	s *Summary
+	src Source
 	// predSel overrides DefaultPredicateSelectivity when > 0.
 	predSel float64
 	// triadScale compensates for triad sampling (Summary samples 1-in-n
@@ -23,13 +25,24 @@ type Estimator struct {
 	triadScale float64
 }
 
-// NewEstimator builds an estimator over the given summary.
+// NewEstimator builds an estimator over the given summary. A nil summary
+// yields an estimator with no statistics (every estimate is 1).
 func NewEstimator(s *Summary) *Estimator {
-	scale := 1.0
-	if s != nil && s.triadSampling > 1 {
-		scale = float64(s.triadSampling)
+	if s == nil {
+		return &Estimator{predSel: DefaultPredicateSelectivity, triadScale: 1}
 	}
-	return &Estimator{s: s, predSel: DefaultPredicateSelectivity, triadScale: scale}
+	return NewEstimatorFrom(s)
+}
+
+// NewEstimatorFrom builds an estimator over an arbitrary statistics source
+// (e.g. GraphSource for window-local estimates). A nil source behaves like
+// NewEstimator(nil).
+func NewEstimatorFrom(src Source) *Estimator {
+	e := &Estimator{src: src, predSel: DefaultPredicateSelectivity, triadScale: 1}
+	if src != nil {
+		e.triadScale = src.TriadScale()
+	}
+	return e
 }
 
 // SetPredicateSelectivity overrides the per-predicate selectivity constant.
@@ -43,14 +56,14 @@ func (e *Estimator) SetPredicateSelectivity(v float64) {
 // vertex: the count of its type (or all vertices when untyped), discounted
 // by predicate selectivity.
 func (e *Estimator) VertexCardinality(qv *query.Vertex) float64 {
-	if e.s == nil || qv == nil {
+	if e.src == nil || qv == nil {
 		return 1
 	}
 	var base float64
 	if qv.Type == "" {
-		base = float64(e.s.TotalVertices())
+		base = float64(e.src.TotalVertices())
 	} else {
-		base = float64(e.s.VertexTypeCount(qv.Type))
+		base = float64(e.src.VertexTypeCount(qv.Type))
 	}
 	if base < 1 {
 		base = 1
@@ -62,14 +75,14 @@ func (e *Estimator) VertexCardinality(qv *query.Vertex) float64 {
 // the count of its relation type (or all edges when untyped), discounted by
 // predicate selectivity. Undirected pattern edges double the candidates.
 func (e *Estimator) EdgeCardinality(qe *query.Edge) float64 {
-	if e.s == nil || qe == nil {
+	if e.src == nil || qe == nil {
 		return 1
 	}
 	var base float64
 	if qe.Type == "" {
-		base = float64(e.s.TotalEdges())
+		base = float64(e.src.TotalEdges())
 	} else {
-		base = float64(e.s.EdgeTypeCount(qe.Type))
+		base = float64(e.src.EdgeTypeCount(qe.Type))
 	}
 	if base < 1 {
 		base = 1
@@ -94,7 +107,7 @@ func (e *Estimator) EdgeCardinality(qe *query.Edge) float64 {
 // triad frequency when the triad table has seen the combination, which is
 // exactly the statistic §4.3 of the paper collects for this purpose.
 func (e *Estimator) SubgraphCardinality(q *query.Graph, edges []query.EdgeID) float64 {
-	if e.s == nil || q == nil || len(edges) == 0 {
+	if e.src == nil || q == nil || len(edges) == 0 {
 		return 1
 	}
 	if len(edges) == 2 {
@@ -150,7 +163,7 @@ func (e *Estimator) wedgeFromTriads(q *query.Graph, edges []query.EdgeID) (float
 		return 0, false
 	}
 	key := canonicalTriad(cv.Type, a.Type, a.Source == center, b.Type, b.Source == center)
-	count := e.s.TriadFrequency(key)
+	count := e.src.TriadFrequency(key)
 	if count == 0 {
 		return 0, false
 	}
@@ -178,10 +191,10 @@ func sharedVertex(a, b *query.Edge) (query.VertexID, bool) {
 // the decomposer minimizes when choosing which primitive to anchor the
 // SJ-Tree's lowest level on.
 func (e *Estimator) Selectivity(q *query.Graph, edges []query.EdgeID) float64 {
-	if e.s == nil {
+	if e.src == nil {
 		return 1
 	}
-	total := float64(e.s.TotalEdges())
+	total := float64(e.src.TotalEdges())
 	if total < 1 {
 		return 1
 	}

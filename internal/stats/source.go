@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// Source is the read surface an Estimator derives cardinalities from.
+// Summary implements it with cumulative whole-stream statistics (cheap,
+// rich: it includes the triad table); GraphSource implements it over the
+// retained window of a dynamic graph, reflecting the *current* edge-type
+// distribution — the view selectivity-drift detection needs, since
+// cumulative counts dampen a mid-stream mix rotation roughly linearly in
+// stream length.
+type Source interface {
+	TotalVertices() uint64
+	TotalEdges() uint64
+	VertexTypeCount(typ string) uint64
+	EdgeTypeCount(typ string) uint64
+	// TriadFrequency returns the observed count for a canonical triad key,
+	// 0 when the source collects no triads (estimates then fall back to the
+	// independence formula).
+	TriadFrequency(key TriadKey) uint64
+	// TriadScale compensates for triad sampling: the factor observed triad
+	// counts must be multiplied by (1 when unsampled or absent).
+	TriadScale() float64
+}
+
+// TriadScale implements Source for Summary.
+func (s *Summary) TriadScale() float64 {
+	if s != nil && s.triadSampling > 1 {
+		return float64(s.triadSampling)
+	}
+	return 1
+}
+
+// GraphSource adapts a static graph snapshot — in practice the live graph
+// behind graph.Dynamic, i.e. exactly the edges still inside the retention
+// window — into an estimator Source. Counts are window-local and move with
+// the stream: when the traffic mix rotates, these counts rotate with it as
+// old edges expire, while a cumulative Summary still remembers every edge
+// that ever was.
+type GraphSource struct {
+	G *graph.Graph
+}
+
+// TotalVertices implements Source.
+func (gs GraphSource) TotalVertices() uint64 { return uint64(gs.G.NumVertices()) }
+
+// TotalEdges implements Source.
+func (gs GraphSource) TotalEdges() uint64 { return uint64(gs.G.NumEdges()) }
+
+// VertexTypeCount implements Source.
+func (gs GraphSource) VertexTypeCount(typ string) uint64 {
+	return uint64(gs.G.CountVerticesOfType(typ))
+}
+
+// EdgeTypeCount implements Source.
+func (gs GraphSource) EdgeTypeCount(typ string) uint64 {
+	return uint64(gs.G.CountEdgesOfType(typ))
+}
+
+// TriadFrequency implements Source; graph snapshots carry no triad table.
+func (gs GraphSource) TriadFrequency(TriadKey) uint64 { return 0 }
+
+// TriadScale implements Source.
+func (gs GraphSource) TriadScale() float64 { return 1 }

@@ -16,6 +16,7 @@ import (
 type Local struct {
 	mu      sync.Mutex
 	eng     *core.Engine
+	cfg     config // registration defaults (strategy, adaptive)
 	queries map[string]*Query
 	subs    map[int]*localSub
 	seq     int
@@ -41,6 +42,7 @@ func New(opts ...Option) *Local {
 	}
 	return &Local{
 		eng:     core.New(&cfg.engine),
+		cfg:     cfg,
 		queries: make(map[string]*Query),
 		subs:    make(map[int]*localSub),
 	}
@@ -89,8 +91,15 @@ func (l *Local) sweepLocked() {
 	}
 }
 
-// RegisterQuery installs a continuous query.
+// RegisterQuery installs a continuous query with the engine's registration
+// defaults.
 func (l *Local) RegisterQuery(ctx context.Context, q *Query) error {
+	return l.RegisterQueryWith(ctx, q, RegisterOptions{})
+}
+
+// RegisterQueryWith installs a continuous query, overriding the engine's
+// plan-strategy and adaptive-planning defaults per RegisterOptions.
+func (l *Local) RegisterQueryWith(ctx context.Context, q *Query, opts RegisterOptions) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -100,7 +109,7 @@ func (l *Local) RegisterQuery(ctx context.Context, q *Query) error {
 		return ErrClosed
 	}
 	l.sweepLocked()
-	reg, err := l.eng.RegisterQuery(q)
+	reg, err := l.eng.RegisterQuery(q, l.cfg.registrationOptions(opts)...)
 	if err != nil {
 		return err
 	}

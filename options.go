@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/shard"
 )
 
@@ -16,6 +17,10 @@ type config struct {
 	shardBuffer  int
 	advanceEvery time.Duration
 	httpClient   *http.Client
+	// strategy and adaptive are the engine-wide registration defaults; each
+	// RegisterQueryWith call can override them per query.
+	strategy string
+	adaptive bool
 }
 
 func defaultConfig() config {
@@ -23,6 +28,31 @@ func defaultConfig() config {
 		engine: core.DefaultConfig(),
 		shards: shard.DefaultConfig().Shards,
 	}
+}
+
+// registrationOptions resolves the engine defaults plus one call's
+// RegisterOptions into the core option list the in-process backends pass to
+// the engine (and the sharded front-end replicates to every shard).
+func (c *config) registrationOptions(o RegisterOptions) []core.RegistrationOption {
+	var opts []core.RegistrationOption
+	strat := o.Strategy
+	if strat == "" {
+		strat = c.strategy
+	}
+	if strat != "" {
+		opts = append(opts, core.WithStrategy(decompose.Strategy(strat)))
+	}
+	adaptive := c.adaptive
+	switch o.Adaptive {
+	case AdaptiveOn:
+		adaptive = true
+	case AdaptiveOff:
+		adaptive = false
+	}
+	if adaptive {
+		opts = append(opts, core.WithAdaptive(true))
+	}
+	return opts
 }
 
 // Option customizes an engine constructor. Options that do not apply to the
@@ -87,6 +117,50 @@ func WithShardBuffer(n int) Option {
 // default; negative disables broadcasts. Ignored by the other backends.
 func WithAdvanceEvery(d time.Duration) Option {
 	return func(c *config) { c.advanceEvery = d }
+}
+
+// WithAdaptivePlanning makes every query registered through the engine
+// adapt its SJ-Tree decomposition to the live stream statistics: the engine
+// periodically re-costs each running plan against a freshly computed one
+// and hot-swaps when selectivity drift crosses the hysteresis threshold
+// (see WithReplanEvery/WithReplanThreshold/WithReplanCooldown). Swaps are
+// invisible in the match stream — no match is lost or duplicated across the
+// boundary — and visible in Metrics (Replans, per-query PlanGeneration).
+// Per-query override: RegisterQueryWith with RegisterOptions.Adaptive.
+// On Connect the setting travels with each registration; the daemon's
+// engine does the re-planning. In-process backends need summaries enabled
+// (the default) for drift detection to have statistics to work from.
+func WithAdaptivePlanning(enabled bool) Option {
+	return func(c *config) { c.adaptive = enabled }
+}
+
+// WithPlanStrategy sets the default decomposition strategy for queries
+// registered through the engine: one of PlanStrategies() ("selective",
+// "lazy", "eager", "balanced"; the default is selective). Unknown names
+// fail at RegisterQuery. Per-query override: RegisterQueryWith.
+func WithPlanStrategy(name string) Option {
+	return func(c *config) { c.strategy = name }
+}
+
+// WithReplanEvery sets the number of processed edges between adaptive
+// re-planning drift checks (default 2048). In-process backends only.
+func WithReplanEvery(n int) Option {
+	return func(c *config) { c.engine.Replan.CheckEvery = n }
+}
+
+// WithReplanThreshold sets the hysteresis ratio for adaptive re-planning:
+// the running plan's estimated cost must exceed a fresh plan's by at least
+// this factor before a hot-swap fires (default 2.0; values <= 1 are
+// rejected in favor of the default). In-process backends only.
+func WithReplanThreshold(ratio float64) Option {
+	return func(c *config) { c.engine.Replan.Threshold = ratio }
+}
+
+// WithReplanCooldown sets the minimum stream time between plan swaps of one
+// query (default 10s; negative disables the cooldown). In-process backends
+// only.
+func WithReplanCooldown(d time.Duration) Option {
+	return func(c *config) { c.engine.Replan.Cooldown = d }
 }
 
 // WithHTTPClient substitutes the http.Client Connect uses for every request.

@@ -20,6 +20,7 @@ import (
 type Sharded struct {
 	mu  sync.Mutex // serializes engine control ops (the single-driver contract)
 	eng *shard.ShardedEngine
+	cfg config // registration defaults (strategy, adaptive)
 
 	// qmu guards the query map, which the match-delivery path reads from
 	// the merger goroutine — it must never wait behind mu, or a blocked
@@ -57,7 +58,7 @@ func NewSharded(opts ...Option) *Sharded {
 		AdvanceEvery: cfg.advanceEvery,
 	})
 	eng.Start()
-	return &Sharded{eng: eng, queries: make(map[string]*Query)}
+	return &Sharded{eng: eng, cfg: cfg, queries: make(map[string]*Query)}
 }
 
 // Shards returns the number of engine shards.
@@ -152,6 +153,15 @@ func translate(err error) error {
 // without a hub vertex must be registered before streaming begins (the
 // front-end's broadcast-routing requirement).
 func (s *Sharded) RegisterQuery(ctx context.Context, q *Query) error {
+	return s.RegisterQueryWith(ctx, q, RegisterOptions{})
+}
+
+// RegisterQueryWith replicates a continuous query onto every shard,
+// overriding the engine's plan-strategy and adaptive-planning defaults per
+// RegisterOptions. With adaptive planning on, each shard re-plans against
+// its own partition's statistics; the merged match set stays canonical
+// regardless (dedup spans swap boundaries and shards alike).
+func (s *Sharded) RegisterQueryWith(ctx context.Context, q *Query, opts RegisterOptions) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -160,7 +170,7 @@ func (s *Sharded) RegisterQuery(ctx context.Context, q *Query) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.eng.RegisterQuery(q); err != nil {
+	if err := s.eng.RegisterQuery(q, s.cfg.registrationOptions(opts)...); err != nil {
 		return translate(err)
 	}
 	s.qmu.Lock()

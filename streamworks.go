@@ -30,6 +30,7 @@ import (
 
 	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/export"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/query"
@@ -119,6 +120,44 @@ var (
 	ErrNilQuery = core.ErrNilQuery
 )
 
+// AdaptiveMode selects per-query adaptive re-planning behaviour in
+// RegisterOptions, three-valued so a registration can defer to the engine's
+// WithAdaptivePlanning default or override it either way.
+type AdaptiveMode int
+
+const (
+	// AdaptiveDefault inherits the engine's WithAdaptivePlanning setting.
+	AdaptiveDefault AdaptiveMode = iota
+	// AdaptiveOn opts this query into adaptive re-planning.
+	AdaptiveOn
+	// AdaptiveOff pins this query to its registration-time plan.
+	AdaptiveOff
+)
+
+// RegisterOptions carries the per-query knobs of RegisterQueryWith. The
+// zero value means "engine defaults" and makes RegisterQueryWith equivalent
+// to RegisterQuery.
+type RegisterOptions struct {
+	// Strategy names the decomposition strategy for this query (one of
+	// PlanStrategies); empty uses the engine default.
+	Strategy string
+	// Adaptive overrides the engine's adaptive-planning default.
+	Adaptive AdaptiveMode
+}
+
+// PlanStrategies lists the decomposition strategy names accepted by
+// WithPlanStrategy and RegisterOptions.Strategy, in a stable order. The
+// first entry, "selective" (the paper's selectivity-ordered decomposition),
+// is the default.
+func PlanStrategies() []string {
+	ss := decompose.Strategies()
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = string(s)
+	}
+	return out
+}
+
 // MatchSink consumes pushed matches. OnMatch is invoked sequentially per
 // subscription, on an engine-owned goroutine (or the caller's, for the
 // single-threaded backend): implementations must be fast and must not call
@@ -152,7 +191,10 @@ type Subscription interface {
 //
 //   - RegisterQuery installs a continuous query; matches of that query
 //     begin flowing to matching subscriptions. Duplicate names return
-//     ErrDuplicateQuery.
+//     ErrDuplicateQuery. RegisterQueryWith is the same with per-query
+//     overrides of the engine's plan-strategy and adaptive-planning
+//     defaults; RegisterQuery(ctx, q) ≡ RegisterQueryWith(ctx, q,
+//     RegisterOptions{}).
 //   - Process/ProcessBatch ingest timestamped edges, which must arrive in
 //     non-decreasing timestamp order up to the engine's slack. ctx bounds
 //     the blocking hand-off.
@@ -165,6 +207,7 @@ type Subscription interface {
 //     ErrClosed.
 type Engine interface {
 	RegisterQuery(ctx context.Context, q *Query) error
+	RegisterQueryWith(ctx context.Context, q *Query, opts RegisterOptions) error
 	UnregisterQuery(ctx context.Context, name string) error
 	Process(ctx context.Context, se StreamEdge) error
 	ProcessBatch(ctx context.Context, edges []StreamEdge) error
