@@ -1,0 +1,245 @@
+// Package analysis is StreamWorks' in-tree static-analysis framework: a
+// self-contained reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Diagnostic) on top of the standard library only.
+//
+// The repo's correctness argument rests on invariants the Go compiler cannot
+// see — the single-driver engine contract, scratch-backed ProcessEdge
+// slices, stream-time discipline in hot paths, canonical ordering of
+// anything that feeds match signatures or wire output, and
+// subscription/sink lifecycle hygiene. The analyzers under passes/ turn
+// those conventions into machine-checked rules; cmd/swvet is the
+// multichecker that runs them over the tree.
+//
+// Why not depend on x/tools directly: the build environment for this repo
+// is fully offline (module cache starts empty), so the framework loads type
+// information through `go list -export` and go/importer instead of
+// go/packages, and fixture tests use the in-tree analysistest package. The
+// analyzer API is kept deliberately close to x/tools so analyzers could be
+// ported to the real driver by swapping imports.
+//
+// # Directives
+//
+// Analyzers and the driver understand machine-readable comments of the form
+//
+//	//swvet:<name> [args...]
+//
+// (a space after // is tolerated). The framework itself implements one:
+//
+//	//swvet:ignore <analyzer>[,<analyzer>...] -- <justification>
+//
+// placed on the flagged line or the line directly above suppresses the named
+// analyzers' diagnostics for that line (no analyzer list suppresses all).
+// The justification after "--" is mandatory by convention and enforced in
+// review, not by the tool. Individual analyzers add their own directives
+// (//swvet:wallclock, //swvet:scratch, //swvet:sink, //swvet:unordered,
+// //swvet:hotpath, //swvet:deterministic); see their package docs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus the dependency machinery
+// (facts, requires) that these checks do not need.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //swvet:ignore
+	// lists. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description, shown by `swvet -list`.
+	Doc string
+	// Run executes the check over one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package, mirroring
+// x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the file set all package positions resolve through.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checker results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's type-checker package object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Path returns the package's import path.
+func (p *Pass) Path() string { return p.Pkg.PkgPath }
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// Reportf records a diagnostic at pos unless an //swvet:ignore directive on
+// the same line (or the line above) names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	for _, d := range p.Pkg.directivesNear(position) {
+		if d.Name == "ignore" && d.ignores(p.Analyzer.Name) {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a //swvet:<name> directive (any of names) sits on
+// pos's line or the line directly above it — the per-line allowlist
+// mechanism analyzers use for their specific escape hatches.
+func (p *Pass) Allowed(pos token.Pos, names ...string) bool {
+	position := p.Pkg.Fset.Position(pos)
+	for _, d := range p.Pkg.directivesNear(position) {
+		for _, n := range names {
+			if d.Name == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileHasDirective reports whether any comment in f carries the directive.
+// Used for file-scope markers like //swvet:hotpath in analyzer fixtures.
+func (p *Pass) FileHasDirective(f *ast.File, name string) bool {
+	fname := p.Pkg.Fset.Position(f.Pos()).Filename
+	for _, d := range p.Pkg.directives[fname] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Directive is one parsed //swvet: comment.
+type Directive struct {
+	Line int
+	Name string
+	Args string
+}
+
+// ignores reports whether an ignore directive's analyzer list covers name.
+// An empty list suppresses everything.
+func (d Directive) ignores(name string) bool {
+	list := d.Args
+	if i := strings.Index(list, "--"); i >= 0 {
+		list = list[:i]
+	}
+	list = strings.TrimSpace(list)
+	if list == "" {
+		return true
+	}
+	for _, f := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+var directiveRE = regexp.MustCompile(`^//\s?swvet:([a-z-]+)(?:[ \t]+(.*))?$`)
+
+// HasDirective reports whether a comment group (typically a declaration's
+// doc comment) carries //swvet:<name>.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if m := directiveRE.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives indexes every //swvet: comment in f by file and line.
+func (pkg *Package) parseDirectives(f *ast.File) {
+	fname := pkg.Fset.Position(f.Pos()).Filename
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := directiveRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pkg.directives[fname] = append(pkg.directives[fname], Directive{
+				Line: pkg.Fset.Position(c.Pos()).Line,
+				Name: m[1],
+				Args: strings.TrimSpace(m[2]),
+			})
+		}
+	}
+}
+
+// directivesNear returns the directives on position's line and the line
+// directly above it.
+func (pkg *Package) directivesNear(position token.Position) []Directive {
+	var out []Directive
+	for _, d := range pkg.directives[position.Filename] {
+		if d.Line == position.Line || d.Line == position.Line-1 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes analyzers over pkgs and returns all diagnostics sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return lessDiag(diags[i], diags[j]) })
+	return diags, nil
+}
+
+func lessDiag(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

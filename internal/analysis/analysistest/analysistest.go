@@ -1,0 +1,149 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against expectations written in the fixture source, the
+// same contract as golang.org/x/tools/go/analysis/analysistest:
+//
+//	_ = scratch() // want `retained beyond the next call`
+//
+// A `// want` comment names one or more double- or back-quoted regular
+// expressions that must each match a diagnostic reported on that line; any
+// unmatched expectation and any unexpected diagnostic fails the test.
+// Lines without a want comment must produce no diagnostics, which is how
+// fixtures encode their negative and allowlisted cases.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// wantRE extracts the expectation list from a fixture comment.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE matches one double- or back-quoted expectation.
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the fixture package in dir (a testdata subdirectory), applies
+// the analyzer, and reports every mismatch between its diagnostics and the
+// fixture's // want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkg, err := analysis.LoadFixture(moduleDir, dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// consume marks the first unmet expectation matching d and reports whether
+// one existed.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if !w.met && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans every fixture file for // want comments.
+func parseWants(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRE.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", e.Name(), i+1, line)
+			}
+			for _, q := range quoted {
+				var pat string
+				if strings.HasPrefix(q, "`") {
+					pat = strings.Trim(q, "`")
+				} else {
+					pat, err = strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad expectation %s: %v", e.Name(), i+1, q, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad expectation regexp %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re, raw: q})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

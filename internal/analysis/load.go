@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// directives indexes every //swvet: comment by file name.
+	directives map[string][]Directive
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates, parses and type-checks the module packages matched by
+// patterns (relative to dir), entirely offline: package structure comes from
+// `go list`, and type information for imports is read from the compiler
+// export data `go list -export` leaves in the build cache — the same
+// mechanism x/tools' gcexportdata driver uses, minus the dependency.
+// Test files are not loaded; swvet checks the shipped tree (the fixture
+// suites under passes/*/testdata cover the analyzers themselves).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFixture parses and type-checks a single fixture directory (an
+// analysistest testdata package, outside any go list universe). Imports are
+// resolved through export data fetched for exactly the paths the fixture
+// names; moduleDir anchors the `go list` invocation in this module.
+func LoadFixture(moduleDir, fixtureDir string) (*Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(fixtureDir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", fixtureDir)
+	}
+
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	imports := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+		for _, im := range af.Imports {
+			imports[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := append([]string{
+			"list", "-e", "-export", "-deps",
+			"-json=ImportPath,Export,Error",
+		}, sortedKeys(imports)...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = moduleDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list (fixture deps): %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	imp := exportImporter(fset, exports)
+	pkgPath := filepath.Base(fixtureDir)
+	return checkParsed(fset, imp, pkgPath, fixtureDir, parsed)
+}
+
+// exportImporter returns a go/importer that reads compiler export data from
+// the files go list reported. One importer instance is shared across a whole
+// Load so mutually-imported packages unify.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, af)
+	}
+	return checkParsed(fset, imp, pkgPath, dir, parsed)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, pkgPath, dir string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	pkg := &Package{
+		PkgPath:    pkgPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      parsed,
+		Types:      tpkg,
+		Info:       info,
+		directives: make(map[string][]Directive),
+	}
+	for _, f := range parsed {
+		pkg.parseDirectives(f)
+	}
+	return pkg, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic go list invocation regardless of map iteration order.
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,150 @@
+// Package copylocks is the in-tree stand-in for vet/x/tools' copylocks pass
+// (kept in swvet so the whole invariant suite runs from one binary, and
+// extended to this module's own lock-bearing types): it flags values of
+// types containing a sync lock — anything whose pointer type satisfies
+// sync.Locker, plus sync.WaitGroup/Once/Map and structures embedding them —
+// being copied: by-value parameters and results, value assignments, and
+// two-variable range clauses over containers of lock-bearing elements. A
+// copied lock forks the lock state: both copies unlock independently and
+// the mutual exclusion silently vanishes (ShardedEngine and the server hub
+// both embed mutexes, so an accidental by-value method or range would
+// compile cleanly and corrupt the subscription registry under race).
+package copylocks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "by-value copies of types containing sync primitives (mutexes, wait groups, …)",
+	Run:  run,
+}
+
+// locker is the interface a lock-bearing type's pointer satisfies.
+var locker = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(0, nil, "Lock", types.NewSignatureType(nil, nil, nil, nil, nil, false)),
+	types.NewFunc(0, nil, "Unlock", types.NewSignatureType(nil, nil, nil, nil, nil, false)),
+}, nil).Complete()
+
+// lockPath returns a short description of where a lock lives inside t ("" if
+// lock-free). depth caps recursion through self-referential types.
+func lockPath(t types.Type, depth int) string {
+	if depth > 10 || t == nil {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return "sync." + obj.Name()
+			}
+		}
+		if types.Implements(types.NewPointer(named), locker) && !types.Implements(named, locker) {
+			return obj.Name()
+		}
+		return lockPath(named.Underlying(), depth+1)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if p := lockPath(t.Field(i).Type(), depth+1); p != "" {
+				return t.Field(i).Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(t.Elem(), depth+1); p != "" {
+			return "[...]" + p
+		}
+	}
+	return ""
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSignature(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if p := lockPath(t, 0); p != "" {
+				pass.Reportf(field.Pos(), "%s passes a lock by value: it contains %s; use a pointer", what, p)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		rhs = ast.Unparen(rhs)
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			// Fresh values and function results are construction, not
+			// copies of a live lock.
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			// `_ = x` is the mark-used idiom: nothing is copied anywhere.
+			continue
+		}
+		t := pass.TypeOf(as.Lhs[i])
+		if t == nil {
+			t = pass.TypeOf(rhs)
+		}
+		if t == nil {
+			continue
+		}
+		if p := lockPath(t, 0); p != "" {
+			pass.Reportf(as.Pos(), "assignment copies a lock value: it contains %s; use a pointer", p)
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	if id, ok := rng.Value.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	t := pass.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if p := lockPath(t, 0); p != "" {
+		pass.Reportf(rng.Value.Pos(), "range clause copies a lock value per element: it contains %s; range over indices or pointers", p)
+	}
+}

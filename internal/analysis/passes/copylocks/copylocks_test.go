@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/copylocks"
+)
+
+func TestCopylocks(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", copylocks.Analyzer)
+}

@@ -1,0 +1,62 @@
+// Package a is a copylocks fixture.
+package a
+
+import "sync"
+
+// registry embeds a mutex, like shard.ShardedEngine and the server hub.
+type registry struct {
+	mu   sync.Mutex
+	subs map[string]int
+}
+
+func badParam(r registry) { // want `parameter passes a lock by value: it contains mu\.sync\.Mutex`
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// badReceiver copies the registry (and its lock state) on every call.
+func (r registry) badReceiver() {} // want `receiver passes a lock by value`
+
+func badResult() registry { // want `result passes a lock by value`
+	return registry{}
+}
+
+func badAssign(r *registry) {
+	cp := *r // want `assignment copies a lock value`
+	_ = cp
+}
+
+func badRange(rs []registry) {
+	for _, r := range rs { // want `range clause copies a lock value per element`
+		_ = r.subs
+	}
+}
+
+func badWaitGroup(wg sync.WaitGroup) { // want `parameter passes a lock by value: it contains sync\.WaitGroup`
+	wg.Wait()
+}
+
+func goodPointer(r *registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// goodConstruction builds fresh values in place: no live lock is copied.
+func goodConstruction() {
+	r := registry{subs: map[string]int{}}
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func goodRangeIndex(rs []registry) {
+	for i := range rs {
+		rs[i].mu.Lock()
+		rs[i].mu.Unlock()
+	}
+}
+
+func goodPointerSlice(rs []*registry) {
+	for _, r := range rs {
+		_ = r.subs
+	}
+}

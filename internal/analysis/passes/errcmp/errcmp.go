@@ -1,0 +1,129 @@
+// Package errcmp flags == / != comparisons (and switch cases) against
+// sentinel error values such as core.ErrClosed, graph.ErrDuplicateEdge or
+// io.EOF, where errors.Is must be used instead.
+//
+// StreamWorks wraps sentinels at every layer boundary — the engine returns
+// fmt.Errorf("%w", ErrRetentionTooSmall), shard prefixes core errors with
+// the shard index, the server maps wrapped chains onto HTTP statuses. A
+// direct pointer comparison silently stops matching as soon as any layer
+// adds context, so the convention is mechanical: sentinel comparisons go
+// through errors.Is, always. A sentinel is recognized as a package-level
+// variable or constant of error type whose name starts with "Err" or ends
+// in "EOF". Comparisons against nil are not sentinel comparisons and stay
+// legal. Suppress a deliberate identity check with
+// //swvet:ignore errcmp -- <why>.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "sentinel errors compared with == or != (or switch cases) instead of errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name := sentinelName(pass, n.X); name != "" && !isNil(pass, n.Y) {
+					report(pass, n.Pos(), n.Op, name)
+				} else if name := sentinelName(pass, n.Y); name != "" && !isNil(pass, n.X) {
+					report(pass, n.Pos(), n.Op, name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(pass, e); name != "" {
+							pass.Reportf(e.Pos(), "switch case compares sentinel error %s with ==; use if/else with errors.Is(err, %s) so wrapped errors still match", name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, op token.Token, name string) {
+	verb := "errors.Is"
+	if op == token.NEQ {
+		verb = "!errors.Is"
+	}
+	pass.Reportf(pos, "sentinel error %s compared with %s; use %s(err, %s) so wrapped errors still match", name, op, verb, name)
+}
+
+// sentinelName returns the printable name of e when it denotes a sentinel
+// error value, else "".
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return ""
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		if _, isConst := obj.(*types.Const); !isConst {
+			return ""
+		}
+	}
+	// Package-level only: local error variables named errFoo are flow
+	// values, not sentinels.
+	if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	if !implementsError(obj.Type()) {
+		return ""
+	}
+	name := obj.Name()
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") && !strings.HasSuffix(name, "EOF") {
+		return ""
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if pkgID, ok := sel.X.(*ast.Ident); ok {
+			return pkgID.Name + "." + name
+		}
+	}
+	return name
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorType)
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		_, isNil := pass.ObjectOf(id).(*types.Nil)
+		return isNil
+	}
+	return false
+}

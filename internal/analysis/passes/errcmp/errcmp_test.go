@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", errcmp.Analyzer)
+}

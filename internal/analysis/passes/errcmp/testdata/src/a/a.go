@@ -1,0 +1,54 @@
+// Package a is an errcmp fixture.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrClosed mimics a layer sentinel; layers above wrap it.
+var ErrClosed = errors.New("a: closed")
+
+// errInternal is package-level but unexported; still a sentinel.
+var errInternal = errors.New("a: internal")
+
+func wrapped() error { return fmt.Errorf("shard 3: %w", ErrClosed) }
+
+func bad(err error) {
+	if err == ErrClosed { // want `sentinel error ErrClosed compared with ==`
+		return
+	}
+	if err != ErrClosed { // want `sentinel error ErrClosed compared with !=`
+		return
+	}
+	if err == io.EOF { // want `sentinel error io\.EOF compared with ==`
+		return
+	}
+	if errInternal == err { // want `sentinel error errInternal compared with ==`
+		return
+	}
+	switch err {
+	case io.EOF: // want `switch case compares sentinel error io\.EOF`
+	case nil:
+	}
+}
+
+func good(err error) {
+	if errors.Is(err, ErrClosed) {
+		return
+	}
+	if err == nil || err != nil { // nil comparisons are not sentinel comparisons
+		return
+	}
+	// A deliberately allowlisted identity check (e.g. asserting a test
+	// helper returned the exact sentinel, unwrapped):
+	//swvet:ignore errcmp -- test asserts the unwrapped sentinel itself
+	if err == ErrClosed {
+		return
+	}
+	var localErr error
+	if err == localErr { // locals are not sentinels
+		return
+	}
+}

@@ -1,0 +1,136 @@
+// Package lostcancel is the in-tree stand-in for x/tools' lostcancel pass
+// (the build environment is offline, so the real pass cannot be vendored):
+// it flags context cancel functions obtained from context.WithCancel,
+// WithTimeout or WithDeadline that are discarded or never used. An unused
+// cancel leaks the context's timer and child goroutine until the parent
+// context ends.
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// cancelSources are the context constructors whose second result must be
+// called.
+var cancelSources = map[string]bool{
+	"context.WithCancel":      true,
+	"context.WithTimeout":     true,
+	"context.WithDeadline":    true,
+	"context.WithCancelCause": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "context cancel functions that are discarded or never called",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type pending struct {
+		obj types.Object
+		pos ast.Node
+		src string
+	}
+	var cancels []pending
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || !cancelSources[obj.FullName()] {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "the cancel function returned by %s is discarded; the context's resources leak until the parent context ends", obj.FullName())
+			return true
+		}
+		if o := pass.ObjectOf(id); o != nil {
+			cancels = append(cancels, pending{obj: o, pos: as, src: obj.FullName()})
+		}
+		return true
+	})
+	for _, c := range cancels {
+		if usedElsewhere(pass, fd.Body, c.obj) {
+			continue
+		}
+		pass.Reportf(c.pos.Pos(), "the cancel function from %s is never used; call it (usually defer %s()) on every path", c.src, c.obj.Name())
+	}
+}
+
+// usedElsewhere reports whether obj has any meaningful use: a call, defer,
+// argument or store all count (any further use hands the obligation on),
+// but declarations, assignment targets and `_ = cancel` keep-the-compiler-
+// quiet lines do not.
+func usedElsewhere(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+			if allBlank(n.Lhs) {
+				for _, rhs := range n.Rhs {
+					if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+						skip[id] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !skip[id] && pass.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

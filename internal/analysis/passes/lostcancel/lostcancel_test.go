@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/lostcancel"
+)
+
+func TestLostcancel(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", lostcancel.Analyzer)
+}

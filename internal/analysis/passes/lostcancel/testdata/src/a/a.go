@@ -1,0 +1,30 @@
+// Package a is a lostcancel fixture.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func badDiscarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // want `cancel function returned by context\.WithTimeout is discarded`
+	return ctx
+}
+
+func badUnused(ctx context.Context) {
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithCancel(ctx) // want `cancel function from context\.WithCancel is never used`
+	_ = cancel                            // silences the compiler, not the analyzer
+	<-ctx.Done()
+}
+
+func goodDeferred(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	<-ctx.Done()
+}
+
+func goodHandedOff(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second))
+	return ctx, cancel
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", maporder.Analyzer)
+}

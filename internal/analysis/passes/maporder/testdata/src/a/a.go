@@ -1,0 +1,87 @@
+// Package a is a maporder fixture; the deterministic directive below puts
+// it in scope the way internal/match et al. are by import path.
+//
+//swvet:deterministic
+package a
+
+import "sort"
+
+// badAppend collects map keys into a slice that escapes unsorted: the
+// classic nondeterministic-golden bug.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order reaches deterministic output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// badConcat builds a signature string directly from iteration order.
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order reaches deterministic output`
+		s = s + k
+	}
+	return s
+}
+
+// badEarlyReturn lets iteration order pick the winner.
+func badEarlyReturn(m map[string]int) string {
+	for k := range m { // want `map iteration order reaches deterministic output`
+		return k
+	}
+	return ""
+}
+
+// goodSortedAfter is the canonical collect-then-sort shape.
+func goodSortedAfter(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodMapToMap transforms one map into another: keyed writes commute.
+func goodMapToMap(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		if v > 0 {
+			out[k] = k
+		}
+	}
+	return out
+}
+
+// goodCounters accumulates commutatively.
+func goodCounters(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// goodAllowlisted is order-dependent in a provably harmless way and says so.
+func goodAllowlisted(m map[string]int) int {
+	max := 0
+	//swvet:unordered max fold: result independent of visit order
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// goodFuncAllowlisted carries the allowlist on the declaration.
+//
+//swvet:unordered diagnostic dump, never compared or persisted
+func goodFuncAllowlisted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package nilcmp_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/nilcmp"
+)
+
+func TestNilcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", nilcmp.Analyzer)
+}

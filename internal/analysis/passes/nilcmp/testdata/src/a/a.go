@@ -1,0 +1,75 @@
+// Package a is a nilcmp fixture.
+package a
+
+type engine struct {
+	queries map[string]int
+}
+
+func lookup(name string) *engine { return nil }
+
+func badAlwaysFalse() {
+	e := &engine{}
+	if e == nil { // want `comparison of e to nil is always false`
+		panic("unreachable")
+	}
+	_ = e.queries
+}
+
+func badAlwaysTrue() int {
+	m := make(map[string]int)
+	if m != nil { // want `comparison of m to nil is always true`
+		return len(m)
+	}
+	return 0
+}
+
+func badNew() {
+	e := new(engine)
+	if nil == e { // want `comparison of e to nil is always false`
+		panic("unreachable")
+	}
+}
+
+func goodReassigned(name string) *engine {
+	e := &engine{}
+	e = lookup(name)
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+func goodFromCall(name string) bool {
+	e := lookup(name)
+	return e == nil
+}
+
+func goodAddressTaken(reset func(**engine)) bool {
+	e := &engine{}
+	reset(&e)
+	return e == nil
+}
+
+func goodParam(e *engine) bool {
+	return e == nil
+}
+
+// goodDefaulted is the nil-defaulting idiom: the parameter's caller-supplied
+// value is unknown, so the guard is live even though its only in-body
+// assignment is non-nil.
+func goodDefaulted(e *engine) *engine {
+	if e == nil {
+		e = &engine{}
+	}
+	return e
+}
+
+type wrapper struct{ e *engine }
+
+// goodReceiverDefault does the same through a value receiver.
+func (w wrapper) goodReceiverDefault() *engine {
+	if w.e == nil {
+		return &engine{}
+	}
+	return w.e
+}

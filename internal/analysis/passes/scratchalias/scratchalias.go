@@ -1,0 +1,267 @@
+// Package scratchalias flags retention of scratch-backed slices beyond the
+// call that produced them.
+//
+// core.Engine.ProcessEdge returns a slice aliasing an internal scratch
+// buffer that is overwritten by the next call: the documented contract is
+// "valid until the next ProcessEdge call; callers that retain events across
+// calls must copy the slice" (the MatchEvent values themselves are safe).
+// The same convention applies to any function whose doc comment carries
+// //swvet:scratch. This analyzer mechanically enforces the caller side of
+// that contract: a scratch result may be consumed in place — ranged over,
+// passed down, copied element-wise with append(dst, s...) — but it must not
+// outlive the frame or cross a concurrency boundary. Flagged:
+//
+//   - storing the scratch slice (or a local holding it) in a struct field,
+//     slice/map element, or package-level variable;
+//   - sending it on a channel, or capturing it in a go'd function literal /
+//     passing it to a go'd call — the goroutine races the next call;
+//   - appending the slice itself (not its elements) into another slice;
+//   - placing it in a composite literal;
+//   - returning it, unless the enclosing function is itself marked
+//     //swvet:scratch (propagating the contract instead of breaking it).
+//
+// Safe and unflagged: `for _, ev := range eng.ProcessEdge(se)`,
+// `append(events, eng.ProcessEdge(se)...)` (value copy), and ignoring the
+// result entirely. Suppress a false positive with
+// //swvet:ignore scratchalias -- <why>.
+package scratchalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// ScratchFuncs are the fully-qualified names (types.Func.FullName form) of
+// functions documented to return scratch-backed slices, for call sites in
+// packages that cannot see the local //swvet:scratch doc directive.
+var ScratchFuncs = map[string]bool{
+	"(*github.com/streamworks/streamworks/internal/core.Engine).ProcessEdge": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "scratchalias",
+	Doc: "scratch-backed slices (ProcessEdge results and //swvet:scratch functions) " +
+		"retained beyond the next call or across a goroutine boundary",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := localScratchFuncs(pass)
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := &funcCheck{
+				pass:       pass,
+				marked:     marked,
+				tracked:    map[types.Object]bool{},
+				scratchRet: analysis.HasDirective(fd.Doc, "scratch"),
+			}
+			fn.collectTracked(fd.Body)
+			fn.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// localScratchFuncs collects the *types.Func of every function in this
+// package whose doc carries //swvet:scratch, so in-package call sites are
+// checked without the hardcoded list.
+func localScratchFuncs(pass *analysis.Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.HasDirective(fd.Doc, "scratch") {
+				continue
+			}
+			if obj, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+type funcCheck struct {
+	pass    *analysis.Pass
+	marked  map[*types.Func]bool
+	tracked map[types.Object]bool
+	// scratchRet: the enclosing function is itself documented scratch, so
+	// returning a scratch slice propagates the contract legally.
+	scratchRet bool
+}
+
+// isScratchCall reports whether e is a call of a scratch-returning function.
+func (fc *funcCheck) isScratchCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj, ok := fc.pass.ObjectOf(id).(*types.Func)
+	if !ok {
+		return false
+	}
+	return fc.marked[obj] || ScratchFuncs[obj.FullName()]
+}
+
+// isScratchValue: a scratch call or a local variable holding one.
+func (fc *funcCheck) isScratchValue(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if fc.isScratchCall(e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return fc.tracked[fc.pass.ObjectOf(id)]
+	}
+	return false
+}
+
+// collectTracked finds locals assigned from scratch calls. A reassignment
+// from a non-scratch value does not untrack (flow-insensitive, deliberately
+// conservative: use a fresh variable for the copy).
+func (fc *funcCheck) collectTracked(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || !fc.isScratchCall(as.Rhs[0]) || len(as.Lhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := fc.pass.ObjectOf(id); obj != nil {
+				fc.tracked[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func (fc *funcCheck) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			fc.checkAssign(n)
+		case *ast.SendStmt:
+			if fc.isScratchValue(n.Value) {
+				fc.pass.Reportf(n.Pos(), "scratch-backed slice sent on a channel outlives the next call; copy it first (append([]core.MatchEvent(nil), s...))")
+			}
+		case *ast.CallExpr:
+			fc.checkAppend(n)
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if fc.isScratchValue(el) {
+					fc.pass.Reportf(el.Pos(), "scratch-backed slice stored in a composite literal outlives the next call; copy it first")
+				}
+			}
+		case *ast.ReturnStmt:
+			if fc.scratchRet {
+				return true
+			}
+			for _, r := range n.Results {
+				if fc.isScratchValue(r) {
+					fc.pass.Reportf(r.Pos(), "returning a scratch-backed slice re-exports the aliasing contract; copy it, or document this function with //swvet:scratch")
+				}
+			}
+		case *ast.GoStmt:
+			fc.checkGo(n)
+		}
+		return true
+	})
+}
+
+func (fc *funcCheck) checkAssign(as *ast.AssignStmt) {
+	// Pair LHS/RHS when counts line up; with a single RHS every LHS shares
+	// it.
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			rhs = as.Rhs[i]
+		case len(as.Rhs) == 1:
+			rhs = as.Rhs[0]
+		default:
+			continue
+		}
+		if !fc.isScratchValue(rhs) {
+			continue
+		}
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			obj := fc.pass.ObjectOf(lhs)
+			if obj == nil {
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				fc.pass.Reportf(as.Pos(), "scratch-backed slice stored in package-level variable %s outlives the next call; copy it first", lhs.Name)
+			}
+		case *ast.SelectorExpr:
+			fc.pass.Reportf(as.Pos(), "scratch-backed slice stored in field %s outlives the next call; copy it first", lhs.Sel.Name)
+		case *ast.IndexExpr:
+			fc.pass.Reportf(as.Pos(), "scratch-backed slice stored in a slice/map element outlives the next call; copy it first")
+		}
+	}
+}
+
+// checkAppend flags append(dst, s) where s is the scratch slice itself —
+// append(dst, s...) copies the values and stays legal.
+func (fc *funcCheck) checkAppend(call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := fc.pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return
+	}
+	for i, arg := range call.Args {
+		if i == 0 {
+			continue
+		}
+		if i == len(call.Args)-1 && call.Ellipsis.IsValid() {
+			continue // append(dst, s...) copies elements
+		}
+		if fc.isScratchValue(arg) {
+			fc.pass.Reportf(arg.Pos(), "scratch-backed slice appended into another slice outlives the next call; copy it first or spread its elements with ...")
+		}
+	}
+}
+
+// checkGo flags scratch values crossing into a goroutine: as arguments to
+// the go'd call, or as free variables of a go'd function literal.
+func (fc *funcCheck) checkGo(g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if fc.isScratchValue(arg) {
+			fc.pass.Reportf(arg.Pos(), "scratch-backed slice passed to a goroutine races the next call; copy it first")
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if fc.tracked[fc.pass.ObjectOf(id)] {
+				fc.pass.Reportf(id.Pos(), "scratch-backed slice captured by a goroutine races the next call; copy it before the go statement")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/scratchalias"
+)
+
+func TestScratchalias(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", scratchalias.Analyzer)
+}

@@ -1,0 +1,117 @@
+// Package a is a scratchalias fixture: engine mimics core.Engine's
+// scratch-backed ProcessEdge via the //swvet:scratch doc directive.
+package a
+
+// Event stands in for core.MatchEvent; the values are safe to retain, only
+// the slice spine aliases the scratch buffer.
+type Event struct{ Query string }
+
+type engine struct {
+	scratch []Event
+	held    []Event
+}
+
+// processEdge returns matches in a scratch buffer reused by the next call.
+//
+//swvet:scratch
+func (e *engine) processEdge(n int) []Event {
+	e.scratch = e.scratch[:0]
+	for i := 0; i < n; i++ {
+		e.scratch = append(e.scratch, Event{})
+	}
+	return e.scratch
+}
+
+var global []Event
+
+func badField(e *engine) {
+	e.held = e.processEdge(1) // want `stored in field held`
+}
+
+func badGlobal(e *engine) {
+	global = e.processEdge(1) // want `stored in package-level variable global`
+}
+
+func badTrackedField(e *engine) {
+	evs := e.processEdge(1)
+	e.held = evs // want `stored in field held`
+}
+
+func badChannel(e *engine, ch chan []Event) {
+	evs := e.processEdge(1)
+	ch <- evs // want `sent on a channel`
+}
+
+func badAppendSpine(e *engine, batches [][]Event) [][]Event {
+	evs := e.processEdge(1)
+	return append(batches, evs) // want `appended into another slice`
+}
+
+func badComposite(e *engine) {
+	type frame struct{ evs []Event }
+	f := frame{evs: e.processEdge(1)} // want `stored in a composite literal`
+	_ = f
+}
+
+func badReturn(e *engine) []Event {
+	return e.processEdge(1) // want `re-exports the aliasing contract`
+}
+
+func badGoroutine(e *engine) {
+	evs := e.processEdge(1)
+	go func() {
+		_ = evs // want `captured by a goroutine`
+	}()
+}
+
+func badGoArg(e *engine, sink func([]Event)) {
+	go sink(e.processEdge(1)) // want `passed to a goroutine`
+}
+
+// goodConsumeInPlace ranges over the scratch result before the next call:
+// the documented safe pattern.
+func goodConsumeInPlace(e *engine) int {
+	total := 0
+	for range e.processEdge(1) {
+		total++
+	}
+	for _, ev := range e.processEdge(2) {
+		_ = ev
+		total++
+	}
+	return total
+}
+
+// goodSpreadCopy copies the Event values out of the scratch spine.
+func goodSpreadCopy(e *engine) []Event {
+	var out []Event
+	out = append(out, e.processEdge(1)...)
+	evs := e.processEdge(2)
+	out = append(out, evs...)
+	return out
+}
+
+// goodExplicitCopy clones into a fresh slice before retaining.
+func goodExplicitCopy(e *engine) {
+	evs := e.processEdge(1)
+	cp := append([]Event(nil), evs...)
+	e.held = cp
+}
+
+// goodScratchWrapper propagates the contract and says so.
+//
+//swvet:scratch forwards processEdge's buffer; same validity window
+func goodScratchWrapper(e *engine) []Event {
+	return e.processEdge(3)
+}
+
+// goodDiscard ignores the result entirely (the shard worker pattern).
+func goodDiscard(e *engine) {
+	e.processEdge(1)
+}
+
+// goodAllowlisted documents why retaining is safe here.
+func goodAllowlisted(e *engine) {
+	//swvet:ignore scratchalias -- single-shot engine: no further calls ever happen
+	global = e.processEdge(1)
+}

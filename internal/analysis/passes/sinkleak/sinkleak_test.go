@@ -1,0 +1,12 @@
+package sinkleak_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/sinkleak"
+)
+
+func TestSinkleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", sinkleak.Analyzer)
+}

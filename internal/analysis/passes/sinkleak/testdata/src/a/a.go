@@ -1,0 +1,97 @@
+// Package a is a sinkleak fixture mirroring the repo's subscription
+// surfaces: a Subscription type with Close, an engine whose Subscribe
+// returns (Subscription, error), and a core-style Subscribe returning a
+// cancel func.
+package a
+
+// Subscription is a subscription handle.
+//
+//swvet:sink
+type Subscription struct{ done chan struct{} }
+
+// Close releases the subscription.
+func (s *Subscription) Close() {}
+
+// Done reports delivery end.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+type engine struct{}
+
+func (e *engine) Subscribe(query string) (*Subscription, error) {
+	return &Subscription{done: make(chan struct{})}, nil
+}
+
+// cancelEngine mimics core.Engine.Subscribe returning a cancel func.
+type cancelEngine struct{}
+
+func (e *cancelEngine) Subscribe(query string) func() { return func() {} }
+
+func badNeverClosed(e *engine) {
+	sub, err := e.Subscribe("q") // want `subscription sub from Subscribe is never closed`
+	if err != nil {
+		return
+	}
+	<-sub.Done()
+}
+
+func badDiscarded(e *engine) {
+	_, _ = e.Subscribe("q") // want `discarded with _`
+}
+
+func badCancelUnused(e *cancelEngine) {
+	cancel := e.Subscribe("q") // want `subscription cancel from Subscribe is never closed`
+	_ = cancel == nil
+}
+
+func goodDeferClose(e *engine) error {
+	sub, err := e.Subscribe("q")
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	<-sub.Done()
+	return nil
+}
+
+func goodCancelCalled(e *cancelEngine) {
+	cancel := e.Subscribe("q")
+	defer cancel()
+}
+
+func goodCloseInGoroutine(e *engine) {
+	sub, _ := e.Subscribe("q")
+	go func() {
+		<-sub.Done()
+		sub.Close()
+	}()
+}
+
+// holder keeps long-lived subscriptions; storing transfers the release
+// obligation to the holder's own Close path.
+type holder struct{ sub *Subscription }
+
+func goodEscapeField(e *engine, h *holder) {
+	sub, _ := e.Subscribe("q")
+	h.sub = sub
+}
+
+func goodEscapeReturn(e *engine) (*Subscription, error) {
+	sub, err := e.Subscribe("q")
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func watch(s *Subscription) {}
+
+func goodEscapeArg(e *engine) {
+	sub, _ := e.Subscribe("q")
+	watch(sub)
+}
+
+func goodAllowlisted(e *engine) {
+	//swvet:ignore sinkleak -- process-lifetime subscription, closed by exit
+	sub, _ := e.Subscribe("q")
+	<-sub.Done()
+}

@@ -1,0 +1,47 @@
+// Package a is a walltime fixture. The file-level hotpath directive below
+// puts it in the analyzer's scope the way internal/core et al. are by
+// import path.
+//
+//swvet:hotpath
+package a
+
+import "time"
+
+// Timestamp stands in for graph.Timestamp.
+type Timestamp int64
+
+// processEdge is a hot-path function: every wall-clock read is a violation.
+func processEdge(ts Timestamp) Timestamp {
+	now := time.Now() // want `time\.Now in hot-path package`
+	_ = now
+	d := time.Since(time.Unix(0, int64(ts))) // want `time\.Since in hot-path package`
+	time.Sleep(time.Millisecond)             // want `time\.Sleep in hot-path package`
+	<-time.After(d)                          // want `time\.After in hot-path package`
+	return ts
+}
+
+// durationArithmetic shows what stays legal: duration constants and
+// stream-time arithmetic never touch the wall clock.
+func durationArithmetic(ts Timestamp, window time.Duration) Timestamp {
+	cutoff := ts - Timestamp(window)
+	if cutoff < 0 {
+		cutoff = 0
+	}
+	return cutoff
+}
+
+// lineAllowlisted reads the wall clock for a metrics counter; the inline
+// directive suppresses the diagnostic.
+func lineAllowlisted() int64 {
+	//swvet:wallclock metrics-only: scrape timestamp, never compared to stream time
+	return time.Now().UnixNano()
+}
+
+// funcAllowlisted is allowlisted at the declaration: its whole body may
+// read the wall clock.
+//
+//swvet:wallclock uptime reporting for the metrics endpoint
+func funcAllowlisted() time.Time {
+	start := time.Now()
+	return start
+}

@@ -1,0 +1,97 @@
+// Package walltime flags wall-clock reads inside StreamWorks' hot-path
+// packages, where stream time (graph.Timestamp carried on edges and
+// watermarks) is the only legal clock.
+//
+// The engine's correctness bar is exact match-set equality across backends
+// and replays: a match is admitted by comparing edge timestamps against the
+// stream watermark, never against the machine's clock. A time.Now that
+// sneaks into core, sjtree, match, graph or isomorphism makes results
+// depend on scheduling and replay speed — precisely the nondeterminism the
+// equivalence matrix exists to rule out. Serving layers (server, client,
+// cmd) legitimately measure wall latency and are out of scope.
+//
+// Metrics or diagnostics code inside a hot-path package may read the wall
+// clock by annotating the line (or the enclosing function's doc comment)
+// with //swvet:wallclock and a justification. Fixture packages opt into
+// hot-path scope with a file-level //swvet:hotpath comment.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// HotPathPackages are the import paths (and their subpackages) where wall
+// clocks are banned.
+var HotPathPackages = []string{
+	"github.com/streamworks/streamworks/internal/core",
+	"github.com/streamworks/streamworks/internal/sjtree",
+	"github.com/streamworks/streamworks/internal/match",
+	"github.com/streamworks/streamworks/internal/graph",
+	"github.com/streamworks/streamworks/internal/isomorphism",
+}
+
+// banned are the time-package functions that read or schedule by the wall
+// clock. time.Duration arithmetic and constants remain legal: retention and
+// slack are durations applied to stream timestamps.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "wall-clock reads (time.Now, time.Since, timers) in hot-path packages; " +
+		"stream time is the only legal clock there (allowlist: //swvet:wallclock)",
+	Run: run,
+}
+
+func inScope(pass *analysis.Pass, f *ast.File) bool {
+	for _, p := range HotPathPackages {
+		if pass.Path() == p || strings.HasPrefix(pass.Path(), p+"/") {
+			return true
+		}
+	}
+	return pass.FileHasDirective(f, "hotpath")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files() {
+		if !inScope(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			funcAllowed := false
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				funcAllowed = analysis.HasDirective(fd.Doc, "wallclock")
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !banned[obj.Name()] {
+					return true
+				}
+				if funcAllowed || pass.Allowed(sel.Pos(), "wallclock") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s in hot-path package %s: stream time (graph.Timestamp) is the only legal clock here; annotate //swvet:wallclock <why> if this is metrics-only", obj.Name(), pass.Path())
+				return true
+			})
+		}
+	}
+	return nil
+}

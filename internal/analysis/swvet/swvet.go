@@ -1,0 +1,33 @@
+// Package swvet assembles the repo's analyzer suite. The five
+// StreamWorks-specific passes enforce invariants that ordinary vet cannot
+// know about (scratch-buffer aliasing, stream-time-only hot paths,
+// deterministic output, subscription lifecycles, sentinel wrapping); the
+// remaining passes are in-tree stand-ins for the x/tools checks the CI
+// would otherwise pull from the network.
+package swvet
+
+import (
+	"github.com/streamworks/streamworks/internal/analysis"
+	"github.com/streamworks/streamworks/internal/analysis/passes/copylocks"
+	"github.com/streamworks/streamworks/internal/analysis/passes/errcmp"
+	"github.com/streamworks/streamworks/internal/analysis/passes/lostcancel"
+	"github.com/streamworks/streamworks/internal/analysis/passes/maporder"
+	"github.com/streamworks/streamworks/internal/analysis/passes/nilcmp"
+	"github.com/streamworks/streamworks/internal/analysis/passes/scratchalias"
+	"github.com/streamworks/streamworks/internal/analysis/passes/sinkleak"
+	"github.com/streamworks/streamworks/internal/analysis/passes/walltime"
+)
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		copylocks.Analyzer,
+		errcmp.Analyzer,
+		lostcancel.Analyzer,
+		maporder.Analyzer,
+		nilcmp.Analyzer,
+		scratchalias.Analyzer,
+		sinkleak.Analyzer,
+		walltime.Analyzer,
+	}
+}

@@ -322,6 +322,9 @@ func (e *Engine) noteExpired(de *graph.Edge) {
 // The returned slice aliases an internal scratch buffer and is only valid
 // until the next ProcessEdge call; callers that retain events across calls
 // must copy the slice (the MatchEvent values themselves are safe to keep).
+// swvet's scratchalias pass enforces that contract at every call site.
+//
+//swvet:scratch
 func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 	stored, err := e.dyn.Apply(se)
 	if err != nil {

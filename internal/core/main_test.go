@@ -1,0 +1,14 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/testutil/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: the core engine promises
+// that Close stops delivery and drains subscriptions, so any goroutine
+// outliving the tests is a shutdown bug, not noise.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

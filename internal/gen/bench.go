@@ -205,6 +205,7 @@ func runDriftOnce(w Workload, shards int, adaptive bool) (MatchSet, streamworks.
 	if err != nil {
 		return nil, streamworks.Metrics{}, 0, 0, err
 	}
+	defer sub.Close()
 	split := w.SplitAt
 	if split <= 0 || split > len(w.Edges) {
 		split = len(w.Edges)

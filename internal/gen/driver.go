@@ -185,6 +185,7 @@ func (s MatchSet) Equal(o MatchSet) bool {
 	if len(s) != len(o) {
 		return false
 	}
+	//swvet:unordered membership test: the early return is the same constant false whichever missing key is visited first
 	for k := range s {
 		if _, ok := o[k]; !ok {
 			return false
@@ -220,6 +221,7 @@ func RunEngine(eng streamworks.Engine, w Workload) (MatchSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sub.Close()
 	if err := eng.ProcessBatch(ctx, w.Edges); err != nil {
 		return nil, err
 	}

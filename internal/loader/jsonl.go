@@ -80,6 +80,7 @@ func fromJSONAttrs(m map[string]jsonValue) graph.Attributes {
 		return nil
 	}
 	var attrs graph.Attributes
+	//swvet:unordered map-to-map copy: Set inserts by key, so the result is identical in any visit order
 	for k, v := range m {
 		attrs = attrs.Set(k, fromJSONValue(v))
 	}

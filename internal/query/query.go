@@ -245,6 +245,7 @@ func (q *Graph) SubsetConnected(edges []EdgeID) bool {
 		verts[e.Target] = struct{}{}
 	}
 	var start VertexID
+	//swvet:unordered connectivity is independent of which vertex the walk starts from
 	for v := range verts {
 		start = v
 		break

@@ -1,0 +1,16 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/testutil/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene. The server spawns hub,
+// per-stream and HTTP goroutines; all of them must exit once the test's
+// server and clients are closed. The HTTP transport's idle keep-alive
+// connections are real goroutines too — tests must CloseIdleConnections
+// (or close the client) rather than rely on an allowlist here.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -544,6 +544,7 @@ func (s *ShardedEngine) Run(src stream.Source, fn func(core.MatchEvent)) (int, e
 			fn(ev)
 		}
 	}))
+	defer sub.Close()
 	var procErr error
 	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
 		procErr = s.Process(se)

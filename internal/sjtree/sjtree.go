@@ -254,6 +254,7 @@ func (t *Tree) pruneWhere(drop func(*match.Match) bool) int {
 		if n.IsRoot() {
 			continue
 		}
+		//swvet:unordered drop is a pure predicate: each match is kept or removed independently of visit order
 		for key, list := range n.matches {
 			kept := list[:0]
 			for _, m := range list {
