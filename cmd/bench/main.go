@@ -31,17 +31,18 @@ import (
 )
 
 type report struct {
-	GeneratedAt  string                 `json:"generated_at"`
-	GoVersion    string                 `json:"go_version"`
-	GOOS         string                 `json:"goos"`
-	GOARCH       string                 `json:"goarch"`
-	NumCPU       int                    `json:"num_cpu"`
-	GOMAXPROCS   int                    `json:"gomaxprocs"`
-	Note         string                 `json:"note,omitempty"`
-	Results      []gen.BenchResult      `json:"results"`
-	DriftResults []gen.DriftBenchResult `json:"drift_results,omitempty"`
-	Baseline     *report                `json:"baseline,omitempty"`
-	Comparison   []comparison           `json:"comparison,omitempty"`
+	GeneratedAt  string                  `json:"generated_at"`
+	GoVersion    string                  `json:"go_version"`
+	GOOS         string                  `json:"goos"`
+	GOARCH       string                  `json:"goarch"`
+	NumCPU       int                     `json:"num_cpu"`
+	GOMAXPROCS   int                     `json:"gomaxprocs"`
+	Note         string                  `json:"note,omitempty"`
+	Results      []gen.BenchResult       `json:"results"`
+	DriftResults []gen.DriftBenchResult  `json:"drift_results,omitempty"`
+	ObsOverhead  []gen.ObsOverheadResult `json:"obs_overhead,omitempty"`
+	Baseline     *report                 `json:"baseline,omitempty"`
+	Comparison   []comparison            `json:"comparison,omitempty"`
 }
 
 // comparison pairs one current result with the baseline result of the same
@@ -60,7 +61,7 @@ type comparison struct {
 
 func main() {
 	var (
-		workload  = flag.String("workload", "all", "workload to replay: netflow, news or all")
+		workload  = flag.String("workload", "all", "workload to replay: netflow, news, drift, obs-overhead or all")
 		edges     = flag.Int("edges", 25_000, "approximate edges per workload replay")
 		hosts     = flag.Int("hosts", 1000, "netflow host count")
 		window    = flag.Duration("window", 30*time.Second, "query time window (netflow; news uses 10x)")
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	var workloads []gen.Workload
-	runDrift := false
+	runDrift, runObs := false, false
 	switch *workload {
 	case "netflow":
 		workloads = []gen.Workload{gen.BenchNetFlowWorkload(*edges, *hosts, *window)}
@@ -88,14 +89,17 @@ func main() {
 		workloads = []gen.Workload{gen.BenchNewsWorkload(*edges, 10**window)}
 	case "drift":
 		runDrift = true
+	case "obs-overhead":
+		runObs = true
 	case "all":
 		workloads = []gen.Workload{
 			gen.BenchNetFlowWorkload(*edges, *hosts, *window),
 			gen.BenchNewsWorkload(*edges, 10**window),
 		}
 		runDrift = true
+		runObs = true
 	default:
-		log.Fatalf("bench: unknown workload %q (want netflow, news, drift or all)", *workload)
+		log.Fatalf("bench: unknown workload %q (want netflow, news, drift, obs-overhead or all)", *workload)
 	}
 	shardCounts, err := parseShards(*shards)
 	if err != nil {
@@ -146,6 +150,24 @@ func main() {
 					res.Workload, res.Engine, res.Mode, res.Edges, res.PostDriftEdgesPerSec, res.TotalEdgesPerSec, res.Replans, res.Matches)
 			}
 			rep.DriftResults = append(rep.DriftResults, frozen, adaptive)
+		}
+	}
+	if runObs {
+		// The observability overhead lane replays one workload three times —
+		// instrumentation off, histograms on, histograms plus the sampled
+		// trace ring — and reports the edges/s regression of each mode
+		// against the first. The acceptance budget is ≤3% for "enabled".
+		ow := gen.BenchNetFlowWorkload(*edges, *hosts, *window)
+		for _, sc := range shardCounts {
+			results, err := gen.BenchObsOverhead(ow, sc)
+			if err != nil {
+				log.Fatalf("bench: obs overhead: %v", err)
+			}
+			for _, res := range results {
+				fmt.Fprintf(os.Stderr, "%-8s %-10s obs=%-8s %10.0f edges/s  %+5.1f%% overhead  %d matches\n",
+					res.Workload, res.Engine, res.Mode, res.EdgesPerSec, res.OverheadPct, res.Matches)
+			}
+			rep.ObsOverhead = append(rep.ObsOverhead, results...)
 		}
 	}
 	if *baseline != "" {

@@ -32,6 +32,7 @@ import (
 	"github.com/streamworks/streamworks/internal/client"
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/obs"
 )
 
 func main() {
@@ -204,6 +205,42 @@ func main() {
 			sc.Shard, sc.EdgesProcessed, sc.MatchesEmitted, sc.LocalSearches, sc.LiveEdges)
 	}
 
+	if metrics.Obs != nil {
+		res.Segments, res.SegmentCoverage = segmentBreakdown(metrics.Obs, res.LatencyMS.Mean)
+		fmt.Printf("latency breakdown (daemon obs, per-segment means):\n")
+		for _, seg := range res.Segments {
+			fmt.Printf("  %-18s n=%-9d mean=%9.1fµs p99=%9.1fµs\n",
+				seg.Segment, seg.Count, seg.MeanNS/1e3, seg.P99NS/1e3)
+		}
+		if lag, ok := metrics.Obs.Find(obs.DetectLagHistogramName, ""); ok {
+			fmt.Printf("  %-18s n=%-9d mean=%9.1fµs (stream time, not wall)\n",
+				"detect_stream_lag", lag.Count, lag.Mean/1e3)
+		}
+		if jh, ok := metrics.Obs.Find(obs.JourneyHistogramName, ""); ok && jh.Count > 0 {
+			fmt.Printf("  %-18s n=%-9d mean=%9.1fµs p99=%9.1fµs (arrival→flush, per match)\n",
+				"wall_journey", jh.Count, jh.Mean/1e3, jh.P99/1e3)
+			res.JourneyMeanMS = jh.Mean / 1e6
+			if res.LatencyMS.Samples > 0 && res.LatencyMS.Mean > 0 {
+				res.JourneyCoverage = 100 * res.JourneyMeanMS / res.LatencyMS.Mean
+			}
+		}
+		if res.LatencyMS.Samples > 0 {
+			if res.JourneyCoverage > 0 {
+				// Both sides of this comparison are match-weighted, so it is
+				// the honest closure check; the per-edge segment sum below it
+				// undercounts whenever queue depth ramps during the run
+				// (matched edges wait longer than the average edge).
+				fmt.Printf("segment accounting: daemon journey (arrival→flush) mean %.2fms accounts for %.0f%% of measured detect-and-deliver mean (%.2fms)\n",
+					res.JourneyMeanMS, res.JourneyCoverage, res.LatencyMS.Mean)
+				fmt.Printf("  (per-edge segment means sum to %.0f%% of the measured mean; the gap is edge-vs-match weighting under queue ramp)\n",
+					res.SegmentCoverage)
+			} else {
+				fmt.Printf("segment accounting: per-edge segment means sum to %.0f%% of measured detect-and-deliver mean (%.2fms)\n",
+					res.SegmentCoverage, res.LatencyMS.Mean)
+			}
+		}
+	}
+
 	if *jsonOut {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -279,7 +316,7 @@ func settle(ctx context.Context, rem *streamworks.Remote) *serverMetrics {
 			last = m.Engine.MatchesEmitted
 		}
 		if stable >= 3 || time.Now().After(deadline) {
-			return &serverMetrics{Engine: m.Engine, Shards: m.Shards, Server: m.Server}
+			return &serverMetrics{Engine: m.Engine, Shards: m.Shards, Server: m.Server, Obs: m.Obs}
 		}
 		time.Sleep(150 * time.Millisecond)
 	}
@@ -289,10 +326,12 @@ type serverMetrics struct {
 	Engine core.Metrics
 	Shards []core.Metrics
 	Server any
+	Obs    *obs.Snapshot
 }
 
 type latencySummary struct {
 	Samples int     `json:"samples"`
+	Mean    float64 `json:"mean"`
 	P50     float64 `json:"p50"`
 	P90     float64 `json:"p90"`
 	P99     float64 `json:"p99"`
@@ -308,13 +347,64 @@ func summarize(ms []float64) latencySummary {
 		idx := int(p * float64(len(ms)-1))
 		return ms[idx]
 	}
+	sum := 0.0
+	for _, v := range ms {
+		sum += v
+	}
 	return latencySummary{
 		Samples: len(ms),
+		Mean:    sum / float64(len(ms)),
 		P50:     pick(0.50),
 		P90:     pick(0.90),
 		P99:     pick(0.99),
 		Max:     ms[len(ms)-1],
 	}
+}
+
+// segmentSummary is one latency segment of the daemon's obs snapshot, in
+// the fixed journey order.
+type segmentSummary struct {
+	Segment string  `json:"segment"`
+	Count   uint64  `json:"count"`
+	MeanNS  float64 `json:"mean_ns"`
+	P50NS   float64 `json:"p50_ns"`
+	P99NS   float64 `json:"p99_ns"`
+}
+
+// journeySegments is the wall-clock segment order of an edge's path through
+// the daemon; detect_stream_lag is excluded (stream time, not wall time).
+var journeySegments = []string{
+	obs.SegIngestQueueWait,
+	obs.SegShardMailbox,
+	obs.SegLocalSearch,
+	obs.SegSJTreeJoin,
+	obs.SegDispatch,
+	obs.SegHTTPFlush,
+}
+
+// segmentBreakdown extracts the per-segment summaries from the daemon's obs
+// snapshot and reports which share of the measured mean detect-and-deliver
+// latency (milliseconds) the summed per-segment means account for — the
+// "where did my 4.3 seconds go" closure check.
+func segmentBreakdown(snap *obs.Snapshot, measuredMeanMS float64) ([]segmentSummary, float64) {
+	var segs []segmentSummary
+	sumNS := 0.0
+	for _, name := range journeySegments {
+		hs, ok := snap.Find(obs.SegmentHistogramName, name)
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentSummary{
+			Segment: name, Count: hs.Count,
+			MeanNS: hs.Mean, P50NS: hs.P50, P99NS: hs.P99,
+		})
+		sumNS += hs.Mean
+	}
+	coverage := 0.0
+	if measuredMeanMS > 0 {
+		coverage = 100 * sumNS / (measuredMeanMS * 1e6)
+	}
+	return segs, coverage
 }
 
 type shardCounters struct {
@@ -357,4 +447,16 @@ type benchResult struct {
 	EngineTotals engineTotals    `json:"engine"`
 	PerShard     []shardCounters `json:"per_shard"`
 	ServerSide   any             `json:"server"`
+	// Segments is the daemon's per-segment latency breakdown (present when
+	// the daemon runs with -obs); SegmentCoverage is the percentage of the
+	// measured mean detect-and-deliver latency the summed segment means
+	// account for.
+	Segments        []segmentSummary `json:"segments,omitempty"`
+	SegmentCoverage float64          `json:"segment_coverage_pct,omitempty"`
+	// JourneyMeanMS is the daemon's match-weighted arrival→flush journey mean
+	// and JourneyCoverage its share of the measured mean detect-and-deliver
+	// latency — the match-weighted closure check (both sides weight by match,
+	// so queue-depth ramps cancel out instead of skewing the comparison).
+	JourneyMeanMS   float64 `json:"journey_mean_ms,omitempty"`
+	JourneyCoverage float64 `json:"journey_coverage_pct,omitempty"`
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/server"
 	"github.com/streamworks/streamworks/internal/shard"
@@ -43,6 +44,11 @@ func main() {
 		subBuffer = flag.Int("sub-buffer", 256, "per-subscriber match buffer; overflow evicts the subscriber")
 		maxBatch  = flag.Int("max-batch", 65536, "maximum edges accepted per ingest request")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+
+		obsOn       = flag.Bool("obs", false, "enable observability: per-segment latency histograms, per-plan-node statistics, Prometheus exposition at GET /metrics")
+		traceBuffer = flag.Int("trace-buffer", 4096, "edge-journey trace ring capacity in events (0 disables tracing; needs -obs)")
+		traceSample = flag.Int("trace-sample", 64, "trace one edge in n, selected by edge ID (0 disables tracing)")
+		traceRate   = flag.Int("trace-rate", 1000, "maximum trace events recorded per second")
 
 		strategy     = flag.String("strategy", "", "default decomposition strategy for registrations (selective, lazy, eager, balanced; empty = selective)")
 		adaptive     = flag.Bool("adaptive", false, "adapt query plans to live stream statistics by default (per-query override: POST /v1/queries?adaptive=on|off)")
@@ -66,21 +72,9 @@ func main() {
 		}
 	}
 
-	if *pprofAddr != "" {
-		// A dedicated mux on a dedicated listener: profiling stays off the
-		// public API surface and can be bound to loopback only.
-		pm := http.NewServeMux()
-		pm.HandleFunc("/debug/pprof/", pprof.Index)
-		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("streamworksd: pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
-				log.Printf("streamworksd: pprof serve: %v", err)
-			}
-		}()
+	obsCfg := obs.Config{Enabled: *obsOn}
+	if *obsOn {
+		obsCfg.Tracer = obs.NewTracer(*traceBuffer, *traceSample, *traceRate, obs.SystemClock)
 	}
 
 	srv := server.New(server.Config{
@@ -92,6 +86,7 @@ func main() {
 				Slack:           *slack,
 				EnableSummaries: *summaries,
 				TriadSampling:   *triad,
+				Obs:             obsCfg,
 				Replan: replan.Config{
 					CheckEvery: *replanEvery,
 					Threshold:  *replanThresh,
@@ -105,6 +100,27 @@ func main() {
 		DefaultStrategy:  *strategy,
 		AdaptivePlanning: *adaptive,
 	})
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: profiling and the
+		// observability surface stay off the public API (the API mux also
+		// serves /metrics and /debug/trace, but operators typically bind
+		// this one to loopback and scrape here).
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pm.Handle("/metrics", srv.PromHandler())
+		pm.Handle("/debug/trace", srv.TraceHandler())
+		go func() {
+			log.Printf("streamworksd: pprof/metrics listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("streamworksd: pprof serve: %v", err)
+			}
+		}()
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errc := make(chan error, 1)

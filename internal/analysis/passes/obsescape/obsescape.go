@@ -1,0 +1,142 @@
+// Package obsescape checks that trace-event structs cannot retain heap
+// references.
+//
+// The observability tracer records events from inside ProcessEdge, where
+// every slice in sight is scratch-backed and recycled on the next call (the
+// scratchalias invariant). A trace event that carried a slice, map or
+// pointer would either alias that scratch memory — corrupting the dump as
+// the engine keeps running — or force a defensive copy on the hot path.
+// StreamWorks sidesteps both by construction: structs marked
+//
+//	//swvet:traceevent
+//
+// (on the type declaration's doc comment) may contain only scalars, strings
+// and fixed-size arrays of the same, recursively through embedded structs.
+// Copying such a value is a plain memmove; recording one can never allocate
+// or retain engine state. This pass turns that shape requirement into a
+// machine-checked rule for obs.TraceEvent and any event type added later.
+package obsescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsescape",
+	Doc: "//swvet:traceevent structs must hold only scalars, strings and arrays of them; " +
+		"slices, maps, pointers, interfaces, channels and funcs could retain scratch-backed engine state",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declMarked := analysis.HasDirective(gd.Doc, "traceevent")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !(declMarked || analysis.HasDirective(ts.Doc, "traceevent")) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "swvet:traceevent on non-struct type %s: only structs can be trace events", ts.Name.Name)
+					continue
+				}
+				checkStruct(pass, ts.Name.Name, st)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStruct(pass *analysis.Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || flat(t, nil) {
+			continue
+		}
+		name := fieldName(field)
+		pass.Reportf(field.Pos(), "trace-event %s.%s has non-scalar type %s (%s): //swvet:traceevent structs may hold only scalars, strings and arrays of them, so recording never allocates or retains engine state",
+			typeName, name, types.TypeString(t, types.RelativeTo(pass.TypesPkg())), kind(t))
+	}
+}
+
+// flat reports whether t is safe inside a trace event: a boolean, numeric or
+// string basic type, a fixed-size array of flat elements, or a struct whose
+// fields are all flat. seen breaks cycles (impossible without pointers, but
+// cheap to guard).
+func flat(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsBoolean|types.IsNumeric|types.IsString) != 0
+	case *types.Array:
+		return flat(u.Elem(), seen)
+	case *types.Struct:
+		if seen == nil {
+			seen = make(map[types.Type]bool)
+		}
+		seen[t] = true
+		for i := 0; i < u.NumFields(); i++ {
+			if !flat(u.Field(i).Type(), seen) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// kind names the offending underlying shape for the diagnostic.
+func kind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Pointer:
+		return "pointer"
+	case *types.Interface:
+		return "interface"
+	case *types.Chan:
+		return "channel"
+	case *types.Signature:
+		return "func"
+	case *types.Struct:
+		return "struct with escaping field"
+	case *types.Array:
+		return "array of escaping elements"
+	case *types.Basic:
+		return "non-scalar basic type"
+	default:
+		return "escaping type"
+	}
+}
+
+func fieldName(field *ast.Field) string {
+	if len(field.Names) > 0 {
+		return field.Names[0].Name
+	}
+	// Embedded field: name it by its type expression.
+	switch e := field.Type.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.StarExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "(embedded)"
+}

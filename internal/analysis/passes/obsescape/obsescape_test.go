@@ -1,0 +1,12 @@
+package obsescape_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/obsescape"
+)
+
+func TestObsescape(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", obsescape.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package a is an obsescape fixture: trace-event structs marked
+// //swvet:traceevent may hold only scalars, strings and arrays of them.
+package a
+
+// Event is a compliant trace event: scalars, a string, a fixed-size array,
+// and an embedded flat struct. Copying it is a plain memmove.
+//
+//swvet:traceevent
+type Event struct {
+	Seq      uint64
+	Stage    string
+	Shard    int32
+	StreamTS int64
+	Fill     [4]byte
+	Meta     header
+}
+
+// header is flat, so embedding it in Event above is legal.
+type header struct {
+	Version uint8
+	Flags   uint16
+}
+
+// Leaky violates the shape rule in every way at once.
+//
+//swvet:traceevent
+type Leaky struct {
+	IDs    []uint64          // want `non-scalar type \[\]uint64 \(slice\)`
+	Attrs  map[string]string // want `non-scalar type map\[string\]string \(map\)`
+	Next   *Leaky            // want `non-scalar type \*Leaky \(pointer\)`
+	Any    any               // want `non-scalar type any \(interface\)`
+	C      chan int          // want `non-scalar type chan int \(channel\)`
+	Fn     func()            // want `non-scalar type func\(\) \(func\)`
+	Nested payload           // want `non-scalar type payload \(struct with escaping field\)`
+	Ring   [8][]byte         // want `non-scalar type \[8\]\[\]byte \(array of escaping elements\)`
+}
+
+// payload is not itself marked, but embedding it in Leaky drags its slice
+// into the event, so the Nested field above is flagged.
+type payload struct {
+	Raw []byte
+}
+
+// NotAnEvent is unmarked: it may hold whatever it likes.
+type NotAnEvent struct {
+	IDs   []uint64
+	Attrs map[string]string
+}
+
+// grouped declarations carry the directive on the spec, not the decl.
+type (
+	//swvet:traceevent
+	Grouped struct {
+		OK  int64
+		Bad []int // want `non-scalar type \[\]int \(slice\)`
+	}
+
+	// Plain rides in the same block without the marker.
+	Plain struct {
+		Bad []int
+	}
+)
+
+// NotAStruct cannot be a trace event at all.
+//
+//swvet:traceevent
+type NotAStruct []int // want `on non-struct type NotAStruct`

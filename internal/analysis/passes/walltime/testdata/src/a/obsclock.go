@@ -1,0 +1,37 @@
+// Obsclock exercises the obs.Clock seam rule: hot-path code measures wall
+// latency only through the clock injected via obs.Config, never by reaching
+// for the SystemClock singleton (which would be time.Now one import away).
+//
+//swvet:hotpath
+package a
+
+import "github.com/streamworks/streamworks/internal/obs"
+
+// injectedClock is the legal pattern: whoever built the engine decided what
+// this clock is, so replays and tests stay deterministic.
+func injectedClock(c obs.Clock) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Now()
+}
+
+// grabSingleton bypasses the seam: flagged like a bare time.Now.
+func grabSingleton() int64 {
+	return obs.SystemClock.Now() // want `obs\.SystemClock in hot-path package`
+}
+
+// defaultedClock falls back to the singleton without a justification.
+func defaultedClock(c obs.Clock) obs.Clock {
+	if c == nil {
+		c = obs.SystemClock // want `obs\.SystemClock in hot-path package`
+	}
+	return c
+}
+
+// allowlistedSingleton pins the singleton for a metrics-only default; the
+// inline directive suppresses the diagnostic.
+func allowlistedSingleton() obs.Clock {
+	//swvet:wallclock scrape-side default, never compared to stream time
+	return obs.SystemClock
+}

@@ -10,6 +10,13 @@
 // equivalence matrix exists to rule out. Serving layers (server, client,
 // cmd) legitimately measure wall latency and are out of scope.
 //
+// The observability layer punches a deliberate hole in this rule: hot-path
+// code may measure wall latency through an injected obs.Clock, because the
+// embedder (and every test) controls what that clock is. Reaching for the
+// obs.SystemClock singleton instead re-creates the time.Now problem one
+// import away, so the analyzer bans that identifier in hot-path packages
+// exactly like the time functions.
+//
 // Metrics or diagnostics code inside a hot-path package may read the wall
 // clock by annotating the line (or the enclosing function's doc comment)
 // with //swvet:wallclock and a justification. Fixture packages opt into
@@ -49,11 +56,15 @@ var banned = map[string]bool{
 	"AfterFunc": true,
 }
 
+// obsPkg is the observability package whose SystemClock singleton is banned
+// in hot-path code: the clock must arrive injected through obs.Config.
+const obsPkg = "github.com/streamworks/streamworks/internal/obs"
+
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "walltime",
-	Doc: "wall-clock reads (time.Now, time.Since, timers) in hot-path packages; " +
-		"stream time is the only legal clock there (allowlist: //swvet:wallclock)",
+	Doc: "wall-clock reads (time.Now, time.Since, timers, obs.SystemClock) in hot-path packages; " +
+		"stream time and the injected obs.Clock are the only legal clocks there (allowlist: //swvet:wallclock)",
 	Run: run,
 }
 
@@ -81,14 +92,28 @@ func run(pass *analysis.Pass) error {
 				if !ok {
 					return true
 				}
-				obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
-				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !banned[obj.Name()] {
+				obj := pass.ObjectOf(sel.Sel)
+				if obj == nil || obj.Pkg() == nil {
 					return true
 				}
-				if funcAllowed || pass.Allowed(sel.Pos(), "wallclock") {
-					return true
+				allowed := func() bool {
+					return funcAllowed || pass.Allowed(sel.Pos(), "wallclock")
 				}
-				pass.Reportf(sel.Pos(), "time.%s in hot-path package %s: stream time (graph.Timestamp) is the only legal clock here; annotate //swvet:wallclock <why> if this is metrics-only", obj.Name(), pass.Path())
+				switch {
+				case obj.Pkg().Path() == "time" && banned[obj.Name()]:
+					if _, isFunc := obj.(*types.Func); !isFunc {
+						return true
+					}
+					if allowed() {
+						return true
+					}
+					pass.Reportf(sel.Pos(), "time.%s in hot-path package %s: stream time (graph.Timestamp) is the only legal clock here; annotate //swvet:wallclock <why> if this is metrics-only", obj.Name(), pass.Path())
+				case obj.Pkg().Path() == obsPkg && obj.Name() == "SystemClock":
+					if allowed() {
+						return true
+					}
+					pass.Reportf(sel.Pos(), "obs.SystemClock in hot-path package %s: take the clock injected through obs.Config instead of the wall-clock singleton; annotate //swvet:wallclock <why> if this is metrics-only", pass.Path())
+				}
 				return true
 			})
 		}

@@ -1,9 +1,9 @@
-// Package swvet assembles the repo's analyzer suite. The five
+// Package swvet assembles the repo's analyzer suite. The six
 // StreamWorks-specific passes enforce invariants that ordinary vet cannot
 // know about (scratch-buffer aliasing, stream-time-only hot paths,
-// deterministic output, subscription lifecycles, sentinel wrapping); the
-// remaining passes are in-tree stand-ins for the x/tools checks the CI
-// would otherwise pull from the network.
+// allocation-free trace events, deterministic output, subscription
+// lifecycles, sentinel wrapping); the remaining passes are in-tree stand-ins
+// for the x/tools checks the CI would otherwise pull from the network.
 package swvet
 
 import (
@@ -13,6 +13,7 @@ import (
 	"github.com/streamworks/streamworks/internal/analysis/passes/lostcancel"
 	"github.com/streamworks/streamworks/internal/analysis/passes/maporder"
 	"github.com/streamworks/streamworks/internal/analysis/passes/nilcmp"
+	"github.com/streamworks/streamworks/internal/analysis/passes/obsescape"
 	"github.com/streamworks/streamworks/internal/analysis/passes/scratchalias"
 	"github.com/streamworks/streamworks/internal/analysis/passes/sinkleak"
 	"github.com/streamworks/streamworks/internal/analysis/passes/walltime"
@@ -26,6 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 		lostcancel.Analyzer,
 		maporder.Analyzer,
 		nilcmp.Analyzer,
+		obsescape.Analyzer,
 		scratchalias.Analyzer,
 		sinkleak.Analyzer,
 		walltime.Analyzer,

@@ -5,7 +5,10 @@
 // data type: no behaviour, no engine imports beyond the metrics snapshot.
 package api
 
-import "github.com/streamworks/streamworks/internal/core"
+import (
+	"github.com/streamworks/streamworks/internal/core"
+	"github.com/streamworks/streamworks/internal/obs"
+)
 
 // Version identifies the HTTP API generation served under the /v1 prefix and
 // reported by GET /healthz. Incompatible wire changes bump it.
@@ -21,6 +24,13 @@ type HealthResponse struct {
 	Shards int `json:"shards"`
 	// UptimeSeconds is the time since the serving layer started.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// GoVersion is the daemon's runtime.Version() — which toolchain built
+	// the binary answering this probe.
+	GoVersion string `json:"go_version"`
+	// ObsEnabled reports whether the daemon runs with the observability
+	// layer on (streamworksd -obs): /metrics exposition, /debug/trace and
+	// the obs section of /v1/metrics are live when true.
+	ObsEnabled bool `json:"obs_enabled"`
 }
 
 // RegisterOptions are the optional query parameters of POST /v1/queries
@@ -98,4 +108,17 @@ type MetricsResponse struct {
 	Engine core.Metrics   `json:"engine"`
 	Shards []core.Metrics `json:"shards"`
 	Server ServerMetrics  `json:"server"`
+	// Obs carries the merged observability snapshot — per-segment latency
+	// histograms with precomputed summaries, across the server tier and all
+	// shard workers — when the daemon runs with observability on; absent
+	// otherwise.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// TraceResponse is the GET /debug/trace payload: the sampled edge-journey
+// ring, oldest first, plus the tracer's cumulative counts.
+type TraceResponse struct {
+	Events   []obs.TraceEvent `json:"events"`
+	Recorded uint64           `json:"recorded"`
+	Dropped  uint64           `json:"dropped"`
 }

@@ -17,6 +17,7 @@ import (
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/stats"
@@ -33,6 +34,17 @@ type MatchEvent struct {
 	// detection latency of an event is DetectedAt minus the event's last
 	// edge timestamp (zero for in-order streams).
 	DetectedAt graph.Timestamp
+	// EmittedWallNS is the wall-clock nanosecond timestamp of emission,
+	// stamped through the obs.Clock seam only when observability is enabled
+	// (zero otherwise). Serving tiers subtract it from their own clock to
+	// measure dispatch latency; it never influences matching.
+	EmittedWallNS int64
+	// ArrivedWallNS is the serving-tier arrival time of the edge whose
+	// processing completed this match, copied from the StreamEdge envelope
+	// when observability is enabled (zero otherwise, and zero for edges that
+	// never crossed a serving tier). The flush point subtracts it to record
+	// the match's full arrival-to-delivery journey.
+	ArrivedWallNS int64
 }
 
 // String renders the event compactly.
@@ -87,6 +99,12 @@ type Config struct {
 	// replan package defaults. Adaptive planning needs live statistics, so
 	// it is inert when EnableSummaries is false.
 	Replan replan.Config
+	// Obs configures hot-path observability: per-segment latency
+	// histograms, the stream-time detection-lag histogram and sampled edge
+	// tracing. Disabled by default; when enabled the engine reads wall time
+	// exclusively through the configured obs.Clock (never a concrete clock
+	// — swvet's walltime pass enforces the seam).
+	Obs obs.Config
 }
 
 // DefaultConfig returns the configuration used by New when nil is passed.
@@ -142,6 +160,7 @@ type Engine struct {
 	nextSinkID int
 
 	metrics Metrics
+	obs     engineObs
 }
 
 // New constructs an engine. cfg may be nil to use DefaultConfig.
@@ -166,6 +185,7 @@ func New(cfg *Config) *Engine {
 	e.est = stats.NewEstimator(e.summary)
 	e.planner = decompose.NewPlanner(e.est)
 	e.replanCfg = c.Replan.WithDefaults()
+	e.obs = newEngineObs(c.Obs)
 	return e
 }
 
@@ -335,6 +355,18 @@ func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 	if e.summary != nil {
 		e.summary.Observe(se, e.dyn.Graph())
 	}
+	if e.obs.enabled {
+		e.obs.curArrival = se.ArrivedWallNS
+	}
+
+	// Sampled edge tracing: the gate is a nil check plus one modulo, and no
+	// event is constructed unless this edge is sampled.
+	var procStart int64
+	traced := false
+	if e.obs.enabled && e.obs.tracer.SampleEdge(uint64(stored.ID)) {
+		traced = true
+		procStart = e.obs.clock.Now()
+	}
 
 	events := e.evScratch[:0]
 	for _, name := range e.order {
@@ -343,6 +375,18 @@ func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 	}
 	e.evScratch = events
 	e.metrics.MatchesEmitted += uint64(len(events))
+
+	if traced {
+		now := e.obs.clock.Now()
+		e.obs.tracer.Record(obs.TraceEvent{
+			Stage:    obs.StageProcess,
+			Shard:    e.obs.shard,
+			EdgeID:   uint64(stored.ID),
+			StreamTS: int64(stored.Timestamp),
+			WallNS:   now,
+			DurNS:    now - procStart,
+		})
+	}
 
 	if e.metrics.EdgesProcessed%uint64(e.cfg.PruneInterval) == 0 {
 		e.pruneAll()
@@ -436,7 +480,7 @@ func (e *Engine) Metrics() Metrics {
 		reg := e.registrations[name]
 		m.PartialMatches += reg.tree.PartialMatchCount()
 		m.LocalSearches += reg.localSearches
-		m.Queries = append(m.Queries, QueryMetrics{
+		qm := QueryMetrics{
 			Name:           name,
 			Strategy:       reg.plan.Strategy,
 			Matches:        reg.matches,
@@ -447,7 +491,13 @@ func (e *Engine) Metrics() Metrics {
 			Replans:        reg.replans,
 			PlanNodes:      reg.plan.NumNodes(),
 			PlanDepth:      reg.plan.Depth(),
-		})
+			Nodes:          reg.nodeMetrics(),
+		}
+		if n := len(reg.audits); n > 0 {
+			audit := reg.audits[n-1]
+			qm.LastReplanAudit = &audit
+		}
+		m.Queries = append(m.Queries, qm)
 	}
 	return m
 }

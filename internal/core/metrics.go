@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/query"
 )
 
 // Metrics is a snapshot of engine counters. Obtain one with Engine.Metrics.
@@ -64,6 +65,37 @@ type QueryMetrics struct {
 	Replans        uint64
 	PlanNodes      int
 	PlanDepth      int
+	// Nodes holds live per-SJ-tree-node statistics in plan (pre-order)
+	// order: the observed side of the selectivity estimates the plan was
+	// built from. Sharded engines report the node detail of the shard with
+	// the newest plan generation (summing across shards would mix plans).
+	Nodes []NodeMetrics
+	// LastReplanAudit is the most recent adaptive drift-check record
+	// (fired or declined), nil until the first check runs.
+	LastReplanAudit *ReplanAudit
+}
+
+// NodeMetrics is one SJ-tree node's slice of a metrics snapshot.
+type NodeMetrics struct {
+	// Edges lists the query pattern edges the node's subgraph covers.
+	Edges  []query.EdgeID
+	IsLeaf bool
+	// Stored/Inserted are the live and cumulative match counts;
+	// Partitions is the current number of cut-projection hash partitions.
+	Stored     int
+	Inserted   uint64
+	Partitions int
+	// JoinAttempts/JoinHits count sibling-join probes and successes;
+	// Pruned counts matches discarded from the node.
+	JoinAttempts uint64
+	JoinHits     uint64
+	Pruned       uint64
+	// EstCardinality is the planner's estimate for the node's subgraph at
+	// plan-install time; ObservedRatio is Inserted / EstCardinality (zero
+	// when the estimate is zero) — above 1 the estimator undershot, below
+	// 1 it overshot.
+	EstCardinality float64
+	ObservedRatio  float64
 }
 
 // String renders the snapshot as a small fixed-width report.

@@ -7,6 +7,7 @@ import (
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/isomorphism"
 	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/sjtree"
@@ -92,6 +93,14 @@ type Registration struct {
 	planGen  uint64
 	replans  uint64
 
+	// nodeEst freezes the planner's per-node cardinality estimates for the
+	// running plan, in the tree's pre-order, so per-node metrics can report
+	// observed-vs-estimated ratios against the numbers the plan was chosen
+	// with. audits is a ring of the most recent drift-check audit records
+	// (fires and declines alike); see ReplanAudit.
+	nodeEst []float64
+	audits  []ReplanAudit
+
 	// prims is the scratch buffer reused by processEdge for the primitive
 	// matches of each local search; only the backing array is reused, the
 	// matches themselves are owned by the SJ-Tree once inserted.
@@ -136,6 +145,7 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 		planGen:  1,
 		opts:     opts,
 	}
+	r.nodeEst = nodeEstimates(e.est, plan)
 	r.rebuildCandidates()
 	return r, nil
 }
@@ -190,6 +200,36 @@ func (r *Registration) Replans() uint64 { return r.replans }
 // Matches returns the number of complete matches reported so far.
 func (r *Registration) Matches() uint64 { return r.matches }
 
+// NodeMetrics returns live per-SJ-tree-node statistics in plan (pre-order)
+// order, pairing each node's observed counters with the cardinality
+// estimate the running plan was installed with.
+func (r *Registration) NodeMetrics() []NodeMetrics { return r.nodeMetrics() }
+
+func (r *Registration) nodeMetrics() []NodeMetrics {
+	perNode := r.tree.Stats().PerNodeStored
+	out := make([]NodeMetrics, len(perNode))
+	for i, ns := range perNode {
+		nm := NodeMetrics{
+			Edges:        ns.Edges,
+			IsLeaf:       ns.IsLeaf,
+			Stored:       ns.Stored,
+			Inserted:     ns.Inserted,
+			Partitions:   ns.Partitions,
+			JoinAttempts: ns.JoinAttempts,
+			JoinHits:     ns.JoinHits,
+			Pruned:       ns.Pruned,
+		}
+		if i < len(r.nodeEst) {
+			nm.EstCardinality = r.nodeEst[i]
+			if nm.EstCardinality > 0 {
+				nm.ObservedRatio = float64(nm.Inserted) / nm.EstCardinality
+			}
+		}
+		out[i] = nm
+	}
+	return out
+}
+
 // LocalSearches returns the number of primitive local searches executed.
 func (r *Registration) LocalSearches() uint64 { return r.localSearches }
 
@@ -207,27 +247,68 @@ func (r *Registration) processEdge(de *graph.Edge, events []MatchEvent) []MatchE
 }
 
 func (r *Registration) processCandidates(cands []leafCandidate, de *graph.Edge, events []MatchEvent) []MatchEvent {
+	o := &r.engine.obs
 	for i := range cands {
 		c := &cands[i]
 		if !r.query.Edge(c.qe).MatchesEdge(de) {
 			continue
 		}
 		r.localSearches++
-		r.prims = r.matcher.LocalSearchInto(r.prims[:0], r.engine.dyn.Graph(), c.order, de)
-		for _, pm := range r.prims {
-			for _, cm := range r.tree.Insert(c.leaf, pm) {
-				ev := MatchEvent{
-					Query:      r.name,
-					Match:      cm,
-					DetectedAt: r.engine.dyn.Watermark(),
-				}
-				r.matches++
-				if r.callback != nil {
-					r.callback(ev)
-				}
-				r.engine.dispatch(ev)
-				events = append(events, ev)
+		if o.enabled {
+			// Segment timing through the obs.Clock seam: the search and the
+			// join+emission halves of the candidate are measured separately
+			// so loadgen's breakdown can tell isomorphism cost from
+			// hash-join cost.
+			t0 := o.clock.Now()
+			r.prims = r.matcher.LocalSearchInto(r.prims[:0], r.engine.dyn.Graph(), c.order, de)
+			t1 := o.clock.Now()
+			o.localSearch.Observe(t1 - t0)
+			events = r.insertPrims(c.leaf, de, events)
+			o.join.Observe(o.clock.Now() - t1)
+		} else {
+			r.prims = r.matcher.LocalSearchInto(r.prims[:0], r.engine.dyn.Graph(), c.order, de)
+			events = r.insertPrims(c.leaf, de, events)
+		}
+	}
+	return events
+}
+
+// insertPrims pushes the scratch primitive matches into the SJ-Tree and
+// emits every complete match that results: callback, engine sinks, event
+// slice, and — when observability is on — the detection-lag histogram and a
+// sampled match trace event.
+func (r *Registration) insertPrims(leaf *sjtree.Node, de *graph.Edge, events []MatchEvent) []MatchEvent {
+	o := &r.engine.obs
+	for _, pm := range r.prims {
+		for _, cm := range r.tree.Insert(leaf, pm) {
+			ev := MatchEvent{
+				Query:      r.name,
+				Match:      cm,
+				DetectedAt: r.engine.dyn.Watermark(),
 			}
+			if o.enabled {
+				ev.EmittedWallNS = o.clock.Now()
+				ev.ArrivedWallNS = o.curArrival
+				if cm.HasSpan() {
+					o.detectLag.Observe(int64(ev.DetectedAt - cm.Span.End))
+				}
+				if o.tracer.SampleEdge(uint64(de.ID)) {
+					o.tracer.Record(obs.TraceEvent{
+						Stage:    obs.StageMatch,
+						Shard:    o.shard,
+						EdgeID:   uint64(de.ID),
+						StreamTS: int64(ev.DetectedAt),
+						WallNS:   ev.EmittedWallNS,
+						Query:    r.name,
+					})
+				}
+			}
+			r.matches++
+			if r.callback != nil {
+				r.callback(ev)
+			}
+			r.engine.dispatch(ev)
+			events = append(events, ev)
 		}
 	}
 	return events

@@ -5,6 +5,7 @@ import (
 
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/sjtree"
 	"github.com/streamworks/streamworks/internal/stats"
@@ -27,6 +28,81 @@ import (
 //     re-derived during replay is recognized and suppressed as a duplicate
 //     while a match that only completes across the swap boundary is
 //     emitted exactly once.
+
+// replanAuditRing bounds how many drift-check audit records a registration
+// retains.
+const replanAuditRing = 8
+
+// ReplanNodeAudit is the per-SJ-tree-node slice of a drift-check audit: the
+// node's cardinality estimate under the window estimator the check used,
+// next to what the node has actually seen. Nodes appear in the tree's
+// pre-order, matching QueryMetrics.Nodes.
+type ReplanNodeAudit struct {
+	Edges          []query.EdgeID `json:"edges"`
+	IsLeaf         bool           `json:"is_leaf"`
+	EstCardinality float64        `json:"est_cardinality"`
+	Inserted       uint64         `json:"inserted"`
+	Stored         int            `json:"stored"`
+}
+
+// ReplanAudit records one adaptive drift-check decision — fired or declined
+// — with the evidence it was made on: the frozen and fresh plan costs under
+// the window estimator, the detector's ratio, and the frozen plan's per-node
+// estimated-vs-observed cardinalities at the moment of the check. The last
+// replanAuditRing records are retained per registration and surfaced through
+// Registration.ReplanAudits and QueryMetrics.LastReplanAudit, giving
+// estimator validation something to chew on even when the detector never
+// fires.
+type ReplanAudit struct {
+	Query      string          `json:"query"`
+	CheckedAt  graph.Timestamp `json:"checked_at"`
+	FrozenCost float64         `json:"frozen_cost"`
+	FreshCost  float64         `json:"fresh_cost"`
+	Ratio      float64         `json:"ratio"`
+	Swapped    bool            `json:"swapped"`
+	// PlanGeneration is the generation in force after the decision (a swap
+	// increments it).
+	PlanGeneration uint64            `json:"plan_generation"`
+	Nodes          []ReplanNodeAudit `json:"nodes,omitempty"`
+}
+
+// recordAudit appends a to the registration's audit ring.
+func (r *Registration) recordAudit(a ReplanAudit) {
+	if len(r.audits) >= replanAuditRing {
+		copy(r.audits, r.audits[1:])
+		r.audits = r.audits[:len(r.audits)-1]
+	}
+	r.audits = append(r.audits, a)
+}
+
+// ReplanAudits returns the retained drift-check audit records, oldest first.
+// The slice is a copy; the per-record Nodes slices are shared snapshots.
+func (r *Registration) ReplanAudits() []ReplanAudit {
+	out := make([]ReplanAudit, len(r.audits))
+	copy(out, r.audits)
+	return out
+}
+
+// nodeAudit captures the frozen plan's per-node estimated-vs-observed state
+// under est.
+func nodeAudit(est *stats.Estimator, reg *Registration) []ReplanNodeAudit {
+	perNode := reg.tree.Stats().PerNodeStored
+	ests := nodeEstimates(est, reg.plan)
+	out := make([]ReplanNodeAudit, len(perNode))
+	for i, ns := range perNode {
+		a := ReplanNodeAudit{
+			Edges:    ns.Edges,
+			IsLeaf:   ns.IsLeaf,
+			Inserted: ns.Inserted,
+			Stored:   ns.Stored,
+		}
+		if i < len(ests) {
+			a.EstCardinality = ests[i]
+		}
+		out[i] = a
+	}
+	return out
+}
 
 // maybeReplanAll runs one drift check across all adaptive registrations.
 // Both the trial plan and the cost comparison use a *window* estimator over
@@ -66,13 +142,28 @@ func (e *Engine) maybeReplanAll() {
 		}
 		frozenCost := replan.PlanCost(wEst, reg.plan)
 		freshCost := replan.PlanCost(wEst, fresh)
-		if _, swap := reg.det.Should(frozenCost, freshCost, total, now); !swap {
-			continue
+		ratio, swap := reg.det.Should(frozenCost, freshCost, total, now)
+		// The audit's per-node evidence must be captured before a swap
+		// replaces the tree it describes.
+		audit := ReplanAudit{
+			Query:          name,
+			CheckedAt:      now,
+			FrozenCost:     frozenCost,
+			FreshCost:      freshCost,
+			Ratio:          ratio,
+			Swapped:        swap,
+			PlanGeneration: reg.planGen,
+			Nodes:          nodeAudit(wEst, reg),
 		}
-		if err := e.swapPlan(reg, fresh); err != nil {
-			continue
+		if swap {
+			if err := e.swapPlan(reg, fresh, wEst); err != nil {
+				audit.Swapped = false
+			} else {
+				reg.det.NoteSwap(now)
+				audit.PlanGeneration = reg.planGen
+			}
 		}
-		reg.det.NoteSwap(now)
+		reg.recordAudit(audit)
 	}
 }
 
@@ -96,7 +187,7 @@ func (e *Engine) ReplanNow(name string, strategy decompose.Strategy) error {
 	if err != nil {
 		return fmt.Errorf("core: re-planning %q: %w", name, err)
 	}
-	if err := e.swapPlan(reg, fresh); err != nil {
+	if err := e.swapPlan(reg, fresh, wEst); err != nil {
 		return err
 	}
 	reg.det.NoteSwap(e.dyn.Watermark())
@@ -111,7 +202,7 @@ func (e *Engine) ReplanNow(name string, strategy decompose.Strategy) error {
 // replay flow through the normal emission path (callback, sinks, counters);
 // in the expected case they are all already-emitted duplicates and the
 // inherited dedup silences them.
-func (e *Engine) swapPlan(reg *Registration, plan *decompose.Plan) error {
+func (e *Engine) swapPlan(reg *Registration, plan *decompose.Plan, est *stats.Estimator) error {
 	tree, err := sjtree.New(plan)
 	if err != nil {
 		return fmt.Errorf("core: building SJ-Tree for %q: %w", reg.name, err)
@@ -119,6 +210,7 @@ func (e *Engine) swapPlan(reg *Registration, plan *decompose.Plan) error {
 	tree.InheritEmitted(reg.tree)
 	reg.plan = plan
 	reg.tree = tree
+	reg.nodeEst = nodeEstimates(est, plan)
 	reg.rebuildCandidates()
 	reg.planGen++
 	reg.replans++

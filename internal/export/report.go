@@ -35,6 +35,17 @@ type MatchReport struct {
 	// remote consumers deduplicate redelivered reports and compare match sets
 	// across runs without access to the Match value itself.
 	Signature string `json:"signature"`
+	// DeliveredWallNS is the wall-clock nanosecond timestamp at which the
+	// engine handed this report to subscriber sinks. Process-local
+	// observability plumbing (the serving tier measures its flush segment
+	// from it), never serialized: remote consumers always see zero.
+	DeliveredWallNS int64 `json:"-"`
+	// ArrivedWallNS is the serving-tier arrival time of the edge that
+	// completed this match (core.MatchEvent.ArrivedWallNS). Like
+	// DeliveredWallNS it is process-local observability plumbing — the flush
+	// point subtracts it to record the per-match journey — and never
+	// serialized.
+	ArrivedWallNS int64 `json:"-"`
 }
 
 // BuildReport resolves a match event into a MatchReport using the query
@@ -42,11 +53,12 @@ type MatchReport struct {
 // and attributes. g may be nil, in which case only IDs are reported.
 func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport {
 	r := MatchReport{
-		Query:      ev.Query,
-		DetectedAt: int64(ev.DetectedAt),
-		SpanStart:  int64(ev.Match.Span.Start),
-		SpanEnd:    int64(ev.Match.Span.End),
-		Signature:  ev.Match.Signature(),
+		Query:         ev.Query,
+		DetectedAt:    int64(ev.DetectedAt),
+		SpanStart:     int64(ev.Match.Span.Start),
+		SpanEnd:       int64(ev.Match.Span.End),
+		Signature:     ev.Match.Signature(),
+		ArrivedWallNS: ev.ArrivedWallNS,
 	}
 	// ForEachVertex iterates in ascending pattern-ID order, matching the
 	// sorted order the map-based representation had to construct.

@@ -44,12 +44,18 @@ func TestCrossStrategyEquivalenceMatrix(t *testing.T) {
 		name     string
 		shards   int // 0 = single engine
 		adaptive bool
+		traced   bool // observability + edge-journey tracing on
 	}
 	modes := []mode{
-		{"single", 0, false},
-		{"single-adaptive", 0, true},
-		{"sharded2", 2, false},
-		{"sharded2-adaptive", 2, true},
+		{"single", 0, false, false},
+		{"single-adaptive", 0, true, false},
+		{"sharded2", 2, false, false},
+		{"sharded2-adaptive", 2, true, false},
+		// Observability cells: histograms plus 1-in-1 trace sampling are
+		// free to change HOW the run is recorded, never WHICH matches it
+		// finds.
+		{"single-traced", 0, false, true},
+		{"sharded2-adaptive-traced", 2, true, true},
 	}
 	for _, w := range workloads {
 		w := w
@@ -72,6 +78,11 @@ func TestCrossStrategyEquivalenceMatrix(t *testing.T) {
 						opts := []streamworks.Option{
 							streamworks.WithPlanStrategy(string(strat)),
 							streamworks.WithAdaptivePlanning(m.adaptive),
+						}
+						if m.traced {
+							opts = append(opts,
+								streamworks.WithObservability(true),
+								streamworks.WithTraceSampling(1024, 1, 1<<30))
 						}
 						var (
 							set MatchSet

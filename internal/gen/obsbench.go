@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/streamworks/streamworks"
+)
+
+// ObsOverheadResult measures one observability mode replaying one workload.
+// The acceptance numbers tracked across PRs: "enabled" must stay within a
+// few percent of "disabled" edges/s (the instrumentation budget), and
+// "disabled" is the compiled-in-but-off configuration every regular bench
+// lane already runs, so its delta against the baseline report shows the
+// cost of merely carrying the instrumentation branches.
+type ObsOverheadResult struct {
+	Workload    string  `json:"workload"`
+	Engine      string  `json:"engine"` // "single" or "sharded-N"
+	Mode        string  `json:"mode"`   // "disabled", "enabled" or "traced"
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	// OverheadPct is the edges/s regression relative to the disabled mode
+	// of the same run (zero for the disabled row itself).
+	OverheadPct float64 `json:"overhead_pct"`
+	Matches     int     `json:"matches"`
+}
+
+// obsModes are the three configurations the overhead lane compares:
+// instrumentation off (one branch per site), histograms on, and histograms
+// plus the sampled trace ring.
+var obsModes = []struct {
+	name string
+	opts []streamworks.Option
+}{
+	{"disabled", nil},
+	{"enabled", []streamworks.Option{streamworks.WithObservability(true)}},
+	{"traced", []streamworks.Option{
+		streamworks.WithObservability(true),
+		streamworks.WithTraceSampling(4096, 64, 1_000_000),
+	}},
+}
+
+// obsOverheadRounds is the number of interleaved measurement rounds per
+// mode; the best round is reported (the drift bench's idiom: external noise
+// only ever slows a run down, so the max is the least contaminated sample,
+// and interleaving keeps slow machine phases from landing entirely on one
+// mode and showing up as phantom overhead).
+const obsOverheadRounds = 3
+
+// BenchObsOverhead replays w under testing.Benchmark per observability mode
+// and reports the throughput of each mode plus its regression against the
+// disabled mode. Modes are measured in obsOverheadRounds interleaved rounds
+// with the best round kept. All modes must detect the identical match set —
+// instrumentation is not allowed to change semantics — and a divergence is
+// returned as an error.
+func BenchObsOverhead(w Workload, shards int) ([]ObsOverheadResult, error) {
+	engine := "single"
+	if shards > 0 {
+		engine = fmt.Sprintf("sharded-%d", shards)
+	}
+	run := func(extra ...streamworks.Option) (MatchSet, error) {
+		if shards == 0 {
+			set, _, err := RunSingle(w, extra...)
+			return set, err
+		}
+		set, _, err := RunSharded(w, shards, extra...)
+		return set, err
+	}
+	var out []ObsOverheadResult
+	var baseSet MatchSet
+	for _, mode := range obsModes {
+		set, err := run(mode.opts...)
+		if err != nil {
+			return nil, fmt.Errorf("gen: obs overhead %s validation run: %w", mode.name, err)
+		}
+		if baseSet == nil {
+			baseSet = set
+		} else if !baseSet.Equal(set) {
+			return nil, fmt.Errorf("gen: obs overhead: %s match set diverges from disabled (%d vs %d)",
+				mode.name, len(set), len(baseSet))
+		}
+		out = append(out, ObsOverheadResult{
+			Workload: w.Name,
+			Engine:   engine,
+			Mode:     mode.name,
+			Matches:  len(set),
+		})
+	}
+	for round := 0; round < obsOverheadRounds; round++ {
+		for i, mode := range obsModes {
+			res := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					if _, err := run(mode.opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if res.T > 0 {
+				if eps := float64(len(w.Edges)) * float64(res.N) / res.T.Seconds(); eps > out[i].EdgesPerSec {
+					out[i].EdgesPerSec = eps
+				}
+			}
+		}
+	}
+	base := out[0].EdgesPerSec
+	if base > 0 {
+		for i := range out {
+			out[i].OverheadPct = 100 * (1 - out[i].EdgesPerSec/base)
+		}
+	}
+	return out, nil
+}

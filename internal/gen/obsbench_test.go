@@ -1,0 +1,46 @@
+package gen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBenchObsOverheadParity exercises the obs-overhead bench lane end to
+// end on a small workload: all three modes run, report throughput, and —
+// the part that must never regress — detect the identical match set. The
+// overhead numbers themselves are hardware-dependent and land in
+// BENCH_core.json, not in an assertion.
+func TestBenchObsOverheadParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark three times")
+	}
+	w := BenchNetFlowWorkload(4000, 200, 10*time.Second)
+	for _, shards := range []int{0, 2} {
+		results, err := BenchObsOverhead(w, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(results) != 3 {
+			t.Fatalf("shards=%d: %d results, want 3 modes", shards, len(results))
+		}
+		wantModes := []string{"disabled", "enabled", "traced"}
+		for i, res := range results {
+			if res.Mode != wantModes[i] {
+				t.Errorf("shards=%d result %d mode = %q, want %q", shards, i, res.Mode, wantModes[i])
+			}
+			if res.EdgesPerSec <= 0 {
+				t.Errorf("shards=%d mode %s: EdgesPerSec = %v", shards, res.Mode, res.EdgesPerSec)
+			}
+			if res.Matches == 0 {
+				t.Errorf("shards=%d mode %s: no matches; the workload proves nothing", shards, res.Mode)
+			}
+			if res.Matches != results[0].Matches {
+				t.Errorf("shards=%d mode %s: %d matches, disabled found %d",
+					shards, res.Mode, res.Matches, results[0].Matches)
+			}
+		}
+		if results[0].OverheadPct != 0 {
+			t.Errorf("shards=%d: disabled mode overhead = %v, want 0", shards, results[0].OverheadPct)
+		}
+	}
+}

@@ -118,6 +118,14 @@ type StreamEdge struct {
 	TargetType  string
 	SourceAttrs Attributes
 	TargetAttrs Attributes
+
+	// ArrivedWallNS is the wall-clock nanosecond at which this edge reached
+	// the serving tier, stamped by the ingest path only when observability is
+	// enabled (zero otherwise). It rides the envelope so a match completed by
+	// this edge can report its full arrival-to-delivery journey; it is
+	// process-local plumbing, never part of the wire format or of edge
+	// identity, and never influences matching.
+	ArrivedWallNS int64
 }
 
 // String renders the stream edge for debugging.

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("edges", "", "")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if again := r.Counter("edges", "", ""); again != c {
+		t.Fatalf("Counter not deduplicated by key")
+	}
+	if other := r.Counter("edges", "kind", "dropped"); other == c {
+		t.Fatalf("distinct labels must yield distinct counters")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "", "")
+	h := r.Histogram("x", "", "")
+	c.Add(1) // must not panic
+	h.Observe(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter reported a value")
+	}
+	var tr *Tracer
+	if tr.SampleEdge(0) {
+		t.Fatalf("nil tracer sampled an edge")
+	}
+	tr.Record(TraceEvent{})
+	if ev := tr.Dump(); ev != nil {
+		t.Fatalf("nil tracer dumped events")
+	}
+	if (Snapshot{}).Counters != nil {
+		t.Fatalf("zero snapshot not empty")
+	}
+	_ = (*Registry)(nil).Snapshot()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(1)  // bucket 1: [1,2)
+	h.Observe(3)  // bucket 2: [2,4)
+	h.Observe(-7) // clamped to 0
+	h.ObserveN(1024, 3)
+	s := snapshotOf(h, "lat", "", "")
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 0+1+3+0+3*1024 {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[2] != 1 || s.Buckets[11] != 3 {
+		t.Fatalf("bucket layout wrong: %v", s.Buckets)
+	}
+	if s.Mean == 0 || s.P50 == 0 {
+		t.Fatalf("summary not filled: %+v", s)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.MaxInt64)
+	s := snapshotOf(h, "lat", "", "")
+	if s.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("overflow observation not in last bucket: %v", s.Buckets)
+	}
+}
+
+func TestQuantileEstimates(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations of ~1µs and 100 of ~1ms: p50 must sit in the low
+	// group's neighborhood, p99 in the high group's bucket [2^19, 2^20).
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+		h.Observe(1_000_000)
+	}
+	s := snapshotOf(h, "lat", "", "")
+	if s.P50 < 512 || s.P50 > 2048 {
+		t.Fatalf("P50 = %v, want ~1µs", s.P50)
+	}
+	if s.P99 < float64(1<<19) || s.P99 > float64(1<<21) {
+		t.Fatalf("P99 = %v, want ~1ms bucket", s.P99)
+	}
+	if got := s.Mean; got != float64(1000+1_000_000)/2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Segment(SegSJTreeJoin).Observe(5)
+	r.Segment(SegLocalSearch).Observe(5)
+	r.Histogram(DetectLagHistogramName, "", "").Observe(1)
+	r.Counter("b_counter", "", "").Inc()
+	r.Counter("a_counter", "", "").Inc()
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a_counter" {
+		t.Fatalf("counters unsorted: %+v", s.Counters)
+	}
+	wantH := []string{DetectLagHistogramName, SegmentHistogramName, SegmentHistogramName}
+	for i, h := range s.Histograms {
+		if h.Name != wantH[i] {
+			t.Fatalf("histogram %d = %s, want %s", i, h.Name, wantH[i])
+		}
+	}
+	if s.Histograms[1].LabelValue != SegLocalSearch || s.Histograms[2].LabelValue != SegSJTreeJoin {
+		t.Fatalf("segment labels unsorted: %+v", s.Histograms)
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	if c := (Config{}).Normalized(); c.Registry != nil || c.Clock != nil {
+		t.Fatalf("disabled config must stay empty: %+v", c)
+	}
+	c := Config{Enabled: true}.Normalized()
+	if c.Registry == nil || c.Clock == nil {
+		t.Fatalf("enabled config missing defaults: %+v", c)
+	}
+	if c.Clock.Now() <= 0 {
+		t.Fatalf("system clock returned non-positive nanos")
+	}
+	w := c.PerWorker(3)
+	if w.Registry == c.Registry {
+		t.Fatalf("PerWorker must allocate a private registry")
+	}
+	if w.Clock != c.Clock || w.Shard != 3 {
+		t.Fatalf("PerWorker must share the clock and set the shard: %+v", w)
+	}
+	if d := (Config{}).PerWorker(0); d.Enabled {
+		t.Fatalf("disabled PerWorker flipped on")
+	}
+}
+
+func snapshotOf(h *Histogram, name, lk, lv string) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Name: name, LabelKey: lk, LabelValue: lv,
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]uint64, NumBuckets),
+	}
+	for i := range h.buckets {
+		hs.Buckets[i] = h.buckets[i].Load()
+	}
+	hs.fillSummary()
+	return hs
+}

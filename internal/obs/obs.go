@@ -1,0 +1,147 @@
+// Package obs is StreamWorks' zero-dependency observability layer: lock-light
+// atomic counters and fixed-bucket latency histograms behind a mergeable
+// registry, a wall-clock seam that keeps the hot path stream-time-pure, and a
+// sampled trace ring buffer for following individual edges through the tiers.
+//
+// The design mirrors how Metrics() already aggregates: each shard worker owns
+// a private Registry written only by its driver goroutine (writes are atomic,
+// so snapshots may be taken from any goroutine), and front-ends fold the
+// per-worker snapshots with Merge. Nothing in this package allocates on the
+// hot path once the metric handles have been resolved, and every handle is
+// nil-safe so disabled observability costs a single branch.
+//
+// Wall time never enters the core engine directly: the swvet walltime pass
+// bans time.Now there. Core instead receives a Clock through its Config and
+// reads nanoseconds through the interface; the only implementation that
+// touches the machine clock lives here, outside the hot-path packages, and
+// walltime additionally flags any hot-path reference to it so the seam cannot
+// be short-circuited.
+package obs
+
+import "time"
+
+// Clock supplies wall-clock nanoseconds to serving-tier instrumentation. It
+// exists so hot-path packages can measure wall latency without importing a
+// wall clock: they accept a Clock from their configuration and the concrete
+// implementation stays out of their dependency cone (enforced by swvet's
+// walltime pass).
+type Clock interface {
+	// Now returns the current wall time in nanoseconds since the Unix epoch.
+	Now() int64
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() int64 { return time.Now().UnixNano() }
+
+// SystemClock is the real wall clock. Hot-path packages must not reference
+// it directly — they receive it via configuration (swvet: walltime).
+var SystemClock Clock = systemClock{}
+
+// Config is the observability seam handed to each tier. The zero value is
+// fully disabled and costs one branch per instrumentation site.
+type Config struct {
+	// Enabled turns instrumentation on. When false the other fields are
+	// ignored and every instrumentation site reduces to a single branch.
+	Enabled bool
+	// Registry receives this tier's counters and histograms. Nil with
+	// Enabled set means Normalized allocates a fresh one.
+	Registry *Registry
+	// Clock supplies wall nanoseconds. Nil with Enabled set means
+	// SystemClock. Tests inject a fake to make latency assertions exact.
+	Clock Clock
+	// Tracer, when non-nil, samples per-edge journey events into a ring
+	// buffer. A nil Tracer is valid and disabled (nil-safe methods).
+	Tracer *Tracer
+	// Shard identifies the engine on trace events: the shard worker index
+	// for sharded engines (set by PerWorker), zero for a standalone engine.
+	// Tier-level events (ingest, deliver) record -1 instead.
+	Shard int32
+}
+
+// Normalized fills in defaults: a fresh Registry and the SystemClock when
+// enabled, and a cleared config when disabled (so disabled configs never
+// carry live handles by accident).
+func (c Config) Normalized() Config {
+	if !c.Enabled {
+		return Config{}
+	}
+	if c.Registry == nil {
+		c.Registry = NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock
+	}
+	return c
+}
+
+// PerWorker derives a worker-local copy of the config for shard worker i:
+// same clock and tracer (both safe for concurrent use), but a private
+// Registry so the worker's driver goroutine writes without sharing cache
+// lines with its siblings — the same topology shard.Metrics() uses for its
+// counters.
+func (c Config) PerWorker(i int) Config {
+	if !c.Enabled {
+		return c
+	}
+	w := c
+	w.Registry = NewRegistry()
+	w.Shard = int32(i)
+	return w
+}
+
+// Segment labels for the detect-and-deliver latency histograms. Each names
+// one leg of an edge's journey from HTTP ingest to subscription delivery;
+// summed segment means should account for (nearly all of) the end-to-end
+// latency loadgen measures.
+const (
+	// SegIngestQueueWait is the time from an ingest request reaching the
+	// server to the runner goroutine picking its batch up: body decode plus
+	// the wait in the bounded ingest queue.
+	SegIngestQueueWait = "ingest_queue_wait"
+	// SegShardMailbox is the time an edge waits in a shard worker's mailbox
+	// between routing and processing.
+	SegShardMailbox = "shard_mailbox_wait"
+	// SegLocalSearch is the per-edge time spent in leaf-primitive local
+	// searches (isomorphism matching), measured in the core engine.
+	SegLocalSearch = "local_search"
+	// SegSJTreeJoin is the per-edge time spent inserting primitive matches
+	// into the SJ-Tree and propagating hash joins upward.
+	SegSJTreeJoin = "sjtree_join"
+	// SegDispatch is the time from core emission of a complete match to the
+	// subscription hub handing it to a subscriber buffer (covers the shard
+	// merge channel and fan-out).
+	SegDispatch = "dispatch"
+	// SegHTTPFlush is the time from the engine handing a match to subscriber
+	// sinks to the streaming HTTP response flush completing: the wait in the
+	// subscriber's bounded buffer plus encode and flush. It picks up exactly
+	// where SegDispatch ends.
+	SegHTTPFlush = "http_flush"
+)
+
+// Metric names shared across tiers.
+const (
+	// SegmentHistogramName is the histogram family holding the per-segment
+	// wall-time latencies, labelled by segment.
+	SegmentHistogramName = "segment_latency"
+	// SegmentLabelKey is the label key for SegmentHistogramName.
+	SegmentLabelKey = "segment"
+	// DetectLagHistogramName is the stream-time detection-lag histogram: for
+	// every emitted match, DetectedAt minus the match's span end. It is
+	// computed purely from stream timestamps, so the core records it without
+	// touching any clock.
+	DetectLagHistogramName = "detect_stream_lag"
+	// JourneyHistogramName is the per-match wall-clock journey histogram:
+	// for every delivered match, flush completion minus the serving-tier
+	// arrival of the edge that completed it. Unlike the per-edge segment
+	// histograms it is match-weighted, so its mean is directly comparable to
+	// a client's measured detect-and-deliver latency — the closure check for
+	// the segment breakdown.
+	JourneyHistogramName = "detect_wall_journey"
+)
+
+// Segment returns the histogram for one latency segment, creating it on
+// first use. Resolve handles at setup time, not per edge.
+func (r *Registry) Segment(seg string) *Histogram {
+	return r.Histogram(SegmentHistogramName, SegmentLabelKey, seg)
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestPromRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("edges_processed", "", "").Add(12345)
+	r.Counter("trace_events", "stage", "ingest").Add(7)
+	seg := r.Segment(SegLocalSearch)
+	for i := 0; i < 100; i++ {
+		seg.Observe(1500)
+	}
+	r.Segment(SegSJTreeJoin).Observe(3_000_000)
+
+	var sb strings.Builder
+	pw := NewPromWriter(&sb)
+	pw.Snapshot(r.Snapshot())
+	pw.Gauge("live_edges", "", "", 42)
+	if err := pw.Err(); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	text := sb.String()
+
+	for _, want := range []string{
+		"# TYPE streamworks_edges_processed_total counter",
+		"streamworks_edges_processed_total 12345",
+		`streamworks_trace_events_total{stage="ingest"} 7`,
+		"# TYPE streamworks_segment_latency_seconds histogram",
+		`streamworks_segment_latency_seconds_bucket{segment="local_search",le="+Inf"} 100`,
+		`streamworks_segment_latency_seconds_count{segment="local_search"} 100`,
+		`streamworks_segment_latency_seconds_count{segment="sjtree_join"} 1`,
+		"streamworks_live_edges 42",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition did not parse: %v\n%s", err, text)
+	}
+	byseries := map[string]float64{}
+	for _, s := range samples {
+		byseries[s.Series()] = s.Value
+	}
+	if byseries["streamworks_edges_processed_total"] != 12345 {
+		t.Fatalf("parsed counter = %v", byseries["streamworks_edges_processed_total"])
+	}
+	if byseries[`streamworks_segment_latency_seconds_count{segment="local_search"}`] != 100 {
+		t.Fatalf("parsed histogram count missing: %v", byseries)
+	}
+	// sum of 100×1500ns = 150µs = 1.5e-4 s
+	if got := byseries[`streamworks_segment_latency_seconds_sum{segment="local_search"}`]; got < 1.4e-4 || got > 1.6e-4 {
+		t.Fatalf("histogram sum in seconds = %v", got)
+	}
+	// Buckets must be cumulative and monotone.
+	prev := -1.0
+	for _, s := range samples {
+		if s.Name != "streamworks_segment_latency_seconds_bucket" || s.Labels["segment"] != "local_search" {
+			continue
+		}
+		if s.Value < prev {
+			t.Fatalf("bucket counts not monotone: %v after %v", s.Value, prev)
+		}
+		prev = s.Value
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		"1leading_digit 3",
+		`unterminated{label="x 3`,
+		`bad_value{a="b"} notafloat`,
+		`missing_quote{a=b} 3`,
+		"name 1 2 3",
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseProm accepted %q", bad)
+		}
+	}
+	// Comments, blank lines and timestamps are fine.
+	ok := "# HELP x y\n# TYPE x counter\n\nx_total 5 1700000000000\n"
+	samples, err := ParseProm(strings.NewReader(ok))
+	if err != nil || len(samples) != 1 || samples[0].Value != 5 {
+		t.Fatalf("ParseProm(%q) = %v, %v", ok, samples, err)
+	}
+}
+
+// TestPromScrapeFile validates an externally captured /metrics scrape when
+// PROM_SCRAPE_FILE is set; CI's obs-smoke job points it at the live daemon's
+// output so a malformed exposition fails visibly instead of at some future
+// Prometheus deployment.
+func TestPromScrapeFile(t *testing.T) {
+	path := os.Getenv("PROM_SCRAPE_FILE")
+	if path == "" {
+		t.Skip("PROM_SCRAPE_FILE not set")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open scrape: %v", err)
+	}
+	defer f.Close()
+	samples, err := ParseProm(f)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatalf("scrape contained no samples")
+	}
+	found := false
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, PromPrefix) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("scrape has no %s* series", PromPrefix)
+	}
+	t.Logf("scrape OK: %d samples", len(samples))
+}

@@ -1,0 +1,302 @@
+package server_test
+
+// End-to-end coverage for the observability layer through the serving tier:
+// the daemon self-describes its build and obs state on /healthz, the
+// per-segment latency histograms fill in as a real workload flows through,
+// the Prometheus exposition parses and carries the expected families, and
+// the trace ring stitches edge journeys across every tier. The workload and
+// client plumbing mirror TestEndToEndNetflow so the only new variable is
+// observability being switched on.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/api"
+	"github.com/streamworks/streamworks/internal/client"
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/obs"
+	"github.com/streamworks/streamworks/internal/server"
+	"github.com/streamworks/streamworks/internal/shard"
+)
+
+func obsWorkload() gen.Workload {
+	cfg := gen.NetFlowConfig{
+		Hosts:       250,
+		Servers:     25,
+		Edges:       3000,
+		Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		MeanGap:     time.Millisecond,
+		ContactSkew: 1.4,
+		Seed:        23,
+	}
+	return gen.NetFlowWorkload(cfg, time.Minute)
+}
+
+func TestEndToEndObservability(t *testing.T) {
+	w := obsWorkload()
+	expected, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(expected) == 0 {
+		t.Fatal("degenerate workload: no matches")
+	}
+
+	// Sample every edge with an effectively unlimited per-second cap so the
+	// stage-coverage assertions below cannot race the rate limiter.
+	w.Engine.Obs = obs.Config{
+		Enabled: true,
+		Tracer:  obs.NewTracer(1<<14, 1, 1<<30, obs.SystemClock),
+	}
+	srv := server.New(server.Config{
+		Shard:            shard.Config{Shards: 2, Engine: w.Engine},
+		SubscriberBuffer: 8192,
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	c := client.New(hs.URL)
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.GoVersion != runtime.Version() {
+		t.Fatalf("health go_version = %q, want %q", h.GoVersion, runtime.Version())
+	}
+	if !h.ObsEnabled {
+		t.Fatalf("health obs_enabled = false with observability on: %+v", h)
+	}
+
+	for _, q := range w.Queries {
+		if _, err := c.RegisterQuery(ctx, q); err != nil {
+			t.Fatalf("registering %q: %v", q.Name(), err)
+		}
+	}
+	sub, err := c.SubscribeMatches(ctx, "")
+	if err != nil {
+		t.Fatalf("subscribing: %v", err)
+	}
+	defer sub.Close()
+	got := make(gen.MatchSet)
+	received := make(chan struct{}, 1)
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			rep, err := sub.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					err = nil
+				}
+				recvDone <- err
+				return
+			}
+			got.AddKey(rep.Query, rep.Signature)
+			if len(got) == len(expected) {
+				select {
+				case received <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+
+	if _, err := c.IngestBatch(ctx, w.Edges, true); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Wait for the full match set so the dispatch and http_flush segments
+	// have definitely been observed before the snapshots are read.
+	select {
+	case <-received:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("received %d of %d matches before timeout", len(got), len(expected))
+	}
+
+	// /v1/metrics carries the merged histogram snapshot; every wall-time
+	// journey segment must have observations for this workload.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.Obs == nil {
+		t.Fatal("metrics response has no obs snapshot with observability on")
+	}
+	for _, seg := range []string{
+		obs.SegIngestQueueWait, obs.SegShardMailbox, obs.SegLocalSearch,
+		obs.SegSJTreeJoin, obs.SegDispatch, obs.SegHTTPFlush,
+	} {
+		hsnap, ok := m.Obs.Find(obs.SegmentHistogramName, seg)
+		if !ok || hsnap.Count == 0 {
+			t.Errorf("segment %q has no observations (found=%v)", seg, ok)
+		}
+	}
+	if lag, ok := m.Obs.Find(obs.DetectLagHistogramName, ""); !ok || lag.Count == 0 {
+		t.Errorf("detect_stream_lag has no observations (found=%v)", ok)
+	}
+	// Every delivered match must have contributed an arrival→flush journey
+	// observation: the arrival stamp survived routing, the shard mailbox, the
+	// core engine, dedup and fan-out.
+	if jh, ok := m.Obs.Find(obs.JourneyHistogramName, ""); !ok || jh.Count == 0 {
+		t.Errorf("detect_wall_journey has no observations (found=%v)", ok)
+	} else if jh.Count < uint64(len(expected)) {
+		t.Errorf("detect_wall_journey has %d observations, want >= %d (one per delivered match)", jh.Count, len(expected))
+	}
+
+	// The Prometheus exposition must parse and carry the segment family.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	series := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		series[s.Name] = true
+	}
+	for _, want := range []string{
+		"streamworks_up",
+		"streamworks_server_edges_ingested_total",
+		"streamworks_segment_latency_seconds_bucket",
+		"streamworks_segment_latency_seconds_sum",
+		"streamworks_segment_latency_seconds_count",
+		"streamworks_trace_events_recorded_total",
+	} {
+		if !series[want] {
+			t.Errorf("/metrics missing series %s", want)
+		}
+	}
+
+	// The trace dump stitches journeys: with 1-in-1 sampling every stage
+	// must appear, and every event references a real stage.
+	tr, err := http.Get(hs.URL + "/debug/trace")
+	if err != nil {
+		t.Fatalf("GET /debug/trace: %v", err)
+	}
+	defer tr.Body.Close()
+	var dump api.TraceResponse
+	if err := json.NewDecoder(tr.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding trace dump: %v", err)
+	}
+	if dump.Recorded == 0 || len(dump.Events) == 0 {
+		t.Fatalf("trace dump empty: recorded=%d events=%d", dump.Recorded, len(dump.Events))
+	}
+	stages := make(map[string]int)
+	for _, ev := range dump.Events {
+		stages[ev.Stage]++
+	}
+	for _, stage := range []string{
+		obs.StageIngest, obs.StageMailbox, obs.StageProcess,
+		obs.StageMatch, obs.StageDeliver,
+	} {
+		if stages[stage] == 0 {
+			t.Errorf("trace dump has no %q events (got %v)", stage, stages)
+		}
+	}
+
+	srv.Close()
+	select {
+	case err := <-recvDone:
+		if err != nil {
+			t.Fatalf("subscription: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("subscription did not end after drain")
+	}
+	if !got.Equal(expected) {
+		t.Fatalf("match set diverges with observability on: got %d, want %d", len(got), len(expected))
+	}
+}
+
+// TestHealthObsDisabled pins the negative self-description: a daemon built
+// without observability reports obs_enabled=false (and still reports its Go
+// version), and neither the prom endpoint's obs families nor the trace dump
+// exist.
+func TestHealthObsDisabled(t *testing.T) {
+	srv := server.New(server.Config{Shard: shard.Config{Shards: 2}})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	defer srv.Close()
+	c := client.New(hs.URL)
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.ObsEnabled {
+		t.Fatalf("health obs_enabled = true without observability: %+v", h)
+	}
+	if h.GoVersion != runtime.Version() {
+		t.Fatalf("health go_version = %q, want %q", h.GoVersion, runtime.Version())
+	}
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, "streamworks_segment_latency") {
+			t.Errorf("segment family exposed with obs off: %s", s.Series())
+		}
+	}
+	tr, err := http.Get(hs.URL + "/debug/trace")
+	if err != nil {
+		t.Fatalf("GET /debug/trace: %v", err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/trace with obs off = %d, want 404", tr.StatusCode)
+	}
+}
+
+// TestPromScrapeFile validates a scrape captured outside the test binary:
+// CI's obs smoke job curls a live daemon's /metrics into a file and points
+// PROM_SCRAPE_FILE here, reusing the in-repo parser as the exposition-format
+// validator. Without the env var the test is a no-op skip.
+func TestPromScrapeFile(t *testing.T) {
+	path := os.Getenv("PROM_SCRAPE_FILE")
+	if path == "" {
+		t.Skip("PROM_SCRAPE_FILE not set; this test validates CI scrape artifacts")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening scrape: %v", err)
+	}
+	defer f.Close()
+	samples, err := obs.ParseProm(f)
+	if err != nil {
+		t.Fatalf("scrape does not parse as Prometheus text format: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("scrape parsed but contains no samples")
+	}
+	series := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		series[s.Name] = true
+	}
+	for _, want := range []string{"streamworks_up", "streamworks_server_edges_ingested_total"} {
+		if !series[want] {
+			t.Errorf("scrape missing series %s", want)
+		}
+	}
+	t.Logf("scrape OK: %d samples, %d series", len(samples), len(series))
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/streamworks/streamworks"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/obs"
 )
 
 // runner owns ingestion into the engine. The public engine is safe for
@@ -29,13 +30,26 @@ type runner struct {
 
 	edgesIngested   atomic.Uint64
 	batchesIngested atomic.Uint64
+
+	// Observability handles (all nil when disabled): the batch's queue wait
+	// is measured once on dequeue and recorded per edge with ObserveN, so
+	// per-edge segment means stay composable with the per-edge measurements
+	// of the tiers below.
+	obsClock  obs.Clock
+	obsWait   *obs.Histogram
+	obsTracer *obs.Tracer
 }
 
 // ingestBatch is one decoded /v1/edges request body. done is non-nil for
-// wait=true requests; the runner sends the result exactly once.
+// wait=true requests; the runner sends the result exactly once. enqNS is
+// the wall-clock arrival time of the ingest request, stamped only when
+// observability is enabled — the ingest segment spans body decode plus
+// queue wait, everything between the daemon seeing the edge and the engine
+// starting on it.
 type ingestBatch struct {
 	edges []graph.StreamEdge
 	done  chan ingestResult
+	enqNS int64
 }
 
 type ingestResult struct {
@@ -76,8 +90,29 @@ func (r *runner) loop() {
 }
 
 func (r *runner) process(b ingestBatch) {
+	if b.enqNS != 0 && r.obsWait != nil {
+		wait := r.obsClock.Now() - b.enqNS
+		r.obsWait.ObserveN(wait, len(b.edges))
+		if r.obsTracer.Enabled() {
+			for _, se := range b.edges {
+				if id := uint64(se.Edge.ID); r.obsTracer.SampleEdge(id) {
+					r.obsTracer.Record(obs.TraceEvent{
+						Stage:    obs.StageIngest,
+						Shard:    -1,
+						EdgeID:   id,
+						StreamTS: int64(se.Edge.Timestamp),
+						DurNS:    wait,
+					})
+				}
+			}
+		}
+	}
 	var res ingestResult
 	for _, se := range b.edges {
+		// The arrival stamp rides the edge envelope down through routing and
+		// the shard mailbox so the engine can stamp it onto any match this
+		// edge completes — the per-match journey measurement.
+		se.ArrivedWallNS = b.enqNS
 		if err := r.eng.Process(context.Background(), se); err != nil {
 			res.err = err
 			break

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ import (
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/loader"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/shard"
 	"github.com/streamworks/streamworks/internal/stats"
@@ -119,6 +121,22 @@ type Server struct {
 	queries  map[string]*query.Graph
 
 	batchesRejected atomic.Uint64
+
+	// Observability (all nil when Config.Shard.Engine.Obs.Enabled is off):
+	// the serving tier keeps its own registry for the segments it owns —
+	// ingest-queue wait (recorded by the runner) and HTTP flush — and shares
+	// the clock and tracer with the engine tiers below so segment
+	// measurements and edge-journey samples line up. ObsSnapshot folds this
+	// registry with the engine's.
+	obsReg    *obs.Registry
+	obsClock  obs.Clock
+	obsTracer *obs.Tracer
+	obsFlush  *obs.Histogram
+	// obsJourney is the match-weighted arrival→flush journey histogram,
+	// recorded once per delivered match from the arrival stamp the edge
+	// carried through the tiers. Its mean is directly comparable to a
+	// client's measured detect-and-deliver latency.
+	obsJourney *obs.Histogram
 }
 
 // New builds and starts a server: the engine shards, the ingest-driving
@@ -142,6 +160,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueryBytes <= 0 {
 		cfg.MaxQueryBytes = 1 << 20
 	}
+	// Normalize the obs seam once, up front, so the serving tier and every
+	// engine tier below share one clock and one tracer; the engine config
+	// carries the normalized form down through the shard front-end.
+	obsCfg := cfg.Shard.Engine.Obs.Normalized()
+	cfg.Shard.Engine.Obs = obsCfg
 	eng := streamworks.NewSharded(
 		streamworks.WithEngineConfig(cfg.Shard.Engine),
 		streamworks.WithShards(cfg.Shard.Shards),
@@ -160,11 +183,23 @@ func New(cfg Config) *Server {
 	}
 	s.hub = newHub(cfg.SubscriberBuffer, eng.Subscribe)
 	s.run = newRunner(s.eng, cfg.QueueDepth)
+	if obsCfg.Enabled {
+		s.obsReg = obs.NewRegistry()
+		s.obsClock = obsCfg.Clock
+		s.obsTracer = obsCfg.Tracer
+		s.obsFlush = s.obsReg.Segment(obs.SegHTTPFlush)
+		s.obsJourney = s.obsReg.Histogram(obs.JourneyHistogramName, "", "")
+		s.run.obsClock = obsCfg.Clock
+		s.run.obsWait = s.obsReg.Segment(obs.SegIngestQueueWait)
+		s.run.obsTracer = obsCfg.Tracer
+	}
 	go s.run.loop()
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/queries", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/queries", s.handleListQueries)
 	s.mux.HandleFunc("GET /v1/queries/{name}", s.handleGetQuery)
@@ -253,6 +288,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Version:       api.Version,
 		Shards:        s.eng.Shards(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+		ObsEnabled:    s.obsReg != nil,
 	}
 	if draining {
 		resp.Status = "draining"
@@ -435,6 +472,14 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 type IngestResponse = api.IngestResponse
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// The ingest segment starts at request arrival, not at enqueue: the
+	// NDJSON decode below is a real part of the edge's journey (large
+	// batches decode for milliseconds), and stamping here is what lets the
+	// per-segment means account for the measured detect-and-deliver latency.
+	var arrivedNS int64
+	if s.obsClock != nil {
+		arrivedNS = s.obsClock.Now()
+	}
 	// Shed before decoding: during drain or sustained overload the expensive
 	// part of an ingest request is the JSON decode, so refuse up front. The
 	// queue-full probe here is only a fast path — the authoritative check is
@@ -476,6 +521,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if wait {
 		b.done = make(chan ingestResult, 1)
 	}
+	b.enqNS = arrivedNS
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
@@ -570,6 +616,17 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 
 	enc := json.NewEncoder(w)
 	write := func(rep streamworks.Match) bool {
+		var t0 int64
+		if s.obsFlush != nil {
+			// Measure from the engine's delivery stamp when present: the
+			// flush segment then covers the subscriber-buffer wait as well
+			// as the encode+flush, picking up exactly where the dispatch
+			// segment ends so the per-segment means account for the whole
+			// detect-and-deliver journey.
+			if t0 = rep.DeliveredWallNS; t0 == 0 {
+				t0 = s.obsClock.Now()
+			}
+		}
 		if sse {
 			io.WriteString(w, "event: match\ndata: ")
 		}
@@ -580,6 +637,33 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 			io.WriteString(w, "\n")
 		}
 		flusher.Flush()
+		if s.obsFlush != nil {
+			now := s.obsClock.Now()
+			d := now - t0
+			s.obsFlush.Observe(d)
+			if rep.ArrivedWallNS != 0 {
+				// The match-weighted closure check: the whole journey of this
+				// match, from its completing edge reaching the daemon to the
+				// flush that just delivered it.
+				s.obsJourney.Observe(now - rep.ArrivedWallNS)
+			}
+			// A deliver trace event is keyed to whichever of the match's
+			// data edges the sampler selects — the same ID-deterministic
+			// test every lower tier applies, so the journey stitches.
+			for _, id := range rep.EdgeIDs {
+				if s.obsTracer.SampleEdge(id) {
+					s.obsTracer.Record(obs.TraceEvent{
+						Stage:    obs.StageDeliver,
+						Shard:    -1,
+						EdgeID:   id,
+						StreamTS: rep.DetectedAt,
+						DurNS:    d,
+						Query:    rep.Query,
+					})
+					break
+				}
+			}
+		}
 		return true
 	}
 	for {
@@ -640,6 +724,86 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		BatchesRejected:    s.batchesRejected.Load(),
 		IngestQueueLen:     len(s.run.batches),
 		IngestQueueCap:     cap(s.run.batches),
+	}
+	if s.obsReg != nil {
+		snap := s.ObsSnapshot()
+		resp.Obs = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ObsEnabled reports whether the server runs with observability on.
+func (s *Server) ObsEnabled() bool { return s.obsReg != nil }
+
+// ObsSnapshot folds the serving tier's registry (ingest-queue wait, HTTP
+// flush) with the engine's merged per-worker registries into one logical
+// snapshot. Empty when observability is off. Registry cells are atomic, so
+// this is safe from any goroutine, including during drain.
+func (s *Server) ObsSnapshot() obs.Snapshot {
+	if s.obsReg == nil {
+		return obs.Snapshot{}
+	}
+	return obs.Merge(s.obsReg.Snapshot(), s.eng.ObsSnapshot())
+}
+
+// TraceDump returns the sampled edge-journey ring, oldest first; nil when
+// tracing is off.
+func (s *Server) TraceDump() []obs.TraceEvent { return s.obsTracer.Dump() }
+
+// PromHandler returns the Prometheus exposition handler (the same one
+// mounted at GET /metrics on the API mux), for embedders that serve it from
+// a separate debug listener — streamworksd mounts it next to pprof.
+func (s *Server) PromHandler() http.Handler { return http.HandlerFunc(s.handleProm) }
+
+// TraceHandler returns the trace-dump handler (GET /debug/trace), for the
+// same debug-listener use as PromHandler.
+func (s *Server) TraceHandler() http.Handler { return http.HandlerFunc(s.handleTrace) }
+
+// handleProm serves Prometheus text-format exposition: serving-layer
+// counters and gauges always, plus the merged observability snapshot (per-
+// segment latency histograms, detection lag) when observability is on. It
+// deliberately avoids the runner round trip so scrapes keep working while
+// the ingest queue is saturated or draining.
+func (s *Server) handleProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	p.Gauge("up", "", "", 1)
+	obsOn := 0.0
+	if s.obsReg != nil {
+		obsOn = 1
+	}
+	p.Gauge("obs_enabled", "", "", obsOn)
+	p.Counter("server_edges_ingested", "", "", float64(s.run.edgesIngested.Load()))
+	p.Counter("server_batches_ingested", "", "", float64(s.run.batchesIngested.Load()))
+	p.Counter("server_batches_rejected", "", "", float64(s.batchesRejected.Load()))
+	p.Counter("server_matches_delivered", "", "", float64(s.hub.delivered.Load()))
+	p.Counter("server_subscribers_evicted", "", "", float64(s.hub.evicted.Load()))
+	p.Gauge("server_subscribers", "", "", float64(s.hub.count()))
+	p.Gauge("server_ingest_queue_len", "", "", float64(len(s.run.batches)))
+	p.Gauge("server_ingest_queue_cap", "", "", float64(cap(s.run.batches)))
+	if s.obsReg != nil {
+		p.Snapshot(s.ObsSnapshot())
+		recorded, dropped := s.obsTracer.Stats()
+		p.Counter("trace_events_recorded", "", "", float64(recorded))
+		p.Counter("trace_events_dropped", "", "", float64(dropped))
+	}
+	if err := p.Err(); err != nil {
+		// The response is already partially written; nothing to do but log
+		// through the error path the client sees (a truncated scrape).
+		return
+	}
+}
+
+// handleTrace dumps the sampled edge-journey ring as JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.obsTracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (run with observability and trace sampling on)")
+		return
+	}
+	recorded, dropped := s.obsTracer.Stats()
+	resp := api.TraceResponse{Events: s.obsTracer.Dump(), Recorded: recorded, Dropped: dropped}
+	if resp.Events == nil {
+		resp.Events = []obs.TraceEvent{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

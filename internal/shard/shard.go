@@ -53,6 +53,7 @@ import (
 
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/stream"
 )
@@ -117,6 +118,14 @@ type ShardedEngine struct {
 	// widened by pre-ingest registrations exactly as core.extendRetention
 	// widens it on each shard. Zero means unbounded.
 	retention time.Duration
+
+	// Observability: each worker engine carries a private registry (derived
+	// via obs.Config.PerWorker, written only by its goroutine); obsReg is
+	// the front-end's own registry for the merger-side dispatch segment.
+	// ObsSnapshot folds all of them. All nil when disabled.
+	obsReg      *obs.Registry
+	obsClock    obs.Clock
+	obsDispatch *obs.Histogram
 }
 
 // Subscription is one per-query push subscription on a ShardedEngine. The
@@ -227,11 +236,48 @@ func New(cfg *Config) *ShardedEngine {
 		advanceEvery: adv,
 		retention:    c.Engine.Retention,
 	}
+	// Normalize the obs config once so the clock and tracer are shared,
+	// then derive a private registry per worker; the front-end keeps its
+	// own registry for the merger-side dispatch segment.
+	obsCfg := c.Engine.Obs.Normalized()
+	if obsCfg.Enabled {
+		s.obsReg = obs.NewRegistry()
+		s.obsClock = obsCfg.Clock
+		s.obsDispatch = s.obsReg.Segment(obs.SegDispatch)
+	}
 	for i := 0; i < c.Shards; i++ {
 		engCfg := c.Engine
-		s.workers = append(s.workers, &worker{id: i, eng: core.New(&engCfg)})
+		engCfg.Obs = obsCfg.PerWorker(i)
+		w := &worker{id: i, eng: core.New(&engCfg)}
+		if obsCfg.Enabled {
+			w.obsClock = engCfg.Obs.Clock
+			w.obsMailbox = engCfg.Obs.Registry.Segment(obs.SegShardMailbox)
+			w.obsTracer = engCfg.Obs.Tracer
+		}
+		s.workers = append(s.workers, w)
 	}
 	return s
+}
+
+// ObsEnabled reports whether the engine was built with observability on.
+func (s *ShardedEngine) ObsEnabled() bool { return s.obsReg != nil }
+
+// ObsSnapshot folds the front-end registry and every worker's private
+// registry into one logical snapshot — the observability analogue of
+// Metrics' counter aggregation. Registries are written atomically, so unlike
+// the control methods this is safe from any goroutine.
+func (s *ShardedEngine) ObsSnapshot() obs.Snapshot {
+	if s.obsReg == nil {
+		return obs.Snapshot{}
+	}
+	snaps := make([]obs.Snapshot, 0, len(s.workers)+1)
+	snaps = append(snaps, s.obsReg.Snapshot())
+	for _, w := range s.workers {
+		if r := w.eng.ObsRegistry(); r != nil {
+			snaps = append(snaps, r.Snapshot())
+		}
+	}
+	return obs.Merge(snaps...)
 }
 
 // Shards returns the number of shard workers.
@@ -375,6 +421,12 @@ func (s *ShardedEngine) merge() {
 // behind a slow sink. A subscription closed concurrently with delivery may
 // receive this final event.
 func (s *ShardedEngine) deliver(ev core.MatchEvent) {
+	if s.obsDispatch != nil && ev.EmittedWallNS != 0 {
+		// Dispatch latency: core emission → deduplicated delivery. Covers
+		// the merge channel plus fan-out, the two hops a match takes after
+		// the SJ-tree surfaces it.
+		s.obsDispatch.Observe(s.obsClock.Now() - ev.EmittedWallNS)
+	}
 	s.subMu.Lock()
 	subs := s.subs
 	events := s.events
@@ -616,6 +668,11 @@ func (s *ShardedEngine) Metrics() core.Metrics {
 				m.Queries[idx].PlanNodes = qm.PlanNodes
 				m.Queries[idx].PlanDepth = qm.PlanDepth
 				m.Queries[idx].Strategy = qm.Strategy
+				// Per-node statistics and the replan audit describe one
+				// concrete tree; summing across shards would mix plans, so
+				// report the shard with the newest plan generation.
+				m.Queries[idx].Nodes = qm.Nodes
+				m.Queries[idx].LastReplanAudit = qm.LastReplanAudit
 			}
 		}
 	}

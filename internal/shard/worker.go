@@ -6,6 +6,7 @@ import (
 
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 )
 
@@ -35,6 +36,10 @@ type message struct {
 	edge graph.StreamEdge
 	ts   graph.Timestamp
 	ctrl *ctrlReq
+	// enqNS is the wall-clock enqueue time, stamped by the router only when
+	// observability is enabled (zero otherwise); the worker subtracts it on
+	// dequeue to measure mailbox wait.
+	enqNS int64
 }
 
 // ctrlReq is a synchronous control request; the worker answers on reply.
@@ -81,6 +86,15 @@ type worker struct {
 	// sinkAttached records that the engine-level match sink forwarding to
 	// the merge channel has been registered (once, on first start).
 	sinkAttached bool
+
+	// Observability handles, resolved at construction when enabled (all nil
+	// otherwise): the shared clock, the worker-registry mailbox-wait
+	// histogram, and the shared tracer. The histogram lives in the same
+	// per-worker registry as the worker engine's segments, so one fold
+	// covers both.
+	obsClock   obs.Clock
+	obsMailbox *obs.Histogram
+	obsTracer  *obs.Tracer
 }
 
 // start spawns the worker goroutine with a fresh mailbox. Matches are pushed
@@ -112,6 +126,19 @@ func (w *worker) loop() {
 	for msg := range w.in {
 		switch msg.kind {
 		case msgEdge:
+			if msg.enqNS != 0 && w.obsMailbox != nil {
+				wait := w.obsClock.Now() - msg.enqNS
+				w.obsMailbox.Observe(wait)
+				if id := uint64(msg.edge.Edge.ID); w.obsTracer.SampleEdge(id) {
+					w.obsTracer.Record(obs.TraceEvent{
+						Stage:    obs.StageMailbox,
+						Shard:    int32(w.id),
+						EdgeID:   id,
+						StreamTS: int64(msg.edge.Edge.Timestamp),
+						DurNS:    wait,
+					})
+				}
+			}
 			// Complete matches reach the merge channel through the engine
 			// sink registered in start; the scratch-backed return slice is
 			// deliberately unused.
@@ -161,15 +188,19 @@ func (w *worker) roundTrip(req *ctrlReq) ctrlResp {
 // full — backpressure to the stream driver). A context with cancellation
 // bounds the wait; context.Background() takes the uninstrumented fast path.
 func (w *worker) enqueueEdge(ctx context.Context, se graph.StreamEdge) error {
+	msg := message{kind: msgEdge, edge: se}
+	if w.obsClock != nil {
+		msg.enqNS = w.obsClock.Now()
+	}
 	if d := ctx.Done(); d != nil {
 		select {
-		case w.in <- message{kind: msgEdge, edge: se}:
+		case w.in <- msg:
 			return nil
 		case <-d:
 			return ctx.Err()
 		}
 	}
-	w.in <- message{kind: msgEdge, edge: se}
+	w.in <- msg
 	return nil
 }
 

@@ -49,6 +49,16 @@ type Node struct {
 	signatures sigSet
 	stored     int
 	inserted   uint64
+
+	// Live per-node join statistics (paper §3.2's sibling hash-joins), the
+	// observed side of the estimator-validation loop: joinAttempts counts
+	// sibling matches probed in the cut-projection partition, joinHits the
+	// probes that produced a joined match one level up, and pruned the
+	// stored matches this node has discarded. Plain ints — nodes are owned
+	// by the engine's driver goroutine like the rest of the tree.
+	joinAttempts uint64
+	joinHits     uint64
+	pruned       uint64
 }
 
 // Edges returns the pattern edges covered by this node.
@@ -66,6 +76,21 @@ func (n *Node) Stored() int { return n.stored }
 // InsertedTotal returns the cumulative number of matches ever inserted into
 // the node (including ones that have since been pruned).
 func (n *Node) InsertedTotal() uint64 { return n.inserted }
+
+// Partitions returns the number of live cut-projection hash partitions of
+// the node's match collection — the fan-out of a sibling join probe.
+func (n *Node) Partitions() int { return len(n.matches) }
+
+// JoinAttempts returns the cumulative number of sibling matches probed when
+// inserting into this node.
+func (n *Node) JoinAttempts() uint64 { return n.joinAttempts }
+
+// JoinHits returns how many of those probes joined successfully.
+func (n *Node) JoinHits() uint64 { return n.joinHits }
+
+// PrunedTotal returns the cumulative number of stored matches pruned from
+// this node.
+func (n *Node) PrunedTotal() uint64 { return n.pruned }
 
 // CutVertices returns the cut vertices of the node (internal nodes only).
 func (n *Node) CutVertices() []query.VertexID { return n.plan.CutVertices }
@@ -218,10 +243,12 @@ func (t *Tree) Insert(n *Node, m *match.Match) []*match.Match {
 	}
 	var completed []*match.Match
 	for _, sm := range sib.matches[key] {
+		n.joinAttempts++
 		joined := m.Join(sm)
 		if joined == nil {
 			continue
 		}
+		n.joinHits++
 		completed = append(completed, t.Insert(n.parent, joined)...)
 	}
 	return completed
@@ -260,6 +287,7 @@ func (t *Tree) pruneWhere(drop func(*match.Match) bool) int {
 			for _, m := range list {
 				if drop(m) {
 					n.signatures.remove(m)
+					n.pruned++
 					removed++
 					continue
 				}
@@ -347,12 +375,20 @@ type Stats struct {
 	PerNodeStored  []NodeStats
 }
 
-// NodeStats reports one node's stored and cumulative match counts.
+// NodeStats reports one node's stored and cumulative match counts together
+// with its live join statistics.
 type NodeStats struct {
 	Edges    []query.EdgeID
 	IsLeaf   bool
 	Stored   int
 	Inserted uint64
+	// Partitions is the current number of cut-projection hash partitions;
+	// JoinAttempts/JoinHits count sibling probes and successful joins, and
+	// Pruned counts matches discarded from this node.
+	Partitions   int
+	JoinAttempts uint64
+	JoinHits     uint64
+	Pruned       uint64
 }
 
 // Stats returns a snapshot of the tree's counters, with per-node detail in
@@ -370,10 +406,14 @@ func (t *Tree) Stats() Stats {
 	}
 	for _, n := range t.nodes {
 		s.PerNodeStored = append(s.PerNodeStored, NodeStats{
-			Edges:    n.Edges(),
-			IsLeaf:   n.IsLeaf(),
-			Stored:   n.stored,
-			Inserted: n.inserted,
+			Edges:        n.Edges(),
+			IsLeaf:       n.IsLeaf(),
+			Stored:       n.stored,
+			Inserted:     n.inserted,
+			Partitions:   n.Partitions(),
+			JoinAttempts: n.joinAttempts,
+			JoinHits:     n.joinHits,
+			Pruned:       n.pruned,
 		})
 	}
 	return s

@@ -40,6 +40,7 @@ func New(opts ...Option) *Local {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.finishObs()
 	return &Local{
 		eng:     core.New(&cfg.engine),
 		cfg:     cfg,
@@ -196,11 +197,28 @@ func (l *Local) Subscribe(queryFilter string, sink MatchSink) (Subscription, err
 		if sub.closed.Load() {
 			return
 		}
-		sink.OnMatch(export.BuildReport(ev, l.queries[ev.Query], nil))
+		rep := export.BuildReport(ev, l.queries[ev.Query], nil)
+		if l.cfg.engine.Obs.Enabled && l.cfg.engine.Obs.Clock != nil {
+			rep.DeliveredWallNS = l.cfg.engine.Obs.Clock.Now()
+		}
+		sink.OnMatch(rep)
 	}))
 	l.subs[sub.id] = sub
 	return sub, nil
 }
+
+// ObsEnabled reports whether the engine was built WithObservability.
+func (l *Local) ObsEnabled() bool { return l.eng.ObsEnabled() }
+
+// ObsSnapshot copies the engine's observability registry: counters and
+// per-segment latency histograms. It is empty unless the engine was built
+// WithObservability, and safe from any goroutine (registry cells are
+// atomic).
+func (l *Local) ObsSnapshot() ObsSnapshot { return l.eng.ObsRegistry().Snapshot() }
+
+// TraceDump returns the buffered edge-journey trace events, oldest first;
+// nil unless the engine was built WithTraceSampling.
+func (l *Local) TraceDump() []TraceEvent { return l.cfg.engine.Obs.Tracer.Dump() }
 
 // Metrics snapshots engine counters; it keeps working after Close.
 func (l *Local) Metrics(ctx context.Context) (Metrics, error) {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/shard"
 )
 
@@ -21,6 +22,30 @@ type config struct {
 	// RegisterQueryWith call can override them per query.
 	strategy string
 	adaptive bool
+	// Trace-ring knobs (WithTraceSampling); the tracer itself is built by
+	// finishObs once all options are applied, so ordering relative to
+	// WithObservability does not matter.
+	traceCapacity    int
+	traceSampleEvery int
+	tracePerSecond   int
+}
+
+// finishObs normalizes the observability config after the option loop: it
+// pins the clock (so the public tier shares the engine tiers' timebase for
+// its own stamps) and materializes the trace ring. Tracing requires
+// observability to be on and a positive capacity, and respects a tracer the
+// embedder already installed through WithEngineConfig.
+func (c *config) finishObs() {
+	if !c.engine.Obs.Enabled {
+		return
+	}
+	if c.engine.Obs.Clock == nil {
+		c.engine.Obs.Clock = obs.SystemClock
+	}
+	if c.engine.Obs.Tracer != nil || c.traceCapacity <= 0 {
+		return
+	}
+	c.engine.Obs.Tracer = obs.NewTracer(c.traceCapacity, c.traceSampleEvery, c.tracePerSecond, c.engine.Obs.Clock)
 }
 
 func defaultConfig() config {
@@ -161,6 +186,30 @@ func WithReplanThreshold(ratio float64) Option {
 // only.
 func WithReplanCooldown(d time.Duration) Option {
 	return func(c *config) { c.engine.Replan.Cooldown = d }
+}
+
+// WithObservability turns the observability layer on for in-process
+// backends: per-segment latency histograms (local search, SJ-tree join,
+// shard mailbox wait, dispatch), the stream-time detection-lag histogram,
+// and per-SJ-tree-node statistics in Metrics. Snapshot the collected data
+// with Local.ObsSnapshot / Sharded.ObsSnapshot. Default off; when off every
+// instrumentation site reduces to a single branch.
+func WithObservability(enabled bool) Option {
+	return func(c *config) { c.engine.Obs.Enabled = enabled }
+}
+
+// WithTraceSampling adds a sampled edge-journey trace ring to an
+// observability-enabled engine (WithObservability): events for one edge in
+// sampleEvery (selected deterministically by edge ID, so every tier samples
+// the same edges) are kept in a ring of the last capacity events, recording
+// at most perSecond events per wall second (0 = 1000). capacity or
+// sampleEvery <= 0 disables tracing. Dump the ring with TraceDump.
+func WithTraceSampling(capacity, sampleEvery, perSecond int) Option {
+	return func(c *config) {
+		c.traceCapacity = capacity
+		c.traceSampleEvery = sampleEvery
+		c.tracePerSecond = perSecond
+	}
 }
 
 // WithHTTPClient substitutes the http.Client Connect uses for every request.

@@ -51,6 +51,7 @@ func NewSharded(opts ...Option) *Sharded {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	cfg.finishObs()
 	eng := shard.New(&shard.Config{
 		Shards:       cfg.shards,
 		Engine:       cfg.engine,
@@ -122,6 +123,12 @@ func (s *Sharded) fanout(ev core.MatchEvent) {
 			q := s.queries[ev.Query]
 			s.qmu.RUnlock()
 			rep = export.BuildReport(ev, q, nil)
+			if s.cfg.engine.Obs.Enabled && s.cfg.engine.Obs.Clock != nil {
+				// Marks the dispatch→flush hand-off: the serving tier
+				// measures its flush segment (subscriber-buffer wait
+				// included) from this stamp.
+				rep.DeliveredWallNS = s.cfg.engine.Obs.Clock.Now()
+			}
 			built = true
 		}
 		sub.sink.OnMatch(rep)
@@ -289,6 +296,21 @@ func (s *Sharded) Metrics(ctx context.Context) (Metrics, error) {
 	defer s.mu.Unlock()
 	return s.eng.Metrics(), nil
 }
+
+// ObsEnabled reports whether the engine was built WithObservability.
+func (s *Sharded) ObsEnabled() bool { return s.eng.ObsEnabled() }
+
+// ObsSnapshot folds every shard worker's observability registry and the
+// front-end's own into one snapshot: counters and per-segment latency
+// histograms. It is empty unless the engine was built WithObservability,
+// and — unlike the control surface — safe from any goroutine.
+func (s *Sharded) ObsSnapshot() ObsSnapshot { return s.eng.ObsSnapshot() }
+
+// TraceDump returns the buffered edge-journey trace events, oldest first;
+// nil unless the engine was built WithTraceSampling. All shards share one
+// ring, so a sampled edge's mailbox, process and match events interleave
+// here in recording order.
+func (s *Sharded) TraceDump() []TraceEvent { return s.cfg.engine.Obs.Tracer.Dump() }
 
 // PerShardMetrics snapshots every shard engine's raw counters in shard
 // order (replicated edges included, match counts pre-deduplication), for

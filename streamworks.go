@@ -33,6 +33,7 @@ import (
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/export"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 )
 
@@ -84,6 +85,16 @@ type (
 	// ServerInfo describes a remote daemon, as reported by its health
 	// endpoint.
 	ServerInfo = api.HealthResponse
+
+	// ObsSnapshot is a point-in-time copy of an engine's observability
+	// registry — counters plus per-segment latency histograms with summary
+	// statistics — as returned by Local.ObsSnapshot and Sharded.ObsSnapshot
+	// when the engine was built WithObservability.
+	ObsSnapshot = obs.Snapshot
+
+	// TraceEvent is one sampled edge-journey event from the trace ring
+	// (WithTraceSampling), as returned by TraceDump.
+	TraceEvent = obs.TraceEvent
 )
 
 // ParseQuery parses a query written in the text DSL:

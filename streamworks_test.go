@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -154,8 +155,10 @@ func TestAllBackendsIdenticalMatchSets(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Connect: %v", err)
 	}
-	if info := remote.ServerInfo(); info.Shards != 3 || info.Version == "" {
-		t.Fatalf("ServerInfo = %+v", info)
+	if info := remote.ServerInfo(); info.Shards != 3 || info.Version == "" ||
+		info.GoVersion != runtime.Version() || info.ObsEnabled {
+		t.Fatalf("ServerInfo = %+v, want shards=3 go_version=%s obs_enabled=false",
+			info, runtime.Version())
 	}
 	// The daemon drain is what ends remote subscriptions; trigger it after
 	// the last batch has been routed.
