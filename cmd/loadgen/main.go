@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"github.com/streamworks/streamworks/internal/client"
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/obs"
 )
 
@@ -49,6 +51,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write machine-readable results")
 		outPath  = flag.String("out", "BENCH_server.json", "path for -json results")
 		dumpPath = flag.String("dump", "", "write the workload as NDJSON to this file and exit")
+
+		waitIngest  = flag.Bool("wait", false, "ingest with wait=1: each batch is routed (and WAL'd on a durable daemon) before the next is sent — required for exact crash-recovery comparisons")
+		sigsPath    = flag.String("sigs", "", "write the delivered match-signature set (query<TAB>signature, sorted, deduplicated) to this file on exit")
+		resubscribe = flag.Bool("resubscribe", false, "reconnect the match stream when it ends early (daemon restart, slow-consumer eviction) instead of flagging the run truncated")
 	)
 	flag.Parse()
 
@@ -68,7 +74,15 @@ func main() {
 		return
 	}
 
-	c := client.New(*addr)
+	// Transient ingest failures — 429 shed, 503 while draining or degraded,
+	// connection errors across a daemon restart — retry inside the client
+	// with capped exponential backoff; a minute of sustained failure is
+	// fatal.
+	c := client.New(*addr, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 120,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    time.Second,
+	}))
 	ctx := context.Background()
 	rem := connect(ctx, *addr, 10*time.Second)
 	log.Printf("loadgen: connected (api %s, %d shards)", rem.ServerInfo().Version, rem.ServerInfo().Shards)
@@ -94,12 +108,17 @@ func main() {
 		latencies []float64 // milliseconds
 		matches   int
 	)
+	// sigs deduplicates delivered matches by identity — redeliveries after a
+	// daemon restart collapse, which is what makes crash and uninterrupted
+	// runs directly comparable as sets.
+	sigs := make(map[string]struct{})
 	// truncated is set when the subscription ends before we close it
 	// ourselves — the server evicted us for falling behind, so match counts
 	// and latency percentiles below are truncated and must be flagged, not
-	// reported as complete.
-	var truncated, closing atomic.Bool
-	sub, err := rem.Subscribe("", streamworks.SinkFunc(func(rep streamworks.Match) {
+	// reported as complete. With -resubscribe the stream is reattached
+	// instead.
+	var truncated, closing, attached atomic.Bool
+	sink := streamworks.SinkFunc(func(rep streamworks.Match) {
 		now := time.Now()
 		var last time.Time
 		sendMu.Lock()
@@ -114,55 +133,116 @@ func main() {
 		if !last.IsZero() {
 			latencies = append(latencies, float64(now.Sub(last))/float64(time.Millisecond))
 		}
+		if *sigsPath != "" {
+			sigs[rep.Query+"\t"+rep.Signature] = struct{}{}
+		}
 		latMu.Unlock()
-	}))
-	if err != nil {
+	})
+	var (
+		subMu  sync.Mutex
+		curSub streamworks.Subscription
+	)
+	var attach func() error
+	watch := func(s streamworks.Subscription) {
+		<-s.Done()
+		attached.Store(false)
+		if closing.Load() {
+			return
+		}
+		if !*resubscribe {
+			truncated.Store(true)
+			log.Printf("loadgen: match stream ended early (evicted as a slow consumer?): err=%v", s.Err())
+			return
+		}
+		for !closing.Load() {
+			if err := attach(); err == nil {
+				log.Printf("loadgen: match stream ended, resubscribed")
+				return
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	attach = func() error {
+		s, err := rem.Subscribe("", sink)
+		if err != nil {
+			return err
+		}
+		subMu.Lock()
+		curSub = s
+		subMu.Unlock()
+		attached.Store(true)
+		go watch(s)
+		return nil
+	}
+	if err := attach(); err != nil {
 		log.Fatalf("loadgen: subscribing: %v", err)
 	}
-	go func() {
-		<-sub.Done()
-		if !closing.Load() {
-			truncated.Store(true)
-			log.Printf("loadgen: match stream ended early (evicted as a slow consumer?): err=%v", sub.Err())
-		}
-	}()
 
-	var rejected uint64
+	// ingest hands one chunk to the daemon. Under -resubscribe retries are
+	// driven here rather than inside the retrying client so that every
+	// (re)send first waits for the match stream to be attached: a batch
+	// accepted by a freshly restarted daemon before the subscriber reattaches
+	// would have its matches delivered to no one, and nothing short of
+	// another restart would redeliver them — a silent hole in the signature
+	// set that crash-recovery comparisons diff against.
+	rawc := client.New(*addr) // no internal retry; the loop below owns it
+	var localRetries uint64
+	ingest := func(chunk []graph.StreamEdge, wait bool) error {
+		if !*resubscribe {
+			_, err := c.IngestBatch(ctx, chunk, wait)
+			return err
+		}
+		delay := 5 * time.Millisecond
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			for !attached.Load() {
+				if time.Now().After(deadline) {
+					return fmt.Errorf("match stream detached for too long")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			_, err := rawc.IngestBatch(ctx, chunk, wait)
+			if err == nil || !client.IsRetryable(err) || time.Now().After(deadline) {
+				return err
+			}
+			localRetries++
+			time.Sleep(delay)
+			if delay < time.Second {
+				delay *= 2
+			}
+		}
+	}
+
 	start := time.Now()
 	for i := 0; i < len(w.Edges); i += *batch {
 		j := min(i+*batch, len(w.Edges))
 		chunk := w.Edges[i:j]
-		for {
-			// Stamp immediately before each attempt so a shed-and-retried
-			// batch's latency excludes our own backoff sleeps but still
-			// precedes the hand-off (no match can beat its stamp).
-			now := time.Now()
-			sendMu.Lock()
-			for _, se := range chunk {
-				sendTimes[uint64(se.Edge.ID)] = now
-			}
-			sendMu.Unlock()
-			_, err := c.IngestBatch(ctx, chunk, false)
-			if err == nil {
-				break
-			}
-			if client.IsOverloaded(err) {
-				rejected++
-				time.Sleep(5 * time.Millisecond)
-				continue
-			}
+		// Stamp before the hand-off (no match can beat its stamp); a batch
+		// the client had to shed-and-retry keeps its original stamp, so its
+		// latency includes the backoff — visible, not hidden.
+		now := time.Now()
+		sendMu.Lock()
+		for _, se := range chunk {
+			sendTimes[uint64(se.Edge.ID)] = now
+		}
+		sendMu.Unlock()
+		if err := ingest(chunk, *waitIngest); err != nil {
 			log.Fatalf("loadgen: ingest: %v", err)
 		}
 	}
 	// Flush: an empty wait batch returns only after everything queued ahead
 	// of it has been routed to the shards.
-	if _, err := c.IngestBatch(ctx, nil, true); err != nil {
+	if err := ingest(nil, true); err != nil {
 		log.Fatalf("loadgen: flush: %v", err)
 	}
 	ingestDur := time.Since(start)
+	rejected := c.Retries() + localRetries
 
 	metrics := settle(ctx, rem)
 	closing.Store(true)
+	subMu.Lock()
+	sub := curSub
+	subMu.Unlock()
 	sub.Close()
 	<-sub.Done()
 
@@ -193,7 +273,7 @@ func main() {
 	}
 
 	fmt.Printf("workload=%s edges=%d batch=%d shards=%d\n", res.Workload, res.Edges, res.Batch, res.Shards)
-	fmt.Printf("ingest: %.2fs (%.0f edges/sec, %d batches shed with 429)\n", res.IngestSecs, res.EdgesPerSec, rejected)
+	fmt.Printf("ingest: %.2fs (%.0f edges/sec, %d attempts retried)\n", res.IngestSecs, res.EdgesPerSec, rejected)
 	note := ""
 	if res.Truncated {
 		note = " [TRUNCATED: subscriber evicted mid-run]"
@@ -239,6 +319,23 @@ func main() {
 					res.SegmentCoverage, res.LatencyMS.Mean)
 			}
 		}
+	}
+
+	if *sigsPath != "" {
+		lines := make([]string, 0, len(sigs))
+		for k := range sigs {
+			lines = append(lines, k)
+		}
+		sort.Strings(lines)
+		var sb strings.Builder
+		for _, l := range lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*sigsPath, []byte(sb.String()), 0o644); err != nil {
+			log.Fatalf("loadgen: writing %s: %v", *sigsPath, err)
+		}
+		log.Printf("loadgen: wrote %d distinct match signatures to %s", len(lines), *sigsPath)
 	}
 
 	if *jsonOut {
@@ -442,7 +539,7 @@ type benchResult struct {
 	EdgesPerSec  float64         `json:"edges_per_sec"`
 	Matches      int             `json:"matches_delivered"`
 	Truncated    bool            `json:"subscription_truncated"`
-	Rejected429  uint64          `json:"batches_shed_429"`
+	Rejected429  uint64          `json:"ingest_retries"`
 	LatencyMS    latencySummary  `json:"match_latency_ms"`
 	EngineTotals engineTotals    `json:"engine"`
 	PerShard     []shardCounters `json:"per_shard"`

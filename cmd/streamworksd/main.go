@@ -29,6 +29,7 @@ import (
 	"github.com/streamworks/streamworks/internal/replan"
 	"github.com/streamworks/streamworks/internal/server"
 	"github.com/streamworks/streamworks/internal/shard"
+	"github.com/streamworks/streamworks/internal/wal"
 )
 
 func main() {
@@ -44,6 +45,13 @@ func main() {
 		subBuffer = flag.Int("sub-buffer", 256, "per-subscriber match buffer; overflow evicts the subscriber")
 		maxBatch  = flag.Int("max-batch", 65536, "maximum edges accepted per ingest request")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+
+		dataDir       = flag.String("data-dir", "", "write-ahead log + snapshot directory; restart with the same dir to recover state (empty disables durability)")
+		fsync         = flag.String("fsync", "interval", "WAL fsync policy: always (sync every frame), interval (group commit), off (page cache only)")
+		fsyncInterval = flag.Duration("fsync-interval", 0, "group-commit interval for -fsync interval (0 = default 50ms)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "snapshot + compact the WAL every n ingested batches (0 = default 4096; negative disables)")
+		requireDur    = flag.Bool("require-durability", false, "refuse ingest with 503 while durability is degraded instead of continuing in-memory (needs -data-dir)")
+		ingestTimeout = flag.Duration("ingest-timeout", 0, "bound on how long a wait=1 ingest request blocks before answering 503 (0 = unbounded)")
 
 		obsOn       = flag.Bool("obs", false, "enable observability: per-segment latency histograms, per-plan-node statistics, Prometheus exposition at GET /metrics")
 		traceBuffer = flag.Int("trace-buffer", 4096, "edge-journey trace ring capacity in events (0 disables tracing; needs -obs)")
@@ -72,6 +80,14 @@ func main() {
 		}
 	}
 
+	if _, err := wal.ParseFsyncPolicy(*fsync); err != nil {
+		// Fail at boot, not as silently-degraded durability at first append.
+		log.Fatalf("streamworksd: %v", err)
+	}
+	if *requireDur && *dataDir == "" {
+		log.Fatalf("streamworksd: -require-durability needs -data-dir")
+	}
+
 	obsCfg := obs.Config{Enabled: *obsOn}
 	if *obsOn {
 		obsCfg.Tracer = obs.NewTracer(*traceBuffer, *traceSample, *traceRate, obs.SystemClock)
@@ -94,11 +110,17 @@ func main() {
 				},
 			},
 		},
-		QueueDepth:       *queue,
-		SubscriberBuffer: *subBuffer,
-		MaxBatchEdges:    *maxBatch,
-		DefaultStrategy:  *strategy,
-		AdaptivePlanning: *adaptive,
+		QueueDepth:        *queue,
+		SubscriberBuffer:  *subBuffer,
+		MaxBatchEdges:     *maxBatch,
+		DefaultStrategy:   *strategy,
+		AdaptivePlanning:  *adaptive,
+		DataDir:           *dataDir,
+		FsyncPolicy:       *fsync,
+		FsyncInterval:     *fsyncInterval,
+		SnapshotEvery:     *snapshotEvery,
+		RequireDurability: *requireDur,
+		IngestTimeout:     *ingestTimeout,
 	})
 
 	if *pprofAddr != "" {
@@ -125,8 +147,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("streamworksd: listening on %s (api=%s shards=%d retention=%s slack=%s adaptive=%v)",
-			*addr, api.Version, *shards, *retention, *slack, *adaptive)
+		log.Printf("streamworksd: listening on %s (api=%s shards=%d retention=%s slack=%s adaptive=%v data-dir=%q fsync=%s)",
+			*addr, api.Version, *shards, *retention, *slack, *adaptive, *dataDir, *fsync)
 		errc <- hs.ListenAndServe()
 	}()
 

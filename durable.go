@@ -1,0 +1,291 @@
+package streamworks
+
+import (
+	"context"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/streamworks/streamworks/internal/wal"
+)
+
+// DurabilityStats is the public view of the engine's durability state,
+// surfaced through /healthz (Mode) and /v1/metrics (the counters).
+type DurabilityStats struct {
+	Mode                string `json:"mode"` // "off", "ok" or "degraded"
+	Frames              uint64 `json:"frames_appended"`
+	Bytes               uint64 `json:"bytes_appended"`
+	Fsyncs              uint64 `json:"fsyncs"`
+	Segments            uint64 `json:"segments_created"`
+	Snapshots           uint64 `json:"snapshots_written"`
+	TornTailTruncations uint64 `json:"torn_tail_truncations"`
+	AppendErrors        uint64 `json:"append_errors"`
+	EmittedTracked      uint64 `json:"emitted_tracked"`
+	Backlog             uint64 `json:"recovery_backlog"`
+}
+
+// durable is the durability state shared by the in-process backends: the
+// WAL manager, the recovery backlog awaiting its first subscriber, and the
+// flags gating when appends and emission notes are live.
+type durable struct {
+	man *wal.Manager
+	// manual defers emission acknowledgment to the embedder
+	// (WithManualDeliveryAck): the serving tier acks a match only once it
+	// has flushed it to the subscriber's socket.
+	manual bool
+	// failed marks durability that was requested but could not be
+	// established (WAL open failure): degraded from birth, engine runs
+	// in-memory.
+	failed bool
+	// replaying gates out WAL appends and emission notes while recovered
+	// operations are being pushed back through the engine.
+	replaying atomic.Bool
+
+	backMu  sync.Mutex
+	backlog []Match
+}
+
+// openDurable opens (and recovers) the WAL when a data dir is configured.
+// It never fails the constructor: an unopenable WAL yields a degraded
+// durable so ingest still works, mirroring runtime write-failure handling.
+func openDurable(cfg *config) (*durable, *wal.Recovery) {
+	if cfg.dataDir == "" {
+		return nil, nil
+	}
+	d := &durable{manual: cfg.manualAck}
+	policy, err := wal.ParseFsyncPolicy(cfg.fsyncPolicy)
+	if err != nil {
+		log.Printf("streamworks: %v; durability degraded", err)
+		d.failed = true
+		return d, nil
+	}
+	man, rec, err := wal.Open(wal.Options{
+		Dir:           cfg.dataDir,
+		FS:            cfg.walFS,
+		Fsync:         policy,
+		FsyncInterval: cfg.fsyncInterval,
+		SnapshotEvery: cfg.snapshotEvery,
+		Retention:     cfg.engine.Retention,
+		Slack:         cfg.engine.Slack,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Printf("streamworks: opening WAL in %s: %v; running without durability (degraded)", cfg.dataDir, err)
+		d.failed = true
+		return d, nil
+	}
+	d.man = man
+	return d, rec
+}
+
+func (d *durable) live() bool {
+	return d != nil && d.man != nil && !d.replaying.Load()
+}
+
+func (d *durable) appendEdges(edges []StreamEdge) {
+	if d.live() {
+		d.man.AppendEdges(edges)
+	}
+}
+
+// appendEdgesAsync starts the write-ahead append and returns its join
+// barrier (nil when durability is off). The caller overlaps engine work
+// with the log write, then must run the barrier before acking the batch or
+// flushing emission notes — that is the point at which the frame has
+// reached the OS and survives a crash.
+func (d *durable) appendEdgesAsync(edges []StreamEdge) func() error {
+	if !d.live() {
+		return nil
+	}
+	return d.man.AppendEdgesAsync(edges)
+}
+
+func (d *durable) appendRegister(r wal.RegisterRecord) {
+	if d.live() {
+		d.man.AppendRegister(r)
+	}
+}
+
+func (d *durable) appendUnregister(name string) {
+	if d.live() {
+		d.man.AppendUnregister(name)
+	}
+}
+
+func (d *durable) appendAdvance(ts Timestamp) {
+	if d.live() {
+		d.man.AppendAdvance(int64(ts))
+	}
+}
+
+// note records a delivered emission (auto mode and backlog replay).
+func (d *durable) note(query, signature string, spanStart int64) {
+	if d.live() {
+		d.man.NoteEmitted(query, signature, spanStart)
+	}
+}
+
+func (d *durable) close() {
+	if d != nil && d.man != nil {
+		d.man.Close()
+	}
+}
+
+// takeBacklog removes and returns the recovered matches the filter admits;
+// each backlog entry is handed to exactly one subscriber.
+func (d *durable) takeBacklog(filter string) []Match {
+	if d == nil || d.man == nil {
+		return nil
+	}
+	d.backMu.Lock()
+	defer d.backMu.Unlock()
+	if len(d.backlog) == 0 {
+		return nil
+	}
+	if filter == "" {
+		out := d.backlog
+		d.backlog = nil
+		return out
+	}
+	var out []Match
+	kept := d.backlog[:0]
+	for _, m := range d.backlog {
+		if m.Query == filter {
+			out = append(out, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	d.backlog = kept
+	return out
+}
+
+func (d *durable) stats() DurabilityStats {
+	if d == nil {
+		return DurabilityStats{Mode: "off"}
+	}
+	if d.man == nil {
+		return DurabilityStats{Mode: "degraded"}
+	}
+	st := d.man.Stats()
+	mode := "ok"
+	if st.Degraded {
+		mode = "degraded"
+	}
+	d.backMu.Lock()
+	backlog := uint64(len(d.backlog))
+	d.backMu.Unlock()
+	return DurabilityStats{
+		Mode:                mode,
+		Frames:              st.Frames,
+		Bytes:               st.Bytes,
+		Fsyncs:              st.Fsyncs,
+		Segments:            st.Segments,
+		Snapshots:           st.Snapshots,
+		TornTailTruncations: st.TornTruncations,
+		AppendErrors:        st.AppendErrors,
+		EmittedTracked:      st.EmittedTracked,
+		Backlog:             backlog,
+	}
+}
+
+// registerRecord resolves one registration's effective strategy and
+// adaptive mode (call options over engine defaults) into its durable form,
+// so recovery re-registers with identical semantics even if the engine's
+// defaults change across the restart.
+func (c *config) registerRecord(q *Query, o RegisterOptions) wal.RegisterRecord {
+	strat := o.Strategy
+	if strat == "" {
+		strat = c.strategy
+	}
+	adaptive := c.adaptive
+	switch o.Adaptive {
+	case AdaptiveOn:
+		adaptive = true
+	case AdaptiveOff:
+		adaptive = false
+	}
+	mode := "off"
+	if adaptive {
+		mode = "on"
+	}
+	return wal.RegisterRecord{Name: q.Name(), DSL: FormatQuery(q), Strategy: strat, Adaptive: mode}
+}
+
+// recordOptions maps a recovered registration record back onto the public
+// registration options.
+func recordOptions(r *wal.RegisterRecord) RegisterOptions {
+	o := RegisterOptions{Strategy: r.Strategy}
+	switch r.Adaptive {
+	case "on":
+		o.Adaptive = AdaptiveOn
+	case "off":
+		o.Adaptive = AdaptiveOff
+	}
+	return o
+}
+
+// replayRecovery pushes the recovered operations back through the engine's
+// ordinary paths (d.replaying suppresses re-appending them to the log),
+// collecting every match the replay re-derives via a temporary
+// subscription. flush is the backend's delivery barrier — after it
+// returns, every re-derived match has reached the collector. Matches whose
+// keys are not in the recovered emitted-set were derived but never
+// delivered before the crash; they become the backlog, delivered once to
+// the first matching subscriber that attaches.
+func replayRecovery(e Engine, d *durable, rec *wal.Recovery, flush func() error) {
+	ctx := context.Background()
+	collected := make(map[string]Match)
+	sub, err := e.Subscribe("", SinkFunc(func(m Match) {
+		collected[wal.MatchKey(m.Query, m.Signature)] = m
+	}))
+	if err != nil {
+		log.Printf("streamworks: recovery subscription failed: %v", err)
+		return
+	}
+	for _, op := range rec.Ops {
+		switch op.Type {
+		case wal.RecEdgeBatch:
+			if err := e.ProcessBatch(ctx, op.Edges); err != nil {
+				log.Printf("streamworks: recovery: replaying %d edges: %v", len(op.Edges), err)
+			}
+		case wal.RecRegister:
+			q, err := ParseQuery(op.Register.DSL)
+			if err != nil {
+				log.Printf("streamworks: recovery: parsing query %q: %v", op.Register.Name, err)
+				continue
+			}
+			if err := e.RegisterQueryWith(ctx, q, recordOptions(op.Register)); err != nil {
+				log.Printf("streamworks: recovery: re-registering %q: %v", op.Register.Name, err)
+			}
+		case wal.RecUnregister:
+			if err := e.UnregisterQuery(ctx, op.Name); err != nil {
+				log.Printf("streamworks: recovery: unregistering %q: %v", op.Name, err)
+			}
+		case wal.RecAdvance:
+			if err := e.Advance(ctx, Timestamp(op.TS)); err != nil {
+				log.Printf("streamworks: recovery: advancing watermark: %v", err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		log.Printf("streamworks: recovery: flush barrier: %v", err)
+	}
+	sub.Close()
+	backlog := make([]Match, 0)
+	for key, m := range collected {
+		if _, emitted := rec.Emitted[key]; !emitted {
+			backlog = append(backlog, m)
+		}
+	}
+	sort.Slice(backlog, func(i, j int) bool {
+		if backlog[i].Query != backlog[j].Query {
+			return backlog[i].Query < backlog[j].Query
+		}
+		return backlog[i].Signature < backlog[j].Signature
+	})
+	d.backMu.Lock()
+	d.backlog = backlog
+	d.backMu.Unlock()
+}

@@ -1,0 +1,397 @@
+package streamworks_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks"
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/testutil/faultfs"
+)
+
+// durableEngine is the slice of the in-process backends the durability
+// suite needs: the public Engine contract plus the durability introspection
+// both Local and Sharded expose.
+type durableEngine interface {
+	streamworks.Engine
+	Durability() streamworks.DurabilityStats
+}
+
+// engineMaker builds one in-process backend from options; the crash and
+// degradation suites run once per backend through this seam.
+type engineMaker struct {
+	name string
+	mk   func(opts ...streamworks.Option) durableEngine
+}
+
+func inProcessBackends() []engineMaker {
+	return []engineMaker{
+		{"local", func(opts ...streamworks.Option) durableEngine {
+			return streamworks.New(opts...)
+		}},
+		{"sharded", func(opts ...streamworks.Option) durableEngine {
+			return streamworks.NewSharded(append([]streamworks.Option{streamworks.WithShards(3)}, opts...)...)
+		}},
+	}
+}
+
+// collectSet returns a sink recording every delivered (query, signature)
+// into set under mu; the sharded backend delivers from its merge goroutine,
+// so collection must be locked.
+func collectSet(mu *sync.Mutex, set gen.MatchSet) streamworks.MatchSink {
+	return streamworks.SinkFunc(func(m streamworks.Match) {
+		mu.Lock()
+		set.AddKey(m.Query, m.Signature)
+		mu.Unlock()
+	})
+}
+
+func registerAll(t *testing.T, eng streamworks.Engine, w gen.Workload) {
+	t.Helper()
+	ctx := context.Background()
+	for _, q := range w.Queries {
+		if err := eng.RegisterQuery(ctx, q); err != nil {
+			t.Fatalf("RegisterQuery(%s): %v", q.Name(), err)
+		}
+	}
+}
+
+func streamBatches(t *testing.T, eng streamworks.Engine, w gen.Workload, from, to, batch int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := from; i < to; i += batch {
+		j := min(i+batch, to)
+		if err := eng.ProcessBatch(ctx, w.Edges[i:j]); err != nil {
+			t.Fatalf("ProcessBatch at %d: %v", i, err)
+		}
+	}
+}
+
+// runCrashRestart streams w through a durable engine, freezes the
+// filesystem mid-stream (the in-process stand-in for SIGKILL: everything
+// already written stays on disk, nothing further can reach it), restarts
+// from the same data dir with the real filesystem and finishes the stream.
+// It returns the union of both runs' delivered match sets — which
+// exactly-once-under-set-semantics says must equal an uninterrupted run's.
+func runCrashRestart(t *testing.T, w gen.Workload, mk engineMaker) gen.MatchSet {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := faultfs.New()
+	base := []streamworks.Option{
+		streamworks.WithEngineConfig(w.Engine),
+		streamworks.WithDataDir(dir),
+		streamworks.WithFsyncPolicy("off"),
+		streamworks.WithSnapshotEvery(8),
+	}
+
+	var mu sync.Mutex
+	union := make(gen.MatchSet)
+	sink := collectSet(&mu, union)
+
+	const batch = 64
+	crash := (len(w.Edges) / 2 / batch) * batch
+
+	eng := mk.mk(append(base, streamworks.WithWALFS(ffs))...)
+	registerAll(t, eng, w)
+	sub, err := eng.Subscribe("", sink)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	streamBatches(t, eng, w, 0, crash, batch)
+	if d := eng.Durability(); d.Mode != "ok" || d.Frames == 0 {
+		t.Fatalf("pre-crash durability: %+v", d)
+	}
+	// Freeze the disk first, then tear the engine down: Close can no longer
+	// checkpoint or snapshot, so the directory holds exactly what a SIGKILL
+	// at this instant would have left.
+	ffs.CrashNow()
+	eng.Close()
+	<-sub.Done()
+
+	// Restart over the same directory. Recovery must have re-registered the
+	// workload's queries from the log...
+	eng2 := mk.mk(base...)
+	defer eng2.Close()
+	if err := eng2.RegisterQuery(context.Background(), w.Queries[0]); !errors.Is(err, streamworks.ErrDuplicateQuery) {
+		t.Fatalf("re-registering %q after recovery: %v, want ErrDuplicateQuery", w.Queries[0].Name(), err)
+	}
+	if d := eng2.Durability(); d.Mode != "ok" {
+		t.Fatalf("post-restart durability: %+v", d)
+	}
+	// ...and the first subscriber receives the backlog: matches derived
+	// before the crash whose delivery was never acknowledged.
+	sub2, err := eng2.Subscribe("", sink)
+	if err != nil {
+		t.Fatalf("Subscribe after restart: %v", err)
+	}
+	streamBatches(t, eng2, w, crash, len(w.Edges), batch)
+	eng2.Close()
+	<-sub2.Done()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return union
+}
+
+func TestCrashRecoveryExactlyOnceNetflow(t *testing.T) {
+	w := acceptanceWorkload(t)
+	ref, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no matches")
+	}
+	for _, mk := range inProcessBackends() {
+		t.Run(mk.name, func(t *testing.T) {
+			union := runCrashRestart(t, w, mk)
+			if !union.Equal(ref) {
+				t.Fatalf("crash-restart union diverged: %d matches, reference %d", len(union), len(ref))
+			}
+		})
+	}
+}
+
+func TestCrashRecoveryExactlyOnceDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift crash-recovery soak; skipped with -short")
+	}
+	w := gen.BenchDriftWorkload(8000, 400, 20*time.Second)
+	ref, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no matches")
+	}
+	for _, mk := range inProcessBackends() {
+		t.Run(mk.name, func(t *testing.T) {
+			union := runCrashRestart(t, w, mk)
+			if !union.Equal(ref) {
+				t.Fatalf("crash-restart union diverged: %d matches, reference %d", len(union), len(ref))
+			}
+		})
+	}
+}
+
+// TestGracefulRestartNoRedelivery pins the stronger guarantee of a clean
+// shutdown: Close checkpoints every delivered match, so a restart over the
+// same directory redelivers nothing — strict exactly-once, not just
+// exactly-once under set semantics.
+func TestGracefulRestartNoRedelivery(t *testing.T) {
+	w := acceptanceWorkload(t)
+	ref, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	for _, mk := range inProcessBackends() {
+		t.Run(mk.name, func(t *testing.T) {
+			dir := t.TempDir()
+			base := []streamworks.Option{
+				streamworks.WithEngineConfig(w.Engine),
+				streamworks.WithDataDir(dir),
+				streamworks.WithFsyncPolicy("off"),
+			}
+			var mu sync.Mutex
+			first, second := make(gen.MatchSet), make(gen.MatchSet)
+
+			const batch = 64
+			half := (len(w.Edges) / 2 / batch) * batch
+			eng := mk.mk(base...)
+			registerAll(t, eng, w)
+			sub, err := eng.Subscribe("", collectSet(&mu, first))
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			streamBatches(t, eng, w, 0, half, batch)
+			eng.Close()
+			<-sub.Done()
+
+			eng2 := mk.mk(base...)
+			defer eng2.Close()
+			sub2, err := eng2.Subscribe("", collectSet(&mu, second))
+			if err != nil {
+				t.Fatalf("Subscribe after restart: %v", err)
+			}
+			// A graceful shutdown leaves no backlog: nothing may have been
+			// delivered by the act of subscribing.
+			mu.Lock()
+			backlog := len(second)
+			mu.Unlock()
+			if backlog != 0 {
+				t.Fatalf("graceful restart redelivered %d matches on subscribe", backlog)
+			}
+			streamBatches(t, eng2, w, half, len(w.Edges), batch)
+			eng2.Close()
+			<-sub2.Done()
+
+			mu.Lock()
+			defer mu.Unlock()
+			union := make(gen.MatchSet)
+			for k := range first {
+				union[k] = struct{}{}
+			}
+			for k := range second {
+				if _, dup := first[k]; dup {
+					t.Errorf("match redelivered across graceful restart: %q", k)
+				}
+				union[k] = struct{}{}
+			}
+			if !union.Equal(ref) {
+				t.Fatalf("graceful-restart union diverged: %d matches, reference %d", len(union), len(ref))
+			}
+		})
+	}
+}
+
+// TestWALDegradationKeepsServing drives every injected disk pathology
+// through a full workload: the WAL must flip to degraded mode, stop
+// touching the disk, and the engine must keep detecting exactly the
+// reference match set in memory.
+func TestWALDegradationKeepsServing(t *testing.T) {
+	w := acceptanceWorkload(t)
+	ref, _, err := gen.RunSingle(w)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	cases := []struct {
+		name string
+		opts func(ffs *faultfs.FS) []streamworks.Option
+		arm  func(ffs *faultfs.FS)
+	}{
+		{
+			name: "disk-full",
+			arm:  func(ffs *faultfs.FS) { ffs.SetDiskFull(true) },
+		},
+		{
+			name: "fsync-error",
+			opts: func(*faultfs.FS) []streamworks.Option {
+				return []streamworks.Option{streamworks.WithFsyncPolicy("always")}
+			},
+			arm: func(ffs *faultfs.FS) { ffs.FailFsync(errors.New("injected fsync failure")) },
+		},
+		{
+			name: "short-write",
+			arm:  func(ffs *faultfs.FS) { ffs.SetWriteBudget(512) },
+		},
+		{
+			name: "bad-fsync-policy",
+			opts: func(*faultfs.FS) []streamworks.Option {
+				// Degraded from birth: the WAL never opens at all.
+				return []streamworks.Option{streamworks.WithFsyncPolicy("bogus")}
+			},
+			arm: func(*faultfs.FS) {},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ffs := faultfs.New()
+			opts := []streamworks.Option{
+				streamworks.WithEngineConfig(w.Engine),
+				streamworks.WithDataDir(t.TempDir()),
+				streamworks.WithWALFS(ffs),
+			}
+			if tc.opts != nil {
+				opts = append(opts, tc.opts(ffs)...)
+			}
+			eng := streamworks.New(opts...)
+			defer eng.Close()
+			registerAll(t, eng, w)
+			var mu sync.Mutex
+			set := make(gen.MatchSet)
+			sub, err := eng.Subscribe("", collectSet(&mu, set))
+			if err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+			// Arm the fault only after registration so the failure hits the
+			// ingest path mid-stream, not the constructor.
+			tc.arm(ffs)
+			streamBatches(t, eng, w, 0, len(w.Edges), 64)
+			if d := eng.Durability(); d.Mode != "degraded" {
+				t.Fatalf("durability mode after %s: %q, want degraded (%+v)", tc.name, d.Mode, d)
+			}
+			eng.Close()
+			<-sub.Done()
+			if !set.Equal(ref) {
+				t.Fatalf("degraded engine diverged: %d matches, reference %d", len(set), len(ref))
+			}
+		})
+	}
+}
+
+// TestShortWriteLeavesRecoverableTornTail is the full fault → crash →
+// recover arc: an injected short write leaves a torn frame on disk and
+// degrades the engine; a restart over the directory truncates the torn
+// tail, counts it, and still recovers everything up to the last whole
+// frame.
+func TestShortWriteLeavesRecoverableTornTail(t *testing.T) {
+	w := acceptanceWorkload(t)
+	dir := t.TempDir()
+	ffs := faultfs.New()
+	eng := streamworks.New(
+		streamworks.WithEngineConfig(w.Engine),
+		streamworks.WithDataDir(dir),
+		streamworks.WithFsyncPolicy("off"),
+		streamworks.WithWALFS(ffs),
+	)
+	registerAll(t, eng, w)
+	// Enough budget for a couple of edge batches, then a frame is cut off
+	// mid-write — the torn tail a real crash leaves.
+	ffs.SetWriteBudget(4096)
+	streamBatches(t, eng, w, 0, 512, 64)
+	if d := eng.Durability(); d.Mode != "degraded" || d.AppendErrors == 0 {
+		t.Fatalf("short write did not degrade: %+v", d)
+	}
+	eng.Close()
+
+	eng2 := streamworks.New(
+		streamworks.WithEngineConfig(w.Engine),
+		streamworks.WithDataDir(dir),
+		streamworks.WithFsyncPolicy("off"),
+	)
+	defer eng2.Close()
+	d := eng2.Durability()
+	if d.Mode != "ok" {
+		t.Fatalf("recovery after torn tail: mode %q, want ok (%+v)", d.Mode, d)
+	}
+	if d.TornTailTruncations != 1 {
+		t.Fatalf("torn-tail truncations: %d, want 1 (%+v)", d.TornTailTruncations, d)
+	}
+	// The registrations landed within budget, so recovery rebuilt them.
+	if err := eng2.RegisterQuery(context.Background(), w.Queries[0]); !errors.Is(err, streamworks.ErrDuplicateQuery) {
+		t.Fatalf("re-registering after torn-tail recovery: %v, want ErrDuplicateQuery", err)
+	}
+}
+
+// TestShardedFlushBarrier pins the public Flush contract recovery depends
+// on: after Flush returns, every match derived from previously ingested
+// edges has been delivered to subscribers.
+func TestShardedFlushBarrier(t *testing.T) {
+	w := acceptanceWorkload(t)
+	ref, _, err := gen.RunSingle(gen.Workload{
+		Name: w.Name, Edges: w.Edges[:1500], Queries: w.Queries, Engine: w.Engine,
+	})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	eng := streamworks.NewSharded(streamworks.WithEngineConfig(w.Engine), streamworks.WithShards(3))
+	defer eng.Close()
+	registerAll(t, eng, w)
+	var mu sync.Mutex
+	set := make(gen.MatchSet)
+	if _, err := eng.Subscribe("", collectSet(&mu, set)); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	streamBatches(t, eng, w, 0, 1500, 64)
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !set.Equal(ref) {
+		t.Fatalf("after Flush: %d matches delivered, reference %d", len(set), len(ref))
+	}
+}

@@ -1,0 +1,6 @@
+package streamworks
+
+// WithWALFS exposes the unexported filesystem-seam option to the external
+// test package, so fault-injection tests can substitute
+// internal/testutil/faultfs for the real disk.
+var WithWALFS = withWALFS

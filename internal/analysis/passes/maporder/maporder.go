@@ -68,37 +68,48 @@ func run(pass *analysis.Pass) error {
 		if !inScope(pass, f) {
 			continue
 		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			funcAllowed := analysis.HasDirective(fd.Doc, "unordered")
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				rng, ok := n.(*ast.RangeStmt)
-				if !ok {
-					return true
-				}
-				if _, isMap := pass.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
-					return true
-				}
-				if funcAllowed || pass.Allowed(rng.Pos(), "unordered") {
-					return true
-				}
-				if sortedAfter(pass, fd.Body, rng.End()) {
-					return true
-				}
-				c := &checker{pass: pass, locals: map[types.Object]bool{}}
-				c.noteLoopVars(rng)
-				if reason := c.commutative(rng.Body); reason != "" {
-					pass.Reportf(rng.Pos(), "map iteration order reaches deterministic output (%s); sort the collected results or annotate //swvet:unordered <why>", reason)
-					return false // one report per loop; nested ranges are covered by it
-				}
-				return true
-			})
-		}
+		CheckFile(pass, f, "map iteration order reaches deterministic output (%s); sort the collected results or annotate //swvet:unordered <why>")
 	}
 	return nil
+}
+
+// CheckFile reports every order-dependent map iteration in one file: a range
+// over a map whose body is neither commutative nor followed by a
+// canonicalizing sort in the same function, and that carries no
+// //swvet:unordered allowance. format is the report template; its single %s
+// receives a short description of the offending statement. Shared with the
+// walorder pass, which applies the same determinism obligation to the WAL
+// encoder with its own scope and message.
+func CheckFile(pass *analysis.Pass, f *ast.File, format string) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		funcAllowed := analysis.HasDirective(fd.Doc, "unordered")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := pass.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if funcAllowed || pass.Allowed(rng.Pos(), "unordered") {
+				return true
+			}
+			if sortedAfter(pass, fd.Body, rng.End()) {
+				return true
+			}
+			c := &checker{pass: pass, locals: map[types.Object]bool{}}
+			c.noteLoopVars(rng)
+			if reason := c.commutative(rng.Body); reason != "" {
+				pass.Reportf(rng.Pos(), format, reason)
+				return false // one report per loop; nested ranges are covered by it
+			}
+			return true
+		})
+	}
 }
 
 // sortedAfter reports whether a canonicalizing sort call appears after pos

@@ -1,0 +1,83 @@
+// Package a is a walorder fixture shaped like the WAL's emitted-set
+// checkpoint: map state serialized into a log record. The directive below
+// puts it in scope the way internal/wal is by import path.
+//
+//swvet:walorder
+package a
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+type entry struct {
+	Key  string `json:"k"`
+	Span int64  `json:"s"`
+}
+
+// badCheckpoint serializes the emitted-set straight out of map order: the
+// same logical state encodes to different bytes on every run.
+func badCheckpoint(emitted map[string]int64) []byte {
+	var ents []entry
+	for k, s := range emitted { // want `map iteration order can reach a WAL record`
+		ents = append(ents, entry{Key: k, Span: s})
+	}
+	b, _ := json.Marshal(ents)
+	return b
+}
+
+// badFrameConcat builds a record payload by concatenating in map order.
+func badFrameConcat(regs map[string]string) string {
+	payload := ""
+	for name := range regs { // want `map iteration order can reach a WAL record`
+		payload = payload + name + "\n"
+	}
+	return payload
+}
+
+// goodCheckpoint is the canonical collect-then-sort shape the real
+// checkpoint encoder uses: byte-identical for identical state.
+func goodCheckpoint(emitted map[string]int64) []byte {
+	ents := make([]entry, 0, len(emitted))
+	for k, s := range emitted {
+		ents = append(ents, entry{Key: k, Span: s})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Key < ents[j].Key })
+	b, _ := json.Marshal(ents)
+	return b
+}
+
+// goodMarkLogged mutates the map in place: keyed writes commute, no bytes
+// escape.
+func goodMarkLogged(emitted map[string]int64) {
+	for k, s := range emitted {
+		if s < 0 {
+			emitted[k] = 0
+		}
+	}
+}
+
+// goodEvictCount counts and deletes commutatively (the snapshot-time
+// emitted-set eviction shape).
+func goodEvictCount(emitted map[string]int64, cutoff int64) int {
+	evicted := 0
+	for k, s := range emitted {
+		if s < cutoff {
+			delete(emitted, k)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// goodAllowlisted is order-dependent in a provably harmless way and says so.
+func goodAllowlisted(emitted map[string]int64) int64 {
+	var max int64
+	//swvet:unordered max fold: result independent of visit order
+	for _, s := range emitted {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,63 @@
+// Package walorder enforces that WAL record encoding is byte-deterministic:
+// inside internal/wal, no map iteration may feed the encoder (or any other
+// escaping output) without an intervening sort.
+//
+// The write-ahead log is replayed to rebuild engine state and compared
+// byte-for-byte in recovery tests (the prefix property test replays every
+// byte prefix of a segment); a frame whose payload depends on Go's
+// randomized map iteration order would make identical logical states encode
+// differently across runs, breaking both the tests and any future
+// log-shipping comparison. The pass reuses the maporder checker — the
+// obligation is identical, only the scope and the failure story differ:
+//
+//   - commutative loop bodies (map→map transforms, counters) are fine;
+//   - a sort.* or slices.Sort* call later in the same function counts as
+//     canonicalization before encoding;
+//   - //swvet:unordered <why> on the range statement or the function doc
+//     allowlists provably harmless order-dependence.
+//
+// Fixture packages opt into scope with a file-level //swvet:walorder
+// comment.
+package walorder
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/analysis"
+	"github.com/streamworks/streamworks/internal/analysis/passes/maporder"
+)
+
+// WALPackages are the import paths (and subpackages) whose map iterations
+// must never reach an encoder unsorted.
+var WALPackages = []string{
+	"github.com/streamworks/streamworks/internal/wal",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc: "order-dependent map iteration in the WAL package, where every " +
+		"encoded record must be byte-deterministic for replay and recovery",
+	Run: run,
+}
+
+func inScope(pass *analysis.Pass, f *ast.File) bool {
+	for _, p := range WALPackages {
+		if pass.Path() == p || strings.HasPrefix(pass.Path(), p+"/") {
+			return true
+		}
+	}
+	return pass.FileHasDirective(f, "walorder")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files() {
+		if !inScope(pass, f) {
+			continue
+		}
+		maporder.CheckFile(pass, f,
+			"map iteration order can reach a WAL record (%s); WAL encoding must be byte-deterministic — sort before encoding or annotate //swvet:unordered <why>")
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/analysis/analysistest"
+	"github.com/streamworks/streamworks/internal/analysis/passes/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", walorder.Analyzer)
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/streamworks/streamworks/internal/analysis/passes/scratchalias"
 	"github.com/streamworks/streamworks/internal/analysis/passes/sinkleak"
 	"github.com/streamworks/streamworks/internal/analysis/passes/walltime"
+	"github.com/streamworks/streamworks/internal/analysis/passes/walorder"
 )
 
 // Analyzers returns the full suite in stable (alphabetical) order.
@@ -31,5 +32,6 @@ func Analyzers() []*analysis.Analyzer {
 		scratchalias.Analyzer,
 		sinkleak.Analyzer,
 		walltime.Analyzer,
+		walorder.Analyzer,
 	}
 }

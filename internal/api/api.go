@@ -31,6 +31,10 @@ type HealthResponse struct {
 	// layer on (streamworksd -obs): /metrics exposition, /debug/trace and
 	// the obs section of /v1/metrics are live when true.
 	ObsEnabled bool `json:"obs_enabled"`
+	// Durability is the engine's durability mode: "off" (no -data-dir),
+	// "ok" (WAL live) or "degraded" (durability requested but the WAL could
+	// not be opened or hit a write error; ingest continues in-memory only).
+	Durability string `json:"durability,omitempty"`
 }
 
 // RegisterOptions are the optional query parameters of POST /v1/queries
@@ -101,6 +105,26 @@ type ServerMetrics struct {
 	IngestQueueCap     int    `json:"ingest_queue_cap"`
 }
 
+// WALMetrics is the wire form of the engine's durability counters
+// (streamworks.DurabilityStats), present in MetricsResponse when the daemon
+// runs with a data dir.
+type WALMetrics struct {
+	// Mode is "ok" while the WAL is live, "degraded" after an open or write
+	// failure (the engine keeps serving, in-memory only).
+	Mode                string `json:"mode"`
+	Frames              uint64 `json:"frames_appended"`
+	Bytes               uint64 `json:"bytes_appended"`
+	Fsyncs              uint64 `json:"fsyncs"`
+	Segments            uint64 `json:"segments_created"`
+	Snapshots           uint64 `json:"snapshots_written"`
+	TornTailTruncations uint64 `json:"torn_tail_truncations"`
+	AppendErrors        uint64 `json:"append_errors"`
+	EmittedTracked      uint64 `json:"emitted_tracked"`
+	// RecoveryBacklog is the number of recovered matches still waiting for a
+	// first subscriber to redeliver them to.
+	RecoveryBacklog uint64 `json:"recovery_backlog"`
+}
+
 // MetricsResponse is the GET /v1/metrics payload: the aggregated engine
 // view, each shard's raw counters (replicated edges, pre-dedup matches), and
 // the serving-layer counters.
@@ -113,6 +137,9 @@ type MetricsResponse struct {
 	// shard workers — when the daemon runs with observability on; absent
 	// otherwise.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// WAL carries the durability counters when the daemon runs with a data
+	// dir (streamworksd -data-dir); absent otherwise.
+	WAL *WALMetrics `json:"wal,omitempty"`
 }
 
 // TraceResponse is the GET /debug/trace payload: the sampled edge-journey

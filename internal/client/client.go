@@ -10,11 +10,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/export"
@@ -25,8 +30,10 @@ import (
 
 // Client talks to one streamworksd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	retries atomic.Uint64
 }
 
 // Option customizes a Client.
@@ -38,6 +45,75 @@ type Option func(*Client)
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
+
+// WithRetry makes IngestBatch retry transient failures (429 overload, 503
+// unavailability, transport errors) under the given policy instead of
+// surfacing them. The zero policy disables retry (the default).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// RetryPolicy is a capped exponential backoff with jitter for transient
+// ingest failures. The zero value disables retry; DefaultRetryPolicy suits
+// most feeders.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries including the first (0 or 1 disables
+	// retry; negative retries until the context is cancelled).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5ms when
+	// retry is enabled); it doubles every attempt up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s). A server-supplied Retry-After
+	// longer than the computed backoff is honored up to 10×MaxDelay.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy retries for roughly ten seconds under sustained
+// overload before giving up.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 12, BaseDelay: 5 * time.Millisecond, MaxDelay: time.Second}
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts < 0 || p.MaxAttempts > 1 }
+
+// backoff computes the sleep before retry number attempt (1-based), or
+// ok=false when the attempt budget is spent. The delay is the capped
+// exponential with full jitter on its upper half, stretched to honor a
+// server-supplied Retry-After.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) (time.Duration, bool) {
+	if !p.enabled() || (p.MaxAttempts > 0 && attempt >= p.MaxAttempts) {
+		return 0, false
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	// Full jitter on the upper half de-synchronizes a fleet of feeders that
+	// all saw the same 429.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		if cap := 10 * maxd; retryAfter > cap {
+			retryAfter = cap
+		}
+		d = retryAfter
+	}
+	return d, true
+}
+
+// Retries returns how many ingest attempts this client has retried.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
 
 // New builds a client for the server at baseURL (e.g. "http://127.0.0.1:8090").
 func New(baseURL string, opts ...Option) *Client {
@@ -52,6 +128,8 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint, zero when absent.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -66,6 +144,24 @@ func IsOverloaded(err error) bool {
 	return ok && ae.Status == http.StatusTooManyRequests
 }
 
+// IsRetryable reports whether err is transient: server overload (429),
+// unavailability (503 — draining, degraded durability, a restart in
+// progress) or a transport-level failure (connection refused or reset while
+// the daemon restarts). Permanent rejections (4xx validation errors) and
+// context cancellation are not retryable.
+func IsRetryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable
+	}
+	// Anything below the HTTP status layer — dial, reset, EOF mid-response —
+	// is worth retrying against a daemon that may just be restarting.
+	return true
+}
+
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var er struct {
@@ -75,7 +171,11 @@ func apiError(resp *http.Response) error {
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
 		msg = er.Error
 	}
-	return &APIError{Status: resp.StatusCode, Message: msg}
+	ae := &APIError{Status: resp.StatusCode, Message: msg}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+		ae.RetryAfter = time.Duration(ra) * time.Second
+	}
+	return ae
 }
 
 func (c *Client) roundTrip(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
@@ -186,14 +286,54 @@ func (c *Client) QueryDSL(ctx context.Context, name string) (string, error) {
 
 // IngestBatch encodes edges as NDJSON (the loader wire format) and posts
 // them. wait=true blocks until the batch has been routed to the shards;
-// wait=false returns as soon as the batch is queued. A full ingest queue
-// surfaces as an *APIError with status 429 (check with IsOverloaded).
+// wait=false returns as soon as the batch is queued. Under WithRetry,
+// transient failures (429 overload — honoring the server's Retry-After —
+// 503, transport errors while the daemon restarts) are retried with capped
+// exponential backoff and jitter, re-posting the same encoded body each
+// attempt; retries stop as soon as ctx is cancelled. Without a policy a
+// full ingest queue surfaces as an *APIError with status 429 (check with
+// IsOverloaded).
 func (c *Client) IngestBatch(ctx context.Context, edges []graph.StreamEdge, wait bool) (*api.IngestResponse, error) {
 	var buf bytes.Buffer
 	if err := loader.WriteJSONL(&buf, edges); err != nil {
 		return nil, err
 	}
-	return c.IngestReader(ctx, &buf, wait)
+	if !c.retry.enabled() {
+		return c.IngestReader(ctx, &buf, wait)
+	}
+	payload := buf.Bytes()
+	path := "/v1/edges"
+	if wait {
+		path += "?wait=1"
+	}
+	for attempt := 1; ; attempt++ {
+		var out api.IngestResponse
+		err := c.roundTrip(ctx, http.MethodPost, path, "application/x-ndjson",
+			bytes.NewReader(payload), &out)
+		if err == nil {
+			return &out, nil
+		}
+		if !IsRetryable(err) {
+			return nil, err
+		}
+		var retryAfter time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			retryAfter = ae.RetryAfter
+		}
+		delay, ok := c.retry.backoff(attempt, retryAfter)
+		if !ok {
+			return nil, err
+		}
+		c.retries.Add(1)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // IngestReader posts an NDJSON edge stream (e.g. a Workload.NDJSON dump or

@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+func TestRetryPolicyEnabled(t *testing.T) {
+	cases := []struct {
+		attempts int
+		want     bool
+	}{
+		{0, false}, // zero policy: retry off
+		{1, false}, // one attempt total: no retries
+		{2, true},
+		{-1, true}, // unlimited
+	}
+	for _, c := range cases {
+		if got := (RetryPolicy{MaxAttempts: c.attempts}).enabled(); got != c.want {
+			t.Errorf("MaxAttempts=%d: enabled()=%v, want %v", c.attempts, got, c.want)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	// The uncapped exponential is base<<(attempt-1); jitter keeps the result
+	// in [d/2, d]. Past the cap every attempt draws from [max/2, max].
+	for attempt := 1; attempt < p.MaxAttempts; attempt++ {
+		d, ok := p.backoff(attempt, 0)
+		if !ok {
+			t.Fatalf("attempt %d: budget exhausted early", attempt)
+		}
+		want := p.BaseDelay << (attempt - 1)
+		if want > p.MaxDelay {
+			want = p.MaxDelay
+		}
+		if d < want/2 || d > want {
+			t.Errorf("attempt %d: delay %v outside jitter window [%v, %v]", attempt, d, want/2, want)
+		}
+	}
+	if _, ok := p.backoff(p.MaxAttempts, 0); ok {
+		t.Error("attempt == MaxAttempts should exhaust the budget")
+	}
+
+	unlimited := RetryPolicy{MaxAttempts: -1, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	if _, ok := unlimited.backoff(10_000, 0); !ok {
+		t.Error("negative MaxAttempts should never exhaust the budget")
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	// A server hint longer than the computed backoff stretches the delay...
+	d, ok := p.backoff(1, 500*time.Millisecond)
+	if !ok || d != 500*time.Millisecond {
+		t.Errorf("backoff(1, 500ms) = %v, %v; want 500ms, true", d, ok)
+	}
+	// ...but only up to 10×MaxDelay, so a hostile header cannot stall the
+	// feeder for minutes.
+	d, ok = p.backoff(1, time.Hour)
+	if !ok || d != 10*p.MaxDelay {
+		t.Errorf("backoff(1, 1h) = %v, %v; want %v, true", d, ok, 10*p.MaxDelay)
+	}
+	// A hint shorter than the computed backoff is ignored.
+	d, ok = p.backoff(4, time.Nanosecond)
+	if !ok || d < 4*time.Millisecond {
+		t.Errorf("backoff(4, 1ns) = %v, %v; want the computed exponential (≥4ms)", d, ok)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"overload-429", &APIError{Status: http.StatusTooManyRequests}, true},
+		{"unavailable-503", &APIError{Status: http.StatusServiceUnavailable}, true},
+		{"validation-400", &APIError{Status: http.StatusBadRequest}, false},
+		{"conflict-409", &APIError{Status: http.StatusConflict}, false},
+		{"transport", errors.New("connection refused"), true},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("%s: IsRetryable=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func testEdges() []graph.StreamEdge {
+	return []graph.StreamEdge{{
+		Edge: graph.Edge{ID: 1, Source: 10, Target: 20, Type: "flow", Timestamp: 1000},
+	}}
+}
+
+func TestIngestBatchRetriesTransientFailures(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		bodies []string
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, string(body))
+		n := len(bodies)
+		mu.Unlock()
+		switch n {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"ingest queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte(`{"accepted":1}`))
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	resp, err := c.IngestBatch(context.Background(), testEdges(), true)
+	if err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	if resp.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1", resp.Accepted)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(bodies))
+	}
+	if bodies[0] == "" {
+		t.Fatal("first attempt posted an empty body")
+	}
+	// Every retry must re-post the identical encoded batch — the edge payload
+	// cannot be consumed by a failed attempt.
+	for i, b := range bodies[1:] {
+		if b != bodies[0] {
+			t.Errorf("attempt %d re-posted a different body", i+2)
+		}
+	}
+	if got := c.Retries(); got != 2 {
+		t.Errorf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestIngestBatchPermanentErrorFailsFast(t *testing.T) {
+	var attempts int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, `{"error":"bad edge json"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	_, err := c.IngestBatch(context.Background(), testEdges(), false)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError with status 400", err)
+	}
+	if attempts != 1 {
+		t.Errorf("server saw %d attempts, want 1 (400 is not retryable)", attempts)
+	}
+}
+
+func TestIngestBatchBudgetExhausted(t *testing.T) {
+	var attempts int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	_, err := c.IngestBatch(context.Background(), testEdges(), false)
+	if !IsOverloaded(err) {
+		t.Fatalf("err = %v, want the final 429 surfaced", err)
+	}
+	if attempts != 3 {
+		t.Errorf("server saw %d attempts, want MaxAttempts=3", attempts)
+	}
+}
+
+func TestIngestBatchStopsOnContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"still down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	c := New(srv.URL, WithRetry(RetryPolicy{MaxAttempts: -1, BaseDelay: 10 * time.Millisecond, MaxDelay: 20 * time.Millisecond}))
+	start := time.Now()
+	_, err := c.IngestBatch(ctx, testEdges(), false)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("unlimited retry ignored cancellation for %v", elapsed)
+	}
+}
+
+func TestAPIErrorParsesRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"degraded durability"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL) // no retry: the error surfaces with the parsed hint
+	_, err := c.IngestBatch(context.Background(), testEdges(), false)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+	if ae.Message != "degraded durability" {
+		t.Errorf("Message = %q, want the decoded error envelope", ae.Message)
+	}
+}

@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/streamworks/streamworks"
+)
+
+// WALOverheadResult measures one durability mode replaying one workload.
+// The acceptance number tracked across PRs: "interval" (the streamworksd
+// default — group-commit fsync) must stay within 10% of "off" edges/s.
+// "always" (fsync per batch) is reported for operators weighing the
+// zero-data-loss configuration; it is informational, not budgeted.
+type WALOverheadResult struct {
+	Workload    string  `json:"workload"`
+	Engine      string  `json:"engine"` // "single" or "sharded-N"
+	Mode        string  `json:"mode"`   // "off", "interval" or "always"
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	// OverheadPct is the edges/s regression relative to the off mode of the
+	// same run (zero for the off row itself).
+	OverheadPct float64 `json:"overhead_pct"`
+	Matches     int     `json:"matches"`
+	// Frames and Fsyncs describe the WAL work one replay performs (zero for
+	// the off mode), so a surprising overhead number can be read against the
+	// I/O that produced it.
+	Frames uint64 `json:"frames,omitempty"`
+	Fsyncs uint64 `json:"fsyncs,omitempty"`
+}
+
+// walModes are the three durability configurations the overhead lane
+// compares, keyed by the streamworksd -fsync policy name ("off" here means
+// no -data-dir at all, not a WAL without fsync).
+var walModes = []string{"off", "interval", "always"}
+
+// walBenchBatch is the ingest batch size of one replay. The no-WAL baseline
+// streams in the same batches, so the deltas isolate the WAL itself (frame
+// encode, segment write, fsync schedule), not batching differences.
+const walBenchBatch = 512
+
+// walOverheadRounds mirrors the obs-overhead lane: interleaved measurement
+// rounds per mode, best round kept, so slow machine phases cannot land on
+// one mode and show up as phantom overhead.
+const walOverheadRounds = 5
+
+// runWALOnce replays w once under the given durability mode — a fresh data
+// directory per replay, since recovery semantics are exactly what this lane
+// must not trigger — and returns the match set plus the engine's final
+// durability counters. A durable replay that degrades mid-run is an error,
+// not a fast measurement. dir is the replay's fresh data directory ("" for
+// the off mode); the caller owns its creation and removal so the measured
+// region is the ingest work, not tmpfile churn.
+func runWALOnce(w Workload, shards int, mode, dir string) (MatchSet, streamworks.DurabilityStats, error) {
+	opts := []streamworks.Option{streamworks.WithEngineConfig(w.Engine)}
+	if mode != "off" {
+		opts = append(opts,
+			streamworks.WithDataDir(dir),
+			streamworks.WithFsyncPolicy(mode),
+		)
+	}
+	type durableEngine interface {
+		streamworks.Engine
+		Durability() streamworks.DurabilityStats
+	}
+	var eng durableEngine
+	if shards > 0 {
+		eng = streamworks.NewSharded(append(opts, streamworks.WithShards(shards))...)
+	} else {
+		eng = streamworks.New(opts...)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	for _, q := range w.Queries {
+		if err := eng.RegisterQuery(ctx, q); err != nil {
+			return nil, streamworks.DurabilityStats{}, err
+		}
+	}
+	set := make(MatchSet)
+	sub, err := eng.Subscribe("", streamworks.SinkFunc(func(m streamworks.Match) {
+		set.AddKey(m.Query, m.Signature)
+	}))
+	if err != nil {
+		return nil, streamworks.DurabilityStats{}, err
+	}
+	defer sub.Close()
+	for i := 0; i < len(w.Edges); i += walBenchBatch {
+		if err := eng.ProcessBatch(ctx, w.Edges[i:min(i+walBenchBatch, len(w.Edges))]); err != nil {
+			return nil, streamworks.DurabilityStats{}, err
+		}
+	}
+	stats := eng.Durability()
+	if mode != "off" && stats.Mode != "ok" {
+		return nil, stats, fmt.Errorf("gen: wal overhead %s replay degraded (%d append errors)", mode, stats.AppendErrors)
+	}
+	if err := eng.Close(); err != nil {
+		return nil, streamworks.DurabilityStats{}, err
+	}
+	<-sub.Done()
+	return set, stats, nil
+}
+
+// BenchWALOverhead replays w under testing.Benchmark per durability mode and
+// reports the throughput of each mode plus its regression against running
+// without a WAL. All modes must detect the identical match set — durability
+// is not allowed to change semantics — and a divergence is returned as an
+// error.
+func BenchWALOverhead(w Workload, shards int) ([]WALOverheadResult, error) {
+	engine := "single"
+	if shards > 0 {
+		engine = fmt.Sprintf("sharded-%d", shards)
+	}
+	// benchDir hands each durable replay a fresh data directory, created and
+	// removed outside any timed region: recovery must never trigger, and
+	// tmpfile churn must never be billed to the WAL.
+	benchDir := func(mode string) (string, func(), error) {
+		if mode == "off" {
+			return "", func() {}, nil
+		}
+		dir, err := os.MkdirTemp("", "sw-walbench")
+		if err != nil {
+			return "", nil, err
+		}
+		return dir, func() { os.RemoveAll(dir) }, nil
+	}
+	var out []WALOverheadResult
+	var baseSet MatchSet
+	for _, mode := range walModes {
+		dir, cleanup, err := benchDir(mode)
+		if err != nil {
+			return nil, err
+		}
+		set, stats, err := runWALOnce(w, shards, mode, dir)
+		cleanup()
+		if err != nil {
+			return nil, fmt.Errorf("gen: wal overhead %s validation run: %w", mode, err)
+		}
+		if baseSet == nil {
+			baseSet = set
+		} else if !baseSet.Equal(set) {
+			return nil, fmt.Errorf("gen: wal overhead: %s match set diverges from off (%d vs %d)",
+				mode, len(set), len(baseSet))
+		}
+		out = append(out, WALOverheadResult{
+			Workload: w.Name,
+			Engine:   engine,
+			Mode:     mode,
+			Matches:  len(set),
+			Frames:   stats.Frames,
+			Fsyncs:   stats.Fsyncs,
+		})
+	}
+	for round := 0; round < walOverheadRounds; round++ {
+		for i, mode := range walModes {
+			res := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					b.StopTimer()
+					dir, cleanup, err := benchDir(mode)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					_, _, err = runWALOnce(w, shards, mode, dir)
+					b.StopTimer()
+					cleanup()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+			if res.T > 0 {
+				if eps := float64(len(w.Edges)) * float64(res.N) / res.T.Seconds(); eps > out[i].EdgesPerSec {
+					out[i].EdgesPerSec = eps
+				}
+			}
+		}
+	}
+	base := out[0].EdgesPerSec
+	if base > 0 {
+		for i := range out {
+			out[i].OverheadPct = 100 * (1 - out[i].EdgesPerSec/base)
+		}
+	}
+	return out, nil
+}

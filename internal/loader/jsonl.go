@@ -119,11 +119,28 @@ func fromJSONEdge(je jsonEdge) graph.StreamEdge {
 	}
 }
 
-// WriteJSONL writes one JSON object per line for every edge.
+// WriteJSONL writes one JSON object per line for every edge. Encoding goes
+// through the hand-rolled appenders in jsonl_append.go (byte-identical to
+// encoding/json for this shape); edges the fast path cannot represent
+// exactly fall back to encoding/json.
 func WriteJSONL(w io.Writer, edges []graph.StreamEdge) error {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	var buf []byte
+	var keys []string
+	var enc *json.Encoder
 	for _, se := range edges {
+		out, k, ok := appendEdgeWire(buf[:0], keys, se)
+		keys = k
+		if ok {
+			buf = append(out, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return fmt.Errorf("loader: encoding edge %d: %w", se.Edge.ID, err)
+			}
+			continue
+		}
+		if enc == nil {
+			enc = json.NewEncoder(bw)
+		}
 		if err := enc.Encode(toJSONEdge(se)); err != nil {
 			return fmt.Errorf("loader: encoding edge %d: %w", se.Edge.ID, err)
 		}

@@ -1,0 +1,149 @@
+package loader
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// referenceJSONL is the pre-fast-path implementation of WriteJSONL: pure
+// encoding/json. The fast path's contract is byte equivalence with this.
+func referenceJSONL(t *testing.T, edges []graph.StreamEdge) ([]byte, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	enc := json.NewEncoder(bw)
+	for _, se := range edges {
+		if err := enc.Encode(toJSONEdge(se)); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func attrEdge(id int, attrs graph.Attributes) graph.StreamEdge {
+	return graph.StreamEdge{
+		Edge: graph.Edge{
+			ID: graph.EdgeID(id), Source: 10, Target: 20,
+			Type: "flow", Timestamp: 1000, Attrs: attrs,
+		},
+		SourceType: "Host",
+		TargetType: "Host",
+	}
+}
+
+func TestWriteJSONLMatchesEncodingJSON(t *testing.T) {
+	edges := []graph.StreamEdge{
+		// Plain identifiers: the all-fast-path shape.
+		attrEdge(1, nil),
+		// Every attribute kind, including zero values that omitempty drops.
+		attrEdge(2, graph.Attributes{}.
+			Set("s", graph.String("value")).
+			Set("i", graph.Int(-42)).
+			Set("f", graph.Float(0.5)).
+			Set("b", graph.Bool(true))),
+		attrEdge(3, graph.Attributes{}.
+			Set("zero_i", graph.Int(0)).
+			Set("zero_f", graph.Float(0)).
+			Set("neg_zero", graph.Float(math.Copysign(0, -1))).
+			Set("false_b", graph.Bool(false)).
+			Set("empty_s", graph.String(""))),
+		// Strings that force encoding/json's escaping: HTML characters,
+		// quotes, backslashes, control characters, unicode, invalid UTF-8.
+		{Edge: graph.Edge{ID: 4, Source: 1, Target: 2, Type: `a<b>&c"d\e`, Timestamp: -5}},
+		{Edge: graph.Edge{ID: 5, Source: 1, Target: 2, Type: "tab\tnewline\nnull\x00", Timestamp: 0}},
+		{Edge: graph.Edge{ID: 6, Source: 1, Target: 2, Type: "héllo-wörld-日本", Timestamp: 7}},
+		{Edge: graph.Edge{ID: 7, Source: 1, Target: 2, Type: "bad\xffutf8", Timestamp: 7}},
+		// Numeric extremes.
+		{Edge: graph.Edge{
+			ID: graph.EdgeID(math.MaxUint64), Source: graph.VertexID(math.MaxUint64),
+			Target: 0, Type: "x", Timestamp: math.MaxInt64,
+		}},
+		{Edge: graph.Edge{ID: 8, Source: 1, Target: 2, Type: "x", Timestamp: math.MinInt64}},
+		// Floats across encoding/json's format switch ('f' vs 'e' with a
+		// trimmed exponent) and precision edges.
+		attrEdge(9, graph.Attributes{}.
+			Set("tiny", graph.Float(1e-7)).
+			Set("neg_tiny", graph.Float(-9.999e-7)).
+			Set("boundary_lo", graph.Float(1e-6)).
+			Set("huge", graph.Float(1e21)).
+			Set("boundary_hi", graph.Float(9.999999e20)).
+			Set("max", graph.Float(math.MaxFloat64)).
+			Set("denorm", graph.Float(math.SmallestNonzeroFloat64)).
+			Set("third", graph.Float(1.0/3.0)).
+			Set("neg", graph.Float(-123456.789))),
+		// Vertex metadata maps with keys that need sorting and escaping.
+		{
+			Edge:       graph.Edge{ID: 10, Source: 1, Target: 2, Type: "x", Timestamp: 1},
+			SourceType: "Host", TargetType: "Server",
+			SourceAttrs: graph.Attributes{}.
+				Set("zz", graph.Int(1)).Set("aa", graph.Int(2)).Set("m<m", graph.String("v&v")),
+			TargetAttrs: graph.Attributes{}.Set("k", graph.Bool(true)),
+		},
+	}
+
+	want, err := referenceJSONL(t, edges)
+	if err != nil {
+		t.Fatalf("reference encode: %v", err)
+	}
+	var got bytes.Buffer
+	if err := WriteJSONL(&got, edges); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		gl, wl := strings.Split(got.String(), "\n"), strings.Split(string(want), "\n")
+		for i := range wl {
+			if i >= len(gl) || gl[i] != wl[i] {
+				t.Fatalf("line %d diverges from encoding/json:\nfast: %q\nref:  %q", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatal("output diverges from encoding/json (length mismatch)")
+	}
+}
+
+func TestWriteJSONLRejectsNaNLikeEncodingJSON(t *testing.T) {
+	edges := []graph.StreamEdge{
+		attrEdge(1, graph.Attributes{}.Set("bad", graph.Float(math.NaN()))),
+	}
+	var buf bytes.Buffer
+	err := WriteJSONL(&buf, edges)
+	if err == nil {
+		t.Fatal("WriteJSONL accepted a NaN attribute; encoding/json rejects it")
+	}
+	if !strings.Contains(err.Error(), "unsupported value") {
+		t.Fatalf("err = %v, want encoding/json's unsupported-value error via the fallback", err)
+	}
+
+	inf := []graph.StreamEdge{
+		attrEdge(2, graph.Attributes{}.Set("bad", graph.Float(math.Inf(1)))),
+	}
+	if err := WriteJSONL(&buf, inf); err == nil {
+		t.Fatal("WriteJSONL accepted an Inf attribute")
+	}
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	edges := make([]graph.StreamEdge, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		edges = append(edges, attrEdge(i+1, graph.Attributes{}.
+			Set("bytes", graph.Int(int64(i)*37)).
+			Set("proto", graph.String("tcp"))))
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteJSONL(&buf, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}

@@ -84,6 +84,30 @@ type Config struct {
 	// stream statistics by default; individual registrations override with
 	// ?adaptive=on|off.
 	AdaptivePlanning bool
+	// DataDir enables durability: ingested batches, registrations and
+	// watermark advances are write-ahead logged under this directory, and a
+	// restart pointing at the same directory recovers the engine state,
+	// redelivering only the matches that were never flushed to a subscriber.
+	// Empty disables durability.
+	DataDir string
+	// FsyncPolicy is "always", "interval" (default) or "off"; see
+	// streamworks.WithFsyncPolicy. Requires DataDir.
+	FsyncPolicy string
+	// FsyncInterval is the group-commit interval for the "interval" policy
+	// (default 50ms). Requires DataDir.
+	FsyncInterval time.Duration
+	// SnapshotEvery compacts the WAL every n ingested batches (default
+	// 4096; negative disables periodic snapshots). Requires DataDir.
+	SnapshotEvery int
+	// RequireDurability makes ingest refuse with 503 (plus Retry-After)
+	// while durability is degraded, instead of silently continuing
+	// in-memory. Requires DataDir.
+	RequireDurability bool
+	// IngestTimeout bounds how long a wait=1 ingest request blocks on the
+	// engine before answering 503 (the batch stays queued and is still
+	// processed). Zero means no bound. A stalled WAL disk therefore cannot
+	// wedge HTTP workers indefinitely.
+	IngestTimeout time.Duration
 }
 
 // DefaultConfig serves a DefaultConfig sharded engine with default bounds.
@@ -165,14 +189,27 @@ func New(cfg Config) *Server {
 	// carries the normalized form down through the shard front-end.
 	obsCfg := cfg.Shard.Engine.Obs.Normalized()
 	cfg.Shard.Engine.Obs = obsCfg
-	eng := streamworks.NewSharded(
+	engOpts := []streamworks.Option{
 		streamworks.WithEngineConfig(cfg.Shard.Engine),
 		streamworks.WithShards(cfg.Shard.Shards),
 		streamworks.WithShardBuffer(cfg.Shard.Buffer),
 		streamworks.WithAdvanceEvery(cfg.Shard.AdvanceEvery),
 		streamworks.WithPlanStrategy(cfg.DefaultStrategy),
 		streamworks.WithAdaptivePlanning(cfg.AdaptivePlanning),
-	)
+	}
+	if cfg.DataDir != "" {
+		engOpts = append(engOpts,
+			streamworks.WithDataDir(cfg.DataDir),
+			streamworks.WithFsyncPolicy(cfg.FsyncPolicy),
+			streamworks.WithFsyncInterval(cfg.FsyncInterval),
+			streamworks.WithSnapshotEvery(cfg.SnapshotEvery),
+			// Delivery here is asynchronous (hub buffer, HTTP flush), so a
+			// sink return proves nothing; the match handler acks each match
+			// after flushing it to the subscriber's socket.
+			streamworks.WithManualDeliveryAck(true),
+		)
+	}
+	eng := streamworks.NewSharded(engOpts...)
 	s := &Server{
 		cfg:     cfg,
 		eng:     eng,
@@ -180,6 +217,12 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		closed:  make(chan struct{}),
 		queries: make(map[string]*query.Graph),
+	}
+	// Re-seed the HTTP query registry from the engine: after a durable
+	// restart the engine replays registrations from its WAL, and the
+	// listing/filter view must reflect them without a re-POST.
+	for _, q := range eng.RegisteredQueries() {
+		s.queries[q.Name()] = q
 	}
 	s.hub = newHub(cfg.SubscriberBuffer, eng.Subscribe)
 	s.run = newRunner(s.eng, cfg.QueueDepth)
@@ -290,6 +333,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		GoVersion:     runtime.Version(),
 		ObsEnabled:    s.obsReg != nil,
+		Durability:    s.eng.Durability().Mode,
 	}
 	if draining {
 		resp.Status = "draining"
@@ -491,6 +535,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	if s.cfg.RequireDurability && s.eng.Durability().Mode == "degraded" {
+		// The operator asked for durable ingest or nothing: refuse rather
+		// than silently accept edges that would not survive a restart.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: "durability degraded"})
+		return
+	}
 	if len(s.run.batches) == cap(s.run.batches) {
 		s.batchesRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -544,7 +595,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(edges), Queued: true})
 		return
 	}
-	res := <-b.done
+	var res ingestResult
+	if s.cfg.IngestTimeout > 0 {
+		// Bound the wait so a stalled disk (WAL fsync hanging under the
+		// runner) cannot wedge HTTP workers. The batch is already queued and
+		// will still be processed; done is buffered, so the runner's send
+		// never blocks on an abandoned waiter.
+		t := time.NewTimer(s.cfg.IngestTimeout)
+		defer t.Stop()
+		select {
+		case res = <-b.done:
+		case <-t.C:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, IngestResponse{
+				Accepted: len(edges), Queued: true,
+				Error: "ingest wait timed out; batch still queued",
+			})
+			return
+		}
+	} else {
+		res = <-b.done
+	}
 	resp := IngestResponse{Accepted: res.processed}
 	if res.err != nil {
 		resp.Error = res.err.Error()
@@ -637,6 +708,12 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 			io.WriteString(w, "\n")
 		}
 		flusher.Flush()
+		if s.cfg.DataDir != "" {
+			// Flushed to the subscriber's socket: the kernel delivers
+			// buffered data even if we crash now, so the match counts as
+			// delivered and is suppressed (not redelivered) after recovery.
+			s.eng.AckDelivered(rep.Query, rep.Signature, rep.SpanStart)
+		}
 		if s.obsFlush != nil {
 			now := s.obsClock.Now()
 			d := now - t0
@@ -729,6 +806,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap := s.ObsSnapshot()
 		resp.Obs = &snap
 	}
+	if s.cfg.DataDir != "" {
+		d := s.eng.Durability()
+		resp.WAL = &api.WALMetrics{
+			Mode:                d.Mode,
+			Frames:              d.Frames,
+			Bytes:               d.Bytes,
+			Fsyncs:              d.Fsyncs,
+			Segments:            d.Segments,
+			Snapshots:           d.Snapshots,
+			TornTailTruncations: d.TornTailTruncations,
+			AppendErrors:        d.AppendErrors,
+			EmittedTracked:      d.EmittedTracked,
+			RecoveryBacklog:     d.Backlog,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -781,6 +873,23 @@ func (s *Server) handleProm(w http.ResponseWriter, _ *http.Request) {
 	p.Gauge("server_subscribers", "", "", float64(s.hub.count()))
 	p.Gauge("server_ingest_queue_len", "", "", float64(len(s.run.batches)))
 	p.Gauge("server_ingest_queue_cap", "", "", float64(cap(s.run.batches)))
+	if s.cfg.DataDir != "" {
+		d := s.eng.Durability()
+		degraded := 0.0
+		if d.Mode == "degraded" {
+			degraded = 1
+		}
+		p.Gauge("wal_degraded", "", "", degraded)
+		p.Counter("wal_frames_appended", "", "", float64(d.Frames))
+		p.Counter("wal_bytes_appended", "", "", float64(d.Bytes))
+		p.Counter("wal_fsyncs", "", "", float64(d.Fsyncs))
+		p.Counter("wal_segments_created", "", "", float64(d.Segments))
+		p.Counter("wal_snapshots_written", "", "", float64(d.Snapshots))
+		p.Counter("wal_torn_tail_truncations", "", "", float64(d.TornTailTruncations))
+		p.Counter("wal_append_errors", "", "", float64(d.AppendErrors))
+		p.Gauge("wal_emitted_tracked", "", "", float64(d.EmittedTracked))
+		p.Gauge("wal_recovery_backlog", "", "", float64(d.Backlog))
+	}
 	if s.obsReg != nil {
 		p.Snapshot(s.ObsSnapshot())
 		recorded, dropped := s.obsTracer.Stats()

@@ -400,6 +400,10 @@ func (s *ShardedEngine) merge() {
 	marks := make([]graph.Timestamp, len(s.workers))
 	marked := make([]bool, len(s.workers))
 	for se := range s.out {
+		if se.flush != nil {
+			close(se.flush)
+			continue
+		}
 		if se.mark {
 			if se.ts > marks[se.id] || !marked[se.id] {
 				marks[se.id], marked[se.id] = se.ts, true
@@ -555,6 +559,35 @@ func (s *ShardedEngine) Advance(ts graph.Timestamp) {
 			w.eng.Advance(ts)
 		}
 	}
+}
+
+// Flush is a full-pipeline barrier: it returns only after every edge,
+// advance and control message enqueued before the call has been processed
+// by its shard AND every match those messages produced has been delivered
+// through the merger to subscriptions. Recovery uses it to know that
+// replaying the log tail has surfaced every re-derivable match before it
+// compares them against the checkpointed emitted-set. Like Process, Flush
+// must not race with Close.
+//
+// Ordering argument: each worker's flush acknowledgment happens after its
+// earlier merge-channel sends completed (same goroutine), and this
+// goroutine's sentinel send happens after every acknowledgment was
+// received, so channel FIFO delivers the sentinel to the merger after all
+// of those events; the merger closes the sentinel only when it reaches it.
+func (s *ShardedEngine) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.running {
+		return ErrNotRunning
+	}
+	for _, w := range s.workers {
+		w.flush()
+	}
+	done := make(chan struct{})
+	s.out <- shardEvent{flush: done}
+	<-done
+	return nil
 }
 
 // Close flushes the mailboxes, stops the workers and the merger, finishes

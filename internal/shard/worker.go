@@ -27,6 +27,10 @@ const (
 	opRegister ctrlOp = iota
 	opUnregister
 	opMetrics
+	// opFlush is a pure barrier: by the time the worker answers, every
+	// message enqueued before it has been processed and every match those
+	// messages produced has been sent to the merge channel.
+	opFlush
 )
 
 // message is one mailbox entry: an edge, a watermark advance, or a control
@@ -67,6 +71,10 @@ type shardEvent struct {
 	mark bool
 	id   int             // sending shard (marks only)
 	ts   graph.Timestamp // shard watermark (marks only)
+	// flush, when non-nil, is a barrier sentinel injected by Flush after
+	// every worker acknowledged its mailbox was drained: the merger closes
+	// it, proving every event sent before the sentinel has been delivered.
+	flush chan struct{}
 }
 
 // markEvery is the number of processed edges between progress marks.
@@ -172,8 +180,18 @@ func (w *worker) serveCtrl(req *ctrlReq) ctrlResp {
 		return ctrlResp{err: w.eng.UnregisterQuery(req.name)}
 	case opMetrics:
 		return ctrlResp{metrics: w.eng.Metrics()}
+	case opFlush:
+		return ctrlResp{}
 	}
 	return ctrlResp{}
+}
+
+// flush blocks until the worker has processed every message enqueued
+// before the call. Matches produced by those messages were pushed onto the
+// merge channel by the worker goroutine before it answered, so they are
+// ordered before anything the caller subsequently sends on that channel.
+func (w *worker) flush() {
+	w.roundTrip(&ctrlReq{op: opFlush})
 }
 
 // roundTrip enqueues a control request and waits for the worker's answer,

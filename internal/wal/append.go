@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"sort"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// AppendEdges logs one ingested batch, write-ahead of processing, and
+// takes the periodic snapshot when the batch counter comes due. A write
+// error flips the manager into degraded (in-memory) mode and is returned
+// once; once degraded, appends are silent no-ops so ingest keeps flowing.
+func (m *Manager) AppendEdges(edges []graph.StreamEdge) error {
+	return m.AppendEdgesAsync(edges)()
+}
+
+// AppendEdgesAsync starts logging one ingested batch on a worker goroutine
+// and returns the join barrier. The caller may overlap its own work on the
+// batch — the engines process edges while the frame is encoded and written —
+// but must invoke the barrier before treating the batch as ingested (acking
+// it upstream, flushing emission notes): the barrier returning means the
+// frame reached the OS, which is what survives a process crash. The batch
+// slice must not be mutated until the barrier returns. At most one append is
+// in flight; every other Manager method orders itself after it.
+func (m *Manager) AppendEdgesAsync(edges []graph.StreamEdge) func() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	if len(edges) == 0 || m.closed || m.degraded {
+		return func() error { return nil }
+	}
+	done := make(chan error, 1)
+	m.pending = done
+	go func() {
+		// The manager lock is NOT held here: joinLocked gates every other
+		// toucher of log, win, encBuf and batches until done is drained.
+		payload, err := encodeEdgeBatch(&m.encBuf, edges)
+		if err == nil {
+			err = m.log.append(RecEdgeBatch, payload)
+		}
+		if err == nil {
+			m.win.add(edges)
+			m.batches++
+		}
+		done <- err
+	}()
+	return func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.joinLocked()
+	}
+}
+
+// AppendRegister logs a query registration.
+func (m *Manager) AppendRegister(r RegisterRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	if m.closed || m.degraded {
+		return nil
+	}
+	payload, err := encodeRegister(r)
+	if err != nil {
+		m.degradeLocked(err)
+		return err
+	}
+	if err := m.log.append(RecRegister, payload); err != nil {
+		m.degradeLocked(err)
+		return err
+	}
+	m.applyRegister(r)
+	return nil
+}
+
+// AppendUnregister logs a query unregistration.
+func (m *Manager) AppendUnregister(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	if m.closed || m.degraded {
+		return nil
+	}
+	if err := m.log.append(RecUnregister, []byte(name)); err != nil {
+		m.degradeLocked(err)
+		return err
+	}
+	m.regs = removeReg(m.regs, name)
+	return nil
+}
+
+// AppendAdvance logs an explicit watermark advance.
+func (m *Manager) AppendAdvance(ts int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	if m.closed || m.degraded {
+		return nil
+	}
+	if err := m.log.append(RecAdvance, encodeAdvance(ts)); err != nil {
+		m.degradeLocked(err)
+		return err
+	}
+	m.win.advance(ts)
+	return nil
+}
+
+// Snapshot forces a compaction now: serialize the retained window,
+// registrations and emitted-set, rotate the segment, drop the segments the
+// snapshot covers.
+func (m *Manager) Snapshot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	if m.closed || m.degraded {
+		return nil
+	}
+	if err := m.snapshotLocked(); err != nil {
+		m.degradeLocked(err)
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) snapshotLocked() error {
+	m.win.compact()
+	m.evictEmittedLocked()
+	newSeq := m.log.seq + 1
+	if err := m.log.openSegment(newSeq); err != nil {
+		return err
+	}
+	meta := snapshotMeta{
+		Seq:           newSeq,
+		Watermark:     m.win.watermark,
+		Registrations: append([]RegisterRecord(nil), m.regs...),
+		Emitted:       make([]EmittedEntry, 0, len(m.emitted)),
+	}
+	for k, st := range m.emitted {
+		meta.Emitted = append(meta.Emitted, EmittedEntry{Key: k, SpanStart: st.spanStart})
+	}
+	sort.Slice(meta.Emitted, func(i, j int) bool { return meta.Emitted[i].Key < meta.Emitted[j].Key })
+	if err := writeSnapshot(m.fs, m.dir, meta, m.win.live()); err != nil {
+		return err
+	}
+	for _, e := range meta.Emitted {
+		m.emitted[e.Key] = emittedEnt{spanStart: e.SpanStart, logged: true}
+	}
+	m.unlogged = 0
+	m.batches = 0
+	m.snapshots++
+	m.tailMark = m.replayedBytes + m.log.bytes
+	m.snapSeq = newSeq
+	seqs, err := listSegments(m.fs, m.dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		if seq < newSeq {
+			m.fs.Remove(join(m.dir, segName(seq)))
+		}
+	}
+	return nil
+}
+
+// tailLocked is how many log bytes a restart would have to replay: the
+// tail Open itself replayed plus everything appended since the last
+// snapshot.
+func (m *Manager) tailLocked() uint64 {
+	return m.replayedBytes + m.log.bytes - m.tailMark
+}
+
+// evictEmittedLocked drops emitted entries whose span start has expired
+// out of the retained window: the match can no longer be re-derived, so
+// suppression state for it is dead weight. With zero retention nothing is
+// ever evicted, mirroring the engine keeping every edge.
+func (m *Manager) evictEmittedLocked() {
+	cut, ok := m.win.cutoff()
+	if !ok {
+		return
+	}
+	for k, st := range m.emitted {
+		if st.spanStart < cut {
+			delete(m.emitted, k)
+		}
+	}
+}
+
+// Close checkpoints the emitted-set one final time, making a graceful
+// restart strictly exactly-once: every match delivered before Close is
+// suppressed on recovery. Call only after the engine has stopped emitting.
+//
+// A closing snapshot is compaction, not correctness, so it is taken only
+// when the un-compacted tail has grown past one segment's worth (or the
+// segment files themselves have piled up): below that, replaying the tail
+// on the next open costs less than serializing the window now, and
+// shutdown stays cheap.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	if m.closed {
+		return nil
+	}
+	if m.degraded {
+		m.closed = true
+		return nil
+	}
+	m.checkpointEmittedLocked()
+	if m.degraded {
+		m.closed = true
+		return nil
+	}
+	if m.tailLocked() > uint64(m.opts.SegmentBytes) || m.log.seq-m.snapSeq >= 64 {
+		if err := m.snapshotLocked(); err != nil {
+			m.degradeLocked(err)
+			m.closed = true
+			return err
+		}
+	}
+	m.closed = true
+	return m.log.close()
+}

@@ -1,0 +1,38 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+func makeBatch(n int, base uint64) []graph.StreamEdge {
+	out := make([]graph.StreamEdge, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, testEdge(base+uint64(i), int64(base+uint64(i))*1000))
+	}
+	return out
+}
+
+func BenchmarkAppendEdges512(b *testing.B) {
+	for _, policy := range []FsyncPolicy{FsyncOff, FsyncInterval, FsyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			m, _, err := Open(Options{Dir: dir, Fsync: policy, FsyncInterval: 50 * time.Millisecond, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			batch := makeBatch(512, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.AppendEdges(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(m.log.bytes) / int64(b.N))
+		})
+	}
+}

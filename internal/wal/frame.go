@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Segment layout: an 8-byte magic header followed by frames. Each frame is
+//
+//	uint32 length   — big-endian, covers the type byte + payload
+//	uint32 crc32    — IEEE, over the type byte + payload
+//	byte   type     — one of the Rec* record types
+//	bytes  payload
+//
+// A frame is valid iff the declared length fits in the remaining bytes and
+// the CRC matches; anything else is a torn or corrupt tail and recovery
+// truncates the segment at the last valid frame boundary.
+
+// segMagic identifies a StreamWorks WAL segment, version 1.
+var segMagic = []byte("SWWAL001")
+
+// Record types.
+const (
+	// RecEdgeBatch carries one ingested edge batch as NDJSON (the wire
+	// format, loader.WriteJSONL).
+	RecEdgeBatch byte = 1
+	// RecRegister carries a query registration: DSL text plus options
+	// (records.go, RegisterRecord JSON).
+	RecRegister byte = 2
+	// RecUnregister carries the raw name of an unregistered query.
+	RecUnregister byte = 3
+	// RecAdvance carries an explicit watermark advance as a big-endian
+	// int64 stream timestamp.
+	RecAdvance byte = 4
+	// RecEmitted carries an emitted-set checkpoint: a sorted JSON array of
+	// (match key, span start) entries (records.go, EmittedEntry).
+	RecEmitted byte = 5
+)
+
+const (
+	frameHeaderLen = 9 // 4 length + 4 crc + 1 type
+	// maxFramePayload rejects absurd declared lengths before allocating.
+	maxFramePayload = 64 << 20
+)
+
+var (
+	// errFrameTorn means the remaining bytes are shorter than the frame
+	// they declare — the partial write a crash leaves behind.
+	errFrameTorn = errors.New("wal: torn frame")
+	// errFrameCorrupt means the frame is structurally invalid: CRC
+	// mismatch, oversized length or unknown record type.
+	errFrameCorrupt = errors.New("wal: corrupt frame")
+)
+
+// frameHeader writes the 9-byte envelope header for (rec, payload) into
+// hdr: length, CRC over the type byte + payload, type.
+func frameHeader(hdr *[frameHeaderLen]byte, rec byte, payload []byte) {
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[8] = rec
+	crc := crc32.Update(crc32.Update(0, crc32.IEEETable, hdr[8:9]), crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+}
+
+// appendFrame appends the framed envelope for (rec, payload) to dst.
+func appendFrame(dst []byte, rec byte, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	frameHeader(&hdr, rec, payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes the first frame in data, returning the record type,
+// its payload (aliasing data) and the total encoded size. It distinguishes
+// a torn tail (errFrameTorn: data simply ends early) from corruption
+// (errFrameCorrupt: CRC mismatch or nonsense header); recovery treats both
+// as end-of-log, the fuzz target exercises both.
+func DecodeFrame(data []byte) (rec byte, payload []byte, n int, err error) {
+	if len(data) < frameHeaderLen {
+		return 0, nil, 0, errFrameTorn
+	}
+	length := binary.BigEndian.Uint32(data[0:4])
+	if length == 0 || length > maxFramePayload {
+		return 0, nil, 0, errFrameCorrupt
+	}
+	total := 8 + int(length)
+	if len(data) < total {
+		return 0, nil, 0, errFrameTorn
+	}
+	body := data[8:total]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[4:8]) {
+		return 0, nil, 0, errFrameCorrupt
+	}
+	rec = body[0]
+	if rec < RecEdgeBatch || rec > RecEmitted {
+		return 0, nil, 0, fmt.Errorf("%w: unknown record type %d", errFrameCorrupt, rec)
+	}
+	return rec, body[1:], total, nil
+}

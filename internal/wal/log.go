@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segName formats the on-disk name for segment seq.
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.wal", seq) }
+
+// parseSegName extracts the sequence number from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the segment sequence numbers present in dir,
+// ascending.
+func listSegments(fs FS, dir string) ([]uint64, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, n := range names {
+		if seq, ok := parseSegName(n); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// segLog is the append side of the segmented log: one open segment file,
+// frame appends with the configured fsync policy, size-based rotation.
+// Not goroutine-safe; the Manager serializes access.
+type segLog struct {
+	fs       FS
+	dir      string
+	policy   FsyncPolicy
+	interval int64 // ns
+	maxBytes int64
+	now      func() int64
+
+	seq      uint64
+	f        File
+	size     int64
+	lastSync int64
+	buf      []byte // frame scratch, reused across appends
+
+	frames   uint64
+	bytes    uint64
+	fsyncs   uint64
+	segments uint64
+}
+
+// openSegment starts a fresh segment with the given sequence number,
+// closing the previous one (fully synced) first.
+func (l *segLog) openSegment(seq uint64) error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			l.f = nil
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			l.f = nil
+			return err
+		}
+		l.f = nil
+	}
+	f, err := l.fs.Create(join(l.dir, segName(seq)))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.seq = seq
+	l.size = int64(len(segMagic))
+	l.segments++
+	return nil
+}
+
+// splitWriteMin is the payload size above which append issues the header
+// and the payload as two writes instead of copying the payload into the
+// frame scratch: past this point the memcpy costs more than a syscall.
+const splitWriteMin = 16 << 10
+
+// append writes one frame, applying the fsync policy, and rotates the
+// segment once it exceeds maxBytes.
+func (l *segLog) append(rec byte, payload []byte) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	frame := uint64(frameHeaderLen + len(payload))
+	if len(payload) >= splitWriteMin {
+		var hdr [frameHeaderLen]byte
+		frameHeader(&hdr, rec, payload)
+		n, err := l.f.Write(hdr[:])
+		l.size += int64(n)
+		if err != nil {
+			return err
+		}
+		n, err = l.f.Write(payload)
+		l.size += int64(n)
+		if err != nil {
+			return err
+		}
+	} else {
+		l.buf = appendFrame(l.buf[:0], rec, payload)
+		n, err := l.f.Write(l.buf)
+		l.size += int64(n)
+		if err != nil {
+			return err
+		}
+	}
+	l.frames++
+	l.bytes += frame
+	switch l.policy {
+	case FsyncAlways:
+		if err := l.sync(); err != nil {
+			return err
+		}
+	case FsyncInterval:
+		if now := l.now(); now-l.lastSync >= l.interval {
+			if err := l.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	if l.size >= l.maxBytes {
+		return l.openSegment(l.seq + 1)
+	}
+	return nil
+}
+
+func (l *segLog) sync() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs++
+	l.lastSync = l.now()
+	return nil
+}
+
+func (l *segLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if err == nil {
+		l.fsyncs++
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// Manager owns a data directory: the active segment, the shadow retained
+// window, the emitted-set and the snapshot cycle. All methods are safe for
+// concurrent use.
+//
+// Emission tracking is ack-based: NoteEmitted must be called only after a
+// match has actually reached its consumer (a synchronous sink returned, or
+// the serving tier flushed the report to the subscriber's socket). Noted
+// therefore implies delivered, so entries are checkpointable immediately
+// and a checkpointed match can be suppressed on recovery without risking
+// loss. Matches delivered but not yet noted/checkpointed when the process
+// dies are re-derived and redelivered — the bounded, signature-dedupable
+// redelivery documented in the package comment.
+type Manager struct {
+	mu       sync.Mutex
+	opts     Options
+	fs       FS
+	dir      string
+	log      segLog
+	encBuf   bytes.Buffer // edge-batch payload scratch, reused across appends
+	win      shadowWindow
+	regs     []RegisterRecord
+	emitted  map[string]emittedEnt
+	unlogged int
+	batches  int
+	degraded bool
+	closed   bool
+
+	// pending is the completion channel of the one in-flight asynchronous
+	// edge-batch append (AppendEdgesAsync), nil when none. While it is
+	// non-nil a worker goroutine owns log, win, encBuf and batches; every
+	// method that touches those fields calls joinLocked first.
+	pending chan error
+	// replayedBytes is how many segment-tail bytes Open replayed; together
+	// with log.bytes and tailMark it measures the un-compacted tail that a
+	// restart would have to replay (the Close snapshot heuristic). snapSeq
+	// is the last snapshot's covering sequence, bounding how many segment
+	// files accumulate across snapshot-less restarts.
+	replayedBytes uint64
+	tailMark      uint64
+	snapSeq       uint64
+
+	torn         uint64
+	snapshots    uint64
+	appendErrors uint64
+}
+
+type emittedEnt struct {
+	spanStart int64
+	logged    bool
+}
+
+// Recovery is what Open reconstructed from disk: the ordered operations to
+// replay through an engine, plus the recovered emitted-set for backlog
+// suppression.
+type Recovery struct {
+	// Ops are the recovered operations in replay order: the snapshot's
+	// registrations, then its retained window as a single edge batch, then
+	// the decoded log tail.
+	Ops []Op
+	// Emitted maps checkpointed match keys (MatchKey) to span starts.
+	Emitted map[string]int64
+	// Watermark is the recovered stream watermark.
+	Watermark int64
+	// TornTail reports that a torn or corrupt tail was truncated.
+	TornTail bool
+}
+
+// Open recovers whatever the data directory holds and returns a Manager
+// appending to a fresh segment. The returned Recovery is never nil on
+// success; an empty directory yields an empty one.
+func Open(opts Options) (*Manager, *Recovery, error) {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:    opts,
+		fs:      opts.FS,
+		dir:     opts.Dir,
+		win:     newShadowWindow(opts.Retention, opts.Slack),
+		emitted: make(map[string]emittedEnt),
+	}
+	m.log = segLog{
+		fs:       m.fs,
+		dir:      m.dir,
+		policy:   opts.Fsync,
+		interval: int64(opts.FsyncInterval),
+		maxBytes: opts.SegmentBytes,
+		now:      opts.Now,
+	}
+	if err := m.fs.MkdirAll(m.dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating data dir: %w", err)
+	}
+	// A leftover snapshot.tmp is an interrupted snapshot; the rename never
+	// happened, so it is garbage.
+	m.fs.Remove(join(m.dir, snapshotTmp))
+
+	rec := &Recovery{Emitted: make(map[string]int64)}
+	meta, window, haveSnap, err := readSnapshot(m.fs, m.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	startSeq := uint64(0)
+	if haveSnap {
+		startSeq = meta.Seq
+		for i := range meta.Registrations {
+			r := meta.Registrations[i]
+			rec.Ops = append(rec.Ops, Op{Type: RecRegister, Register: &r})
+			m.applyRegister(r)
+		}
+		for _, e := range meta.Emitted {
+			m.emitted[e.Key] = emittedEnt{spanStart: e.SpanStart, logged: true}
+			rec.Emitted[e.Key] = e.SpanStart
+		}
+		if len(window) > 0 {
+			rec.Ops = append(rec.Ops, Op{Type: RecEdgeBatch, Edges: window})
+			m.win.add(window)
+		}
+		m.win.advance(meta.Watermark)
+	}
+
+	seqs, err := listSegments(m.fs, m.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	lastSeq := startSeq
+	stopped := false
+	for _, seq := range seqs {
+		if seq < startSeq {
+			// Covered by the snapshot; an interrupted compaction left it.
+			m.fs.Remove(join(m.dir, segName(seq)))
+			continue
+		}
+		if seq > lastSeq {
+			lastSeq = seq
+		}
+		if stopped {
+			// Segments after a truncated one cannot be trusted to follow it.
+			opts.Logf("wal: dropping segment %d after truncated predecessor", seq)
+			m.fs.Remove(join(m.dir, segName(seq)))
+			continue
+		}
+		stopped = m.replaySegment(seq, rec)
+	}
+	rec.Watermark = m.win.watermark
+	rec.TornTail = m.torn > 0
+	m.snapSeq = startSeq
+
+	if err := m.log.openSegment(lastSeq + 1); err != nil {
+		return nil, nil, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	return m, rec, nil
+}
+
+// replaySegment decodes one segment into rec and the manager's shadow
+// state. It returns true when replay must stop: a torn or corrupt frame
+// was found and the segment truncated at the last valid boundary.
+func (m *Manager) replaySegment(seq uint64, rec *Recovery) (stop bool) {
+	path := join(m.dir, segName(seq))
+	rc, err := m.fs.Open(path)
+	if err != nil {
+		m.opts.Logf("wal: opening segment %d: %v", seq, err)
+		return true
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		m.opts.Logf("wal: reading segment %d: %v", seq, err)
+		return true
+	}
+	m.replayedBytes += uint64(len(data))
+	if len(data) < len(segMagic) || !bytes.Equal(data[:len(segMagic)], segMagic) {
+		m.truncateAt(path, seq, 0)
+		return true
+	}
+	off := len(segMagic)
+	for off < len(data) {
+		frameRec, payload, n, err := DecodeFrame(data[off:])
+		if err != nil {
+			m.truncateAt(path, seq, int64(off))
+			return true
+		}
+		op, err := decodeOp(frameRec, payload)
+		if err != nil {
+			// The CRC was valid but the payload does not decode; nothing
+			// after an undecodable record can be applied consistently.
+			m.opts.Logf("wal: segment %d offset %d: %v", seq, off, err)
+			m.truncateAt(path, seq, int64(off))
+			return true
+		}
+		m.applyRecovered(op, rec)
+		rec.Ops = append(rec.Ops, op)
+		off += n
+	}
+	return false
+}
+
+// truncateAt cuts the segment back to the last valid frame boundary,
+// counting and logging the data loss boundary.
+func (m *Manager) truncateAt(path string, seq uint64, off int64) {
+	m.torn++
+	m.opts.Logf("wal: segment %d has a torn or corrupt tail; truncating at byte %d", seq, off)
+	if err := m.fs.Truncate(path, off); err != nil {
+		m.opts.Logf("wal: truncating segment %d: %v", seq, err)
+	}
+}
+
+// applyRecovered folds one replayed op into the manager's shadow state.
+func (m *Manager) applyRecovered(op Op, rec *Recovery) {
+	switch op.Type {
+	case RecEdgeBatch:
+		m.win.add(op.Edges)
+	case RecRegister:
+		m.applyRegister(*op.Register)
+	case RecUnregister:
+		m.regs = removeReg(m.regs, op.Name)
+	case RecAdvance:
+		m.win.advance(op.TS)
+	case RecEmitted:
+		for _, e := range op.Emitted {
+			m.emitted[e.Key] = emittedEnt{spanStart: e.SpanStart, logged: true}
+			rec.Emitted[e.Key] = e.SpanStart
+		}
+	}
+}
+
+// applyRegister records an active registration and mirrors the engine's
+// retention extension for the query's time window so the shadow window
+// never expires an edge the engine still retains.
+func (m *Manager) applyRegister(r RegisterRecord) {
+	m.regs = append(removeReg(m.regs, r.Name), r)
+	if q, err := query.ParseString(r.DSL); err == nil {
+		m.win.extendRetention(q.Window())
+	}
+}
+
+func removeReg(regs []RegisterRecord, name string) []RegisterRecord {
+	out := regs[:0]
+	for _, r := range regs {
+		if r.Name != name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Degraded reports whether a write failure has demoted the WAL to
+// in-memory mode.
+func (m *Manager) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
+
+// WasEmitted reports whether the match key was recovered or noted as
+// already delivered.
+func (m *Manager) WasEmitted(query, signature string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.emitted[MatchKey(query, signature)]
+	return ok
+}
+
+// NoteEmitted records that a match reached its consumer. Call only after
+// delivery completed (sink returned / socket flushed); see the type
+// comment for why that timing is what makes suppression safe.
+func (m *Manager) NoteEmitted(query, signature string, spanStart int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.degraded {
+		return
+	}
+	key := MatchKey(query, signature)
+	if _, ok := m.emitted[key]; ok {
+		return
+	}
+	m.emitted[key] = emittedEnt{spanStart: spanStart}
+	m.unlogged++
+	if m.unlogged >= m.opts.EmittedEvery {
+		m.checkpointEmittedLocked()
+	}
+}
+
+// checkpointEmittedLocked appends a RecEmitted frame holding every noted
+// entry not yet persisted.
+func (m *Manager) checkpointEmittedLocked() {
+	m.joinLocked()
+	if m.closed || m.degraded {
+		return
+	}
+	entries := make([]EmittedEntry, 0, m.unlogged)
+	for k, st := range m.emitted {
+		if !st.logged {
+			entries = append(entries, EmittedEntry{Key: k, SpanStart: st.spanStart})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	if len(entries) == 0 {
+		m.unlogged = 0
+		return
+	}
+	payload, err := encodeEmitted(entries)
+	if err != nil {
+		m.degradeLocked(err)
+		return
+	}
+	if err := m.log.append(RecEmitted, payload); err != nil {
+		m.degradeLocked(err)
+		return
+	}
+	for _, e := range entries {
+		m.emitted[e.Key] = emittedEnt{spanStart: e.SpanStart, logged: true}
+	}
+	m.unlogged = 0
+}
+
+// joinLocked waits for the in-flight asynchronous append, if any, and folds
+// its outcome into the manager: a write failure degrades, and a batch that
+// brought the snapshot cycle due triggers the snapshot here (snapshots touch
+// state the worker must not, so they run on the joining side). Every method
+// that reads or writes log, win, encBuf or batches must call this first.
+func (m *Manager) joinLocked() error {
+	if m.pending == nil {
+		return nil
+	}
+	err := <-m.pending
+	m.pending = nil
+	if err != nil {
+		m.degradeLocked(err)
+		return err
+	}
+	if m.opts.SnapshotEvery > 0 && m.batches >= m.opts.SnapshotEvery {
+		if err := m.snapshotLocked(); err != nil {
+			m.degradeLocked(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// degradeLocked flips to in-memory mode after a write failure.
+func (m *Manager) degradeLocked(err error) {
+	if m.degraded {
+		return
+	}
+	m.degraded = true
+	m.appendErrors++
+	m.opts.Logf("wal: write failed, degrading to in-memory mode (durability lost): %v", err)
+	if m.log.f != nil {
+		m.log.f.Close()
+		m.log.f = nil
+	}
+}
+
+// Stats returns the cumulative durability counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.joinLocked()
+	return Stats{
+		Frames:          m.log.frames,
+		Bytes:           m.log.bytes,
+		Fsyncs:          m.log.fsyncs,
+		Segments:        m.log.segments,
+		Snapshots:       m.snapshots,
+		TornTruncations: m.torn,
+		AppendErrors:    m.appendErrors,
+		EmittedTracked:  uint64(len(m.emitted)),
+		Degraded:        m.degraded,
+	}
+}

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/loader"
+)
+
+// RegisterRecord is the durable form of one query registration: the DSL
+// text (query.Format round-trips name, window and pattern) plus the
+// registration options a front-end needs to reconstruct identical
+// semantics. Adaptive is tri-state ("", "on", "off") mirroring the public
+// AdaptiveMode.
+type RegisterRecord struct {
+	Name     string `json:"name"`
+	DSL      string `json:"dsl"`
+	Strategy string `json:"strategy,omitempty"`
+	Adaptive string `json:"adaptive,omitempty"`
+}
+
+// EmittedEntry is one checkpointed emission: Key is the canonical
+// query+signature match identity (MatchKey) and SpanStart the match's
+// stream-time span start, which bounds how long the entry must outlive the
+// retained window before it can be evicted.
+type EmittedEntry struct {
+	Key       string `json:"k"`
+	SpanStart int64  `json:"s"`
+}
+
+// MatchKey builds the canonical emitted-set key for a match. The unit
+// separator cannot appear in query names or signatures, so the mapping is
+// injective — the same key form internal/gen uses for cross-run match-set
+// equality.
+func MatchKey(query, signature string) string { return query + "\x1f" + signature }
+
+// Op is one decoded WAL operation, in replay order. Exactly one field
+// group is populated, keyed by Type (the Rec* constants).
+type Op struct {
+	Type     byte
+	Edges    []graph.StreamEdge // RecEdgeBatch
+	Register *RegisterRecord    // RecRegister
+	Name     string             // RecUnregister
+	TS       int64              // RecAdvance
+	Emitted  []EmittedEntry     // RecEmitted
+}
+
+// encodeEdgeBatch serializes a batch into buf (reset first). The caller owns
+// buf and reuses it across appends: batch payloads are ~100KB each, and
+// allocating them per batch was measured to trigger GC cycles that taxed the
+// engine's hot path far more than the WAL's own I/O.
+func encodeEdgeBatch(buf *bytes.Buffer, edges []graph.StreamEdge) ([]byte, error) {
+	buf.Reset()
+	if err := loader.WriteJSONL(buf, edges); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeRegister(r RegisterRecord) ([]byte, error) { return json.Marshal(r) }
+
+func encodeAdvance(ts int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(ts))
+	return b[:]
+}
+
+// encodeEmitted serializes checkpoint entries sorted by key so the frame
+// bytes are deterministic regardless of how the emitted set is stored.
+func encodeEmitted(entries []EmittedEntry) ([]byte, error) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return json.Marshal(entries)
+}
+
+// decodeOp decodes one frame's payload into an Op.
+func decodeOp(rec byte, payload []byte) (Op, error) {
+	op := Op{Type: rec}
+	switch rec {
+	case RecEdgeBatch:
+		edges, err := loader.ReadJSONL(bytes.NewReader(payload))
+		if err != nil {
+			return op, fmt.Errorf("wal: decoding edge batch: %w", err)
+		}
+		op.Edges = edges
+	case RecRegister:
+		var r RegisterRecord
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return op, fmt.Errorf("wal: decoding register record: %w", err)
+		}
+		op.Register = &r
+	case RecUnregister:
+		op.Name = string(payload)
+	case RecAdvance:
+		if len(payload) != 8 {
+			return op, fmt.Errorf("wal: advance payload is %d bytes, want 8", len(payload))
+		}
+		op.TS = int64(binary.BigEndian.Uint64(payload))
+	case RecEmitted:
+		if err := json.Unmarshal(payload, &op.Emitted); err != nil {
+			return op, fmt.Errorf("wal: decoding emitted checkpoint: %w", err)
+		}
+	default:
+		return op, fmt.Errorf("wal: unknown record type %d", rec)
+	}
+	return op, nil
+}

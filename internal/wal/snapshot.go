@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/loader"
+)
+
+const (
+	snapshotName = "snapshot"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// snapshotMeta is the first line of a snapshot file: one JSON object
+// describing everything except the retained window, which follows as
+// NDJSON (one edge per line, the wire format). The file is written to a
+// temp name, synced, then renamed, so a snapshot is either completely
+// present or absent — no CRC needed.
+type snapshotMeta struct {
+	// Seq is the first segment NOT covered by this snapshot: recovery
+	// replays segments >= Seq and deletes older ones.
+	Seq       uint64 `json:"seq"`
+	Watermark int64  `json:"watermark"`
+	// Registrations are the active queries in registration order.
+	Registrations []RegisterRecord `json:"registrations"`
+	// Emitted is the checkpointed emitted-set, sorted by key.
+	Emitted []EmittedEntry `json:"emitted"`
+	// Edges is the number of NDJSON window edges that follow, a cheap
+	// structural sanity check.
+	Edges int `json:"edges"`
+}
+
+// writeSnapshot atomically replaces the snapshot file. The window is
+// streamed straight to the file — snapshots can run to megabytes, and
+// materializing them in memory first showed up as GC pressure on the ingest
+// path (snapshots run under the manager lock, inline with appends).
+func writeSnapshot(fs FS, dir string, meta snapshotMeta, window []graph.StreamEdge) error {
+	meta.Edges = len(window)
+	sort.Slice(meta.Emitted, func(i, j int) bool { return meta.Emitted[i].Key < meta.Emitted[j].Key })
+	f, err := fs.Create(join(dir, snapshotTmp))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := json.NewEncoder(bw).Encode(meta); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: encoding snapshot meta: %w", err)
+	}
+	if err := loader.WriteJSONL(bw, window); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: encoding snapshot window: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(join(dir, snapshotTmp), join(dir, snapshotName))
+}
+
+// readSnapshot loads the snapshot if present. ok is false when the
+// directory has none.
+func readSnapshot(fs FS, dir string) (meta snapshotMeta, window []graph.StreamEdge, ok bool, err error) {
+	rc, err := fs.Open(join(dir, snapshotName))
+	if err != nil {
+		return meta, nil, false, nil
+	}
+	defer rc.Close()
+	br := bufio.NewReaderSize(rc, 1<<20)
+	line, err := br.ReadBytes('\n')
+	if err != nil && !errors.Is(err, io.EOF) {
+		return meta, nil, false, fmt.Errorf("wal: reading snapshot meta: %w", err)
+	}
+	if err := json.Unmarshal(line, &meta); err != nil {
+		return meta, nil, false, fmt.Errorf("wal: decoding snapshot meta: %w", err)
+	}
+	window, err = loader.ReadJSONL(br)
+	if err != nil {
+		return meta, nil, false, fmt.Errorf("wal: decoding snapshot window: %w", err)
+	}
+	if len(window) != meta.Edges {
+		return meta, nil, false, fmt.Errorf("wal: snapshot window has %d edges, meta declares %d", len(window), meta.Edges)
+	}
+	return meta, window, true, nil
+}

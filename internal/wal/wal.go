@@ -1,0 +1,153 @@
+// Package wal implements the durability layer for StreamWorks engines: a
+// segmented write-ahead log on the ingest path, periodic snapshots that
+// bound replay time, and the emitted-set checkpointing that makes match
+// delivery exactly-once across a crash boundary.
+//
+// The log records the NDJSON wire format the system already speaks. Each
+// record travels in a small framed envelope — length, CRC32, record type —
+// so a torn tail (the partial frame a crash leaves behind) is detected and
+// truncated at the last valid frame instead of poisoning recovery. Record
+// types cover edge batches, query register/unregister (DSL text plus
+// registration options), explicit watermark advances, and periodic
+// emitted-set checkpoints.
+//
+// Recovery replays snapshot + log tail through the ordinary engine paths,
+// reusing the same retained-window replay machinery adaptive re-planning
+// uses for plan swaps: re-register the stored queries, re-apply the
+// retained edges, and suppress every match whose (query, signature) key was
+// already checkpointed as emitted. Matches that were emitted but not yet
+// checkpointed when the process died are redelivered — the emitted-set is
+// checkpointed one epoch behind live emission precisely so a match is never
+// suppressed before it plausibly reached a subscriber. Crash recovery is
+// therefore exactly-once under set semantics (no loss; bounded, dedupable
+// redelivery by canonical signature) and strictly exactly-once across a
+// graceful restart, where Close checkpoints everything.
+//
+// All file access goes through the FS seam so the fault-injection harness
+// (internal/testutil/faultfs) can exercise short writes, fsync errors,
+// torn final frames and disk-full without touching a real kernel. Any
+// write error degrades the manager: it stops touching the disk, keeps
+// serving from memory, and reports Degraded so the serving tier can
+// surface `durability: degraded` instead of taking down ingest.
+package wal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FsyncPolicy controls when appended frames are forced to stable storage.
+// Every append always flushes to the file descriptor, so the OS page cache
+// preserves the log across a process crash (SIGKILL) under any policy;
+// fsync only widens the guarantee to power loss.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval syncs at most once per Options.FsyncInterval, piggybacked
+	// on appends (group commit). The default.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs after every appended frame.
+	FsyncAlways
+	// FsyncOff never syncs; durability rides on the OS page cache alone.
+	FsyncOff
+)
+
+// ParseFsyncPolicy parses the operator-facing policy names.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "interval":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "off", "none":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory. Created if absent.
+	Dir string
+	// FS is the filesystem seam; nil uses the real OS filesystem.
+	FS FS
+	// Fsync is the sync policy for appended frames.
+	Fsync FsyncPolicy
+	// FsyncInterval is the group-commit interval for FsyncInterval.
+	// Zero defaults to 50ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// Zero defaults to 8 MiB.
+	SegmentBytes int64
+	// SnapshotEvery takes a snapshot (and drops older segments) every N
+	// appended edge batches. Zero defaults to 4096; negative disables
+	// automatic snapshots (Close still snapshots).
+	SnapshotEvery int
+	// EmittedEvery writes an emitted-set checkpoint frame once that many
+	// mature, un-checkpointed emissions have accumulated. Zero defaults
+	// to 256.
+	EmittedEvery int
+	// Retention mirrors the engine's sliding-window width so the shadow
+	// retained window (what snapshots serialize) expires in lockstep.
+	// Zero retains every edge.
+	Retention time.Duration
+	// Slack mirrors the engine's out-of-order tolerance.
+	Slack time.Duration
+	// Now supplies wall-clock nanoseconds for the group-commit timer.
+	// Nil uses time.Now. The WAL is not on the deterministic-output path,
+	// so real time is fine here.
+	Now func() int64
+	// Logf receives recovery and degradation warnings. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
+	if o.EmittedEvery <= 0 {
+		o.EmittedEvery = 256
+	}
+	if o.Now == nil {
+		o.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Stats are the manager's cumulative durability counters, exported through
+// /v1/metrics and the Prometheus endpoint.
+type Stats struct {
+	Frames          uint64 `json:"frames_appended"`
+	Bytes           uint64 `json:"bytes_appended"`
+	Fsyncs          uint64 `json:"fsyncs"`
+	Segments        uint64 `json:"segments_created"`
+	Snapshots       uint64 `json:"snapshots_written"`
+	TornTruncations uint64 `json:"torn_tail_truncations"`
+	AppendErrors    uint64 `json:"append_errors"`
+	EmittedTracked  uint64 `json:"emitted_tracked"`
+	Degraded        bool   `json:"degraded"`
+}

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// shadowWindow mirrors the engine's retained sliding window from the
+// manager's side of the fence: every appended batch lands here in arrival
+// order and expires against the same watermark − retention − slack cutoff
+// the dynamic graph uses. Snapshots serialize it directly, which keeps
+// snapshot-taking out of the engine's (possibly sharded, possibly
+// concurrent) internals entirely.
+type shadowWindow struct {
+	// edges[head:] is the live window; the dead prefix left behind by
+	// expiry is reclaimed only once it dominates the slice, so per-batch
+	// expiry is O(expired) instead of a memmove of everything still live.
+	edges     []graph.StreamEdge
+	head      int
+	watermark int64
+	// retention/slack in stream nanoseconds; retention 0 keeps everything.
+	retention int64
+	slack     int64
+}
+
+// live returns the current window contents in arrival order.
+func (w *shadowWindow) live() []graph.StreamEdge { return w.edges[w.head:] }
+
+func newShadowWindow(retention, slack time.Duration) shadowWindow {
+	return shadowWindow{retention: int64(retention), slack: int64(slack)}
+}
+
+// extendRetention mirrors the engine growing its window for a registered
+// query whose time window exceeds the configured retention.
+func (w *shadowWindow) extendRetention(d time.Duration) {
+	if w.retention != 0 && int64(d) > w.retention {
+		w.retention = int64(d)
+	}
+}
+
+func (w *shadowWindow) add(edges []graph.StreamEdge) {
+	// Grow with 2x headroom instead of append's large-slice growth factor:
+	// the window regrows from empty on every open, and the default growth
+	// schedule's repeated allocate+zero+copy of a multi-megabyte slice was
+	// measurable on the ingest path (appends run under the manager lock).
+	// Growth also evicts the dead prefix, so headroom is computed over the
+	// live region only.
+	if need := len(w.edges) + len(edges); need > cap(w.edges) {
+		liveLen := len(w.edges) - w.head
+		grown := make([]graph.StreamEdge, liveLen, max(2*(liveLen+len(edges)), 1024))
+		copy(grown, w.edges[w.head:])
+		w.edges = grown
+		w.head = 0
+	}
+	w.edges = append(w.edges, edges...)
+	for i := range edges {
+		if ts := int64(edges[i].Edge.Timestamp); ts > w.watermark {
+			w.watermark = ts
+		}
+	}
+	w.expireFront()
+}
+
+func (w *shadowWindow) advance(ts int64) {
+	if ts > w.watermark {
+		w.watermark = ts
+	}
+	w.expireFront()
+}
+
+func (w *shadowWindow) cutoff() (int64, bool) {
+	if w.retention == 0 {
+		return 0, false
+	}
+	return w.watermark - w.retention - w.slack, true
+}
+
+// expireFront drops expired edges from the front, stopping at the first
+// live one. Arrival order is within slack of timestamp order, so anything
+// an out-of-order keeper hides is bounded by slack and reclaimed by the
+// full compaction each snapshot runs. Expiry just advances head; the dead
+// prefix is shifted out only once it outgrows the live region, keeping the
+// per-batch cost proportional to what expired, not to what remains.
+func (w *shadowWindow) expireFront() {
+	cut, ok := w.cutoff()
+	if !ok {
+		return
+	}
+	for w.head < len(w.edges) && int64(w.edges[w.head].Edge.Timestamp) < cut {
+		w.head++
+	}
+	if w.head > len(w.edges)-w.head {
+		n := copy(w.edges, w.edges[w.head:])
+		w.edges = w.edges[:n]
+		w.head = 0
+	}
+}
+
+// compact removes every expired edge, not just the expired prefix. Run
+// before serializing a snapshot.
+func (w *shadowWindow) compact() {
+	cut, ok := w.cutoff()
+	if !ok {
+		return
+	}
+	live := w.edges[:0]
+	for _, e := range w.edges[w.head:] {
+		if int64(e.Edge.Timestamp) >= cut {
+			live = append(live, e)
+		}
+	}
+	w.edges = live
+	w.head = 0
+}

@@ -2,6 +2,7 @@ package streamworks
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +30,20 @@ type Local struct {
 	// sink de-registration is deferred to the next mu-holding call.
 	deadMu sync.Mutex
 	dead   []int
+
+	// dur is the durability glue (nil without WithDataDir). pendingNotes
+	// accumulates (query, signature, span-start) emissions observed during
+	// the current ProcessBatch/Advance call; they are acknowledged to the
+	// WAL only when the call returns, i.e. strictly after every
+	// (synchronous) subscriber sink has seen them — noted implies
+	// delivered, which is what makes crash-time suppression safe.
+	dur          *durable
+	pendingNotes []pendingNote
+}
+
+type pendingNote struct {
+	query, signature string
+	spanStart        int64
 }
 
 var _ Engine = (*Local)(nil)
@@ -41,12 +56,43 @@ func New(opts ...Option) *Local {
 		o(&cfg)
 	}
 	cfg.finishObs()
-	return &Local{
+	l := &Local{
 		eng:     core.New(&cfg.engine),
 		cfg:     cfg,
 		queries: make(map[string]*Query),
 		subs:    make(map[int]*localSub),
 	}
+	dur, rec := openDurable(&l.cfg)
+	l.dur = dur
+	if rec != nil {
+		dur.replaying.Store(true)
+		replayRecovery(l, dur, rec, func() error { return nil })
+		dur.replaying.Store(false)
+	}
+	if dur != nil && dur.man != nil && !dur.manual {
+		// Auto-ack emissions: collect at dispatch, note at end of the
+		// mutating call once every subscriber sink has returned.
+		l.eng.Subscribe("", core.MatchSinkFunc(func(ev core.MatchEvent) {
+			l.pendingNotes = append(l.pendingNotes, pendingNote{
+				query:     ev.Query,
+				signature: ev.Match.Signature(),
+				spanStart: int64(ev.Match.Span.Start),
+			})
+		}))
+	}
+	return l
+}
+
+// flushNotesLocked acknowledges the emissions collected during the current
+// call to the WAL. Caller holds l.mu.
+func (l *Local) flushNotesLocked() {
+	if len(l.pendingNotes) == 0 {
+		return
+	}
+	for _, n := range l.pendingNotes {
+		l.dur.note(n.query, n.signature, n.spanStart)
+	}
+	l.pendingNotes = l.pendingNotes[:0]
 }
 
 // localSub is one push subscription on a Local engine.
@@ -115,6 +161,7 @@ func (l *Local) RegisterQueryWith(ctx context.Context, q *Query, opts RegisterOp
 		return err
 	}
 	l.queries[reg.Name()] = q
+	l.dur.appendRegister(l.cfg.registerRecord(q, opts))
 	return nil
 }
 
@@ -133,6 +180,7 @@ func (l *Local) UnregisterQuery(ctx context.Context, name string) error {
 		return err
 	}
 	delete(l.queries, name)
+	l.dur.appendUnregister(name)
 	return nil
 }
 
@@ -151,12 +199,25 @@ func (l *Local) ProcessBatch(ctx context.Context, edges []StreamEdge) error {
 		return ErrClosed
 	}
 	l.sweepLocked()
+	// Write-ahead, overlapped: the log write runs concurrently with engine
+	// processing, and the join below makes the batch durable (or durability
+	// degraded) before ProcessBatch returns — so a batch is never acked
+	// upstream, and its emission notes never flushed, ahead of its frame
+	// reaching the OS.
+	join := l.dur.appendEdgesAsync(edges)
+	if join != nil {
+		defer join()
+	}
 	for _, se := range edges {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		l.eng.ProcessEdge(se)
 	}
+	if join != nil {
+		join()
+	}
+	l.flushNotesLocked()
 	return nil
 }
 
@@ -170,7 +231,9 @@ func (l *Local) Advance(ctx context.Context, ts Timestamp) error {
 	if l.closed {
 		return ErrClosed
 	}
+	l.dur.appendAdvance(ts)
 	l.eng.Advance(ts)
+	l.flushNotesLocked()
 	return nil
 }
 
@@ -204,7 +267,38 @@ func (l *Local) Subscribe(queryFilter string, sink MatchSink) (Subscription, err
 		sink.OnMatch(rep)
 	}))
 	l.subs[sub.id] = sub
+	// Recovered matches that were never delivered before the crash replay
+	// to the first matching subscriber, exactly once.
+	for _, m := range l.dur.takeBacklog(queryFilter) {
+		sink.OnMatch(m)
+		if !l.dur.manual {
+			l.dur.note(m.Query, m.Signature, m.SpanStart)
+		}
+	}
 	return sub, nil
+}
+
+// Durability reports the engine's durability mode and WAL counters.
+func (l *Local) Durability() DurabilityStats { return l.dur.stats() }
+
+// RegisteredQueries returns the currently registered queries, sorted by
+// name — including ones recovered from the WAL at construction.
+func (l *Local) RegisteredQueries() []*Query {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Query, 0, len(l.queries))
+	for _, q := range l.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// AckDelivered acknowledges, under WithManualDeliveryAck, that a match has
+// reached its consumer; once acknowledged (and checkpointed) the match is
+// suppressed instead of redelivered after a crash.
+func (l *Local) AckDelivered(query, signature string, spanStart int64) {
+	l.dur.note(query, signature, spanStart)
 }
 
 // ObsEnabled reports whether the engine was built WithObservability.
@@ -250,5 +344,9 @@ func (l *Local) Close() error {
 	for _, sub := range subs {
 		sub.once.Do(func() { close(sub.done) })
 	}
+	// Every sink has returned (delivery is synchronous), so the final
+	// checkpoint covers all delivered matches: a graceful restart
+	// redelivers nothing.
+	l.dur.close()
 	return nil
 }

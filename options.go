@@ -8,6 +8,7 @@ import (
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/shard"
+	"github.com/streamworks/streamworks/internal/wal"
 )
 
 // config collects every backend's tunables; each constructor reads the
@@ -28,6 +29,14 @@ type config struct {
 	traceCapacity    int
 	traceSampleEvery int
 	tracePerSecond   int
+	// Durability knobs (WithDataDir and friends). walFS is the filesystem
+	// seam the fault-injection tests substitute; nil uses the real one.
+	dataDir       string
+	fsyncPolicy   string
+	fsyncInterval time.Duration
+	snapshotEvery int
+	manualAck     bool
+	walFS         wal.FS
 }
 
 // finishObs normalizes the observability config after the option loop: it
@@ -210,6 +219,57 @@ func WithTraceSampling(capacity, sampleEvery, perSecond int) Option {
 		c.traceSampleEvery = sampleEvery
 		c.tracePerSecond = perSecond
 	}
+}
+
+// WithDataDir enables durability for in-process backends: every ingested
+// batch, registration and watermark advance is appended to a segmented
+// write-ahead log under dir before processing, periodic snapshots bound
+// replay time, and a restart pointing at the same dir rebuilds the
+// retained window, registrations and partial-match state, suppressing
+// matches already delivered before the crash. Empty (the default)
+// disables durability. If the directory cannot be opened the engine still
+// starts, in-memory only, reporting durability "degraded".
+func WithDataDir(dir string) Option {
+	return func(c *config) { c.dataDir = dir }
+}
+
+// WithFsyncPolicy picks when WAL appends are forced to stable storage:
+// "always" (sync every frame), "interval" (group commit, the default) or
+// "off" (page cache only — still survives a process crash, not power
+// loss). Unknown names degrade durability at construction. Requires
+// WithDataDir.
+func WithFsyncPolicy(policy string) Option {
+	return func(c *config) { c.fsyncPolicy = policy }
+}
+
+// WithFsyncInterval sets the group-commit interval for the "interval"
+// fsync policy (default 50ms). Requires WithDataDir.
+func WithFsyncInterval(d time.Duration) Option {
+	return func(c *config) { c.fsyncInterval = d }
+}
+
+// WithSnapshotEvery snapshots the retained window, registrations and
+// emitted-set every n ingested batches, dropping the log segments the
+// snapshot covers (default 4096; negative disables periodic snapshots —
+// Close still takes a final one). Requires WithDataDir.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) { c.snapshotEvery = n }
+}
+
+// WithManualDeliveryAck defers emitted-match acknowledgment to the
+// embedder: the engine stops treating a subscription sink's return as
+// proof of delivery, and the embedder must call AckDelivered once a match
+// has truly reached its consumer (e.g. the serving tier flushed it to the
+// subscriber's socket). Without the ack a match is redelivered after a
+// crash; with it the match is suppressed on recovery. For asynchronous
+// delivery pipelines only; synchronous embedders should keep the default.
+func WithManualDeliveryAck(enabled bool) Option {
+	return func(c *config) { c.manualAck = enabled }
+}
+
+// withWALFS substitutes the WAL's filesystem, for fault-injection tests.
+func withWALFS(fs wal.FS) Option {
+	return func(c *config) { c.walFS = fs }
 }
 
 // WithHTTPClient substitutes the http.Client Connect uses for every request.

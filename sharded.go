@@ -3,6 +3,7 @@ package streamworks
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,11 @@ type Sharded struct {
 	inner   *shard.Subscription
 	drained bool
 
+	// dur is the durability glue (nil without WithDataDir). Emission notes
+	// fire at the end of fanout, on the merge goroutine, once every
+	// subscriber sink has returned for the event.
+	dur *durable
+
 	closed atomic.Bool
 }
 
@@ -59,7 +65,28 @@ func NewSharded(opts ...Option) *Sharded {
 		AdvanceEvery: cfg.advanceEvery,
 	})
 	eng.Start()
-	return &Sharded{eng: eng, cfg: cfg, queries: make(map[string]*Query)}
+	s := &Sharded{eng: eng, cfg: cfg, queries: make(map[string]*Query)}
+	dur, rec := openDurable(&s.cfg)
+	s.dur = dur
+	if rec != nil {
+		dur.replaying.Store(true)
+		replayRecovery(s, dur, rec, s.Flush)
+		dur.replaying.Store(false)
+	}
+	return s
+}
+
+// Flush is a full-pipeline barrier: it returns once every edge and control
+// message accepted before the call has been processed by its shard and
+// every match they produced has been delivered to subscriptions. Sharded
+// only — delivery on the other backends is already synchronous.
+func (s *Sharded) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return translate(s.eng.Flush())
 }
 
 // Shards returns the number of engine shards.
@@ -133,6 +160,11 @@ func (s *Sharded) fanout(ev core.MatchEvent) {
 		}
 		sub.sink.OnMatch(rep)
 	}
+	if s.dur != nil && !s.dur.manual {
+		// Every sink above has returned: the match is delivered, so it is
+		// safe to acknowledge it to the WAL (suppressing it on recovery).
+		s.dur.note(ev.Query, ev.Match.Signature(), int64(ev.Match.Span.Start))
+	}
 }
 
 // finishSubs marks the registry drained (the engine subscription ended) and
@@ -183,6 +215,7 @@ func (s *Sharded) RegisterQueryWith(ctx context.Context, q *Query, opts Register
 	s.qmu.Lock()
 	s.queries[q.Name()] = q
 	s.qmu.Unlock()
+	s.dur.appendRegister(s.cfg.registerRecord(q, opts))
 	return nil
 }
 
@@ -202,6 +235,7 @@ func (s *Sharded) UnregisterQuery(ctx context.Context, name string) error {
 	s.qmu.Lock()
 	delete(s.queries, name)
 	s.qmu.Unlock()
+	s.dur.appendUnregister(name)
 	return nil
 }
 
@@ -213,6 +247,7 @@ func (s *Sharded) Process(ctx context.Context, se StreamEdge) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dur.appendEdges([]StreamEdge{se})
 	return translate(s.eng.ProcessContext(ctx, se))
 }
 
@@ -223,6 +258,14 @@ func (s *Sharded) ProcessBatch(ctx context.Context, edges []StreamEdge) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Write-ahead, overlapped: the log write runs concurrently with mailbox
+	// routing (s.mu makes log order equal routing order), and the join makes
+	// the batch durable — or durability degraded — before ProcessBatch
+	// returns and the batch can be acked upstream.
+	join := s.dur.appendEdgesAsync(edges)
+	if join != nil {
+		defer join()
+	}
 	for _, se := range edges {
 		if err := s.eng.ProcessContext(ctx, se); err != nil {
 			return translate(err)
@@ -241,6 +284,7 @@ func (s *Sharded) Advance(ctx context.Context, ts Timestamp) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dur.appendAdvance(ts)
 	s.eng.Advance(ts)
 	return nil
 }
@@ -283,7 +327,44 @@ func (s *Sharded) Subscribe(queryFilter string, sink MatchSink) (Subscription, e
 		}(s.inner)
 	}
 	s.smu.Unlock()
+	// Recovered matches that were never delivered before the crash replay to
+	// the first matching subscriber. Delivered outside smu: the sink may
+	// close its own subscription, and Close takes smu. A concurrent live
+	// fanout may interleave with the backlog, which is fine — match identity
+	// is (query, signature), and the engine never re-derives a match the
+	// replay already produced.
+	for _, m := range s.dur.takeBacklog(queryFilter) {
+		sink.OnMatch(m)
+		if !s.dur.manual {
+			s.dur.note(m.Query, m.Signature, m.SpanStart)
+		}
+	}
 	return sub, nil
+}
+
+// Durability reports the engine's durability mode and WAL counters.
+func (s *Sharded) Durability() DurabilityStats { return s.dur.stats() }
+
+// RegisteredQueries returns the currently registered queries, sorted by
+// name — including ones recovered from the WAL at construction, which is
+// how the serving tier re-seeds its HTTP query listing after a durable
+// restart.
+func (s *Sharded) RegisteredQueries() []*Query {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	out := make([]*Query, 0, len(s.queries))
+	for _, q := range s.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// AckDelivered acknowledges, under WithManualDeliveryAck, that a match has
+// reached its consumer; once acknowledged (and checkpointed) the match is
+// suppressed instead of redelivered after a crash.
+func (s *Sharded) AckDelivered(query, signature string, spanStart int64) {
+	s.dur.note(query, signature, spanStart)
 }
 
 // Metrics aggregates per-shard counters into the single-engine Metrics
@@ -334,5 +415,9 @@ func (s *Sharded) Close() error {
 	// With no subscriber ever attached there is no inner subscription to
 	// propagate the drain; finish directly (idempotent otherwise).
 	s.finishSubs()
+	// eng.Close drained the merger, so every fanout — and its emission note —
+	// has completed: the final checkpoint below covers all delivered matches,
+	// and a graceful restart redelivers nothing.
+	s.dur.close()
 	return nil
 }
