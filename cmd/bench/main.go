@@ -12,6 +12,7 @@
 //	bench -workload netflow -edges 25000 -out BENCH_core.json
 //	bench -workload all -shards 0,4 -benchtime 2s
 //	bench -workload drift               # frozen vs adaptive re-planning, post-drift edges/s
+//	bench -workload many-queries -queries 200 -out BENCH_mqo.json   # shared-plan MQO win
 //	bench -baseline old.json -out BENCH_core.json   # embed a prior run + deltas
 package main
 
@@ -40,6 +41,7 @@ type report struct {
 	Note         string                  `json:"note,omitempty"`
 	Results      []gen.BenchResult       `json:"results"`
 	DriftResults []gen.DriftBenchResult  `json:"drift_results,omitempty"`
+	MQOResults   []gen.MQOBenchResult    `json:"mqo_results,omitempty"`
 	ObsOverhead  []gen.ObsOverheadResult `json:"obs_overhead,omitempty"`
 	WALOverhead  []gen.WALOverheadResult `json:"wal_overhead,omitempty"`
 	Baseline     *report                 `json:"baseline,omitempty"`
@@ -62,7 +64,7 @@ type comparison struct {
 
 func main() {
 	var (
-		workload  = flag.String("workload", "all", "workload to replay: netflow, news, drift, obs-overhead, wal-overhead or all")
+		workload  = flag.String("workload", "all", "workload to replay: netflow, news, drift, obs-overhead, wal-overhead, many-queries or all (many-queries is its own lane, not part of all)")
 		edges     = flag.Int("edges", 25_000, "approximate edges per workload replay")
 		hosts     = flag.Int("hosts", 1000, "netflow host count")
 		window    = flag.Duration("window", 30*time.Second, "query time window (netflow; news uses 10x)")
@@ -72,6 +74,10 @@ func main() {
 		baseline  = flag.String("baseline", "", "embed a prior report as the baseline and compute deltas")
 		note      = flag.String("note", "", "free-form note recorded in the report")
 		driftRuns = flag.Int("drift-runs", 3, "replays per drift configuration (best post-drift throughput is reported)")
+
+		queries = flag.Int("queries", 200, "standing query variants for -workload many-queries")
+		procs   = flag.String("procs", "1", "comma-separated GOMAXPROCS lanes for -workload many-queries (values above NumCPU measure scheduler pressure, not parallel speedup)")
+		mqoRuns = flag.Int("mqo-runs", 2, "replays per many-queries configuration (best throughput is reported)")
 	)
 	testing.Init() // registers test.* flags so -benchtime can be forwarded
 	flag.Parse()
@@ -82,8 +88,10 @@ func main() {
 	}
 
 	var workloads []gen.Workload
-	runDrift, runObs, runWAL := false, false, false
+	runDrift, runObs, runWAL, runMQO := false, false, false, false
 	switch *workload {
+	case "many-queries":
+		runMQO = true
 	case "netflow":
 		workloads = []gen.Workload{gen.BenchNetFlowWorkload(*edges, *hosts, *window)}
 	case "news":
@@ -103,7 +111,7 @@ func main() {
 		runObs = true
 		runWAL = true
 	default:
-		log.Fatalf("bench: unknown workload %q (want netflow, news, drift, obs-overhead, wal-overhead or all)", *workload)
+		log.Fatalf("bench: unknown workload %q (want netflow, news, drift, obs-overhead, wal-overhead, many-queries or all)", *workload)
 	}
 	shardCounts, err := parseShards(*shards)
 	if err != nil {
@@ -191,6 +199,47 @@ func main() {
 					res.Workload, res.Engine, res.Mode, res.EdgesPerSec, res.OverheadPct, res.Frames, res.Fsyncs, res.Matches)
 			}
 			rep.WALOverhead = append(rep.WALOverhead, results...)
+		}
+	}
+	if runMQO {
+		// The multi-query-optimization lane: one workload standing under
+		// hundreds of generated query variants, replayed per-query and with
+		// the shared evaluation DAG, per GOMAXPROCS lane. The two modes must
+		// detect the identical match set — sharing is a pure performance
+		// lever; a divergence is a correctness bug and fails the run.
+		procCounts, err := parseShards(*procs)
+		if err != nil {
+			log.Fatalf("bench: -procs: %v", err)
+		}
+		mw := gen.BenchManyQueriesWorkload(*queries, *edges, *hosts, *window)
+		for _, p := range procCounts {
+			if p < 1 {
+				log.Fatalf("bench: -procs values must be >= 1")
+			}
+			prev := runtime.GOMAXPROCS(p)
+			for _, sc := range shardCounts {
+				perQuery, pset, err := gen.BenchManyQueries(mw, sc, false, *mqoRuns)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					log.Fatalf("bench: many-queries per-query: %v", err)
+				}
+				shared, sset, err := gen.BenchManyQueries(mw, sc, true, *mqoRuns)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					log.Fatalf("bench: many-queries shared: %v", err)
+				}
+				if !pset.Equal(sset) {
+					runtime.GOMAXPROCS(prev)
+					log.Fatalf("bench: many-queries match sets diverge: per-query %d vs shared %d", len(pset), len(sset))
+				}
+				for _, res := range []gen.MQOBenchResult{perQuery, shared} {
+					fmt.Fprintf(os.Stderr, "%-12s %-10s %-9s procs=%d %4d queries %8d edges  %10.0f edges/s  %12d searches  %4d dag-nodes (%d shared, %d hits)  %d matches\n",
+						res.Workload, res.Engine, res.Mode, res.GOMAXPROCS, res.Queries, res.Edges,
+						res.EdgesPerSec, res.LocalSearches, res.DAGNodes, res.DAGSharedNodes, res.SharedHits, res.Matches)
+				}
+				rep.MQOResults = append(rep.MQOResults, perQuery, shared)
+			}
+			runtime.GOMAXPROCS(prev)
 		}
 	}
 	if *baseline != "" {

@@ -1,5 +1,6 @@
-// Command loadgen replays a generated StreamWorks workload (netflow or
-// news) against a live streamworksd over HTTP and reports throughput and
+// Command loadgen replays a generated StreamWorks workload (netflow, news,
+// drift or many-queries) against a live streamworksd over HTTP and reports
+// throughput and
 // end-to-end match latency. It drives the server exactly like a production
 // feeder: the public streamworks.Connect backend for health, query
 // registration, the push match subscription and metrics, plus the raw typed
@@ -7,6 +8,7 @@
 // Engine's ProcessBatch waits for routing, which a load generator must not).
 //
 //	loadgen -addr http://127.0.0.1:8090 -workload netflow -edges 100000
+//	loadgen -workload many-queries -queries 300   # 300 generated variants (pair with streamworksd -shared-plans)
 //	loadgen -json -out BENCH_server.json   # machine-readable results
 //	loadgen -dump edges.ndjson             # write the stream for curl replay
 //
@@ -40,7 +42,8 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8090", "server base URL")
-		workload = flag.String("workload", "netflow", "workload to replay: netflow, news or drift")
+		workload = flag.String("workload", "netflow", "workload to replay: netflow, news, drift or many-queries")
+		queries  = flag.Int("queries", 0, "register this many generated query variants instead of the workload's own suite (0 keeps the suite; many-queries defaults to 200)")
 		adaptive = flag.Bool("adaptive", false, "register queries with adaptive re-planning (daemon plans hot-swap on selectivity drift)")
 		edges    = flag.Int("edges", 100_000, "background edges (netflow)")
 		hosts    = flag.Int("hosts", 2000, "hosts (netflow)")
@@ -59,6 +62,13 @@ func main() {
 	flag.Parse()
 
 	w := buildWorkload(*workload, *edges, *hosts, *articles, *window, *seed)
+	if *queries > 0 {
+		// Variant registration load: N generated near-duplicate standing
+		// queries (cycled netflow/news patterns with window and predicate
+		// jitter) in place of the workload's own suite — the deployment shape
+		// a daemon running with -shared-plans folds into one evaluation DAG.
+		w.Queries = gen.QueryVariants(*queries, *window)
+	}
 	if *dumpPath != "" {
 		f, err := os.Create(*dumpPath)
 		if err != nil {
@@ -371,8 +381,10 @@ func buildWorkload(name string, edges, hosts, articles int, window time.Duration
 		return gen.NewsWorkload(cfg, window, 2)
 	case "drift":
 		return gen.BenchDriftWorkload(edges, hosts, window)
+	case "many-queries":
+		return gen.BenchManyQueriesWorkload(200, edges, hosts, window)
 	default:
-		log.Fatalf("loadgen: unknown workload %q (want netflow, news or drift)", name)
+		log.Fatalf("loadgen: unknown workload %q (want netflow, news, drift or many-queries)", name)
 		panic("unreachable")
 	}
 }

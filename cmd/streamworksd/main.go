@@ -39,6 +39,7 @@ func main() {
 		retention = flag.Duration("retention", 0, "sliding window width (0 = retain everything; query windows widen it)")
 		slack     = flag.Duration("slack", 0, "tolerated out-of-order arrival lag")
 		summaries = flag.Bool("summaries", true, "collect stream statistics for the selective planner")
+		sharedPln = flag.Bool("shared-plans", false, "fold all registered queries into one shared evaluation DAG: common subpatterns are evaluated once per edge and fanned out (emissions unchanged)")
 		triad     = flag.Int("triad-sampling", 10, "1-in-n triad sampling rate (0 disables)")
 		mailbox   = flag.Int("mailbox", 1024, "per-shard mailbox depth (messages)")
 		queue     = flag.Int("queue", 64, "ingest queue depth (batches); full queue answers 429")
@@ -102,6 +103,7 @@ func main() {
 				Slack:           *slack,
 				EnableSummaries: *summaries,
 				TriadSampling:   *triad,
+				SharedPlans:     *sharedPln,
 				Obs:             obsCfg,
 				Replan: replan.Config{
 					CheckEvery: *replanEvery,

@@ -1,0 +1,52 @@
+package a
+
+// This file models the shared-plan DAG's emission path (internal/mqo +
+// core's shared registration mode): the DAG fans one primitive match out to
+// every attached query and the engine accumulates the resulting events in
+// the same scratch buffer per-query mode uses — so the caller-side aliasing
+// contract is identical in both modes and the analyzer must catch misuse of
+// the shared path too.
+
+type dagEngine struct {
+	scratch []Event
+	pending []Event
+}
+
+// sharedProcessEdge is the shared-DAG counterpart of processEdge: one edge,
+// one evaluation, events for every query sharing the matched subpattern —
+// all in a scratch buffer reused by the next call.
+//
+//swvet:scratch
+func (d *dagEngine) sharedProcessEdge(fanout int) []Event {
+	d.scratch = d.scratch[:0]
+	for i := 0; i < fanout; i++ {
+		d.scratch = append(d.scratch, Event{})
+	}
+	return d.scratch
+}
+
+func badSharedRetain(d *dagEngine) {
+	d.pending = d.sharedProcessEdge(3) // want `stored in field pending`
+}
+
+func badSharedDispatch(d *dagEngine, out chan []Event) {
+	evs := d.sharedProcessEdge(3)
+	out <- evs // want `sent on a channel`
+}
+
+// goodSharedFanout consumes the fan-out in place — the per-attachment
+// delivery loop core's dispatch path actually runs.
+func goodSharedFanout(d *dagEngine) int {
+	delivered := 0
+	for _, ev := range d.sharedProcessEdge(3) {
+		_ = ev
+		delivered++
+	}
+	return delivered
+}
+
+// goodSharedCopy copies the spine before retaining, the documented escape
+// hatch for callers that batch events across edges.
+func goodSharedCopy(d *dagEngine, batch []Event) []Event {
+	return append(batch, d.sharedProcessEdge(3)...)
+}

@@ -1,0 +1,49 @@
+//swvet:hotpath
+package a
+
+import "time"
+
+// This file models the shared-plan DAG hot path (internal/mqo, a hot-path
+// package since the MQO subsystem landed): one ProcessEdge fans a primitive
+// match out to every attachment sharing the node, and nothing on that path
+// may read the wall clock — windows are enforced against stream timestamps.
+
+type dagNode struct {
+	window  time.Duration
+	fanout  int
+	matches []Timestamp
+}
+
+// dagProcessEdge is the per-edge fan-out loop: every check below is against
+// stream time, which stays legal; the wall-clock reads are violations.
+func dagProcessEdge(n *dagNode, ts Timestamp) int {
+	cutoff := ts - Timestamp(n.window)
+	delivered := 0
+	for _, m := range n.matches {
+		if m < cutoff {
+			continue
+		}
+		for i := 0; i < n.fanout; i++ {
+			delivered++
+		}
+	}
+	deadline := time.Now() // want `time\.Now in hot-path package`
+	_ = deadline
+	return delivered
+}
+
+// dagBackfillThrottled shows the tempting bug the ban exists for: pacing a
+// mid-stream attachment's backfill by the wall clock would make match sets
+// timing-dependent.
+func dagBackfillThrottled(n *dagNode, edges []Timestamp) {
+	for range edges {
+		time.Sleep(time.Microsecond) // want `time\.Sleep in hot-path package`
+	}
+}
+
+// dagStatsScrape is the legal exception shape: a stats snapshot may stamp
+// itself with wall time when explicitly allowlisted.
+func dagStatsScrape(n *dagNode) int64 {
+	//swvet:wallclock stats snapshot timestamp, never compared to stream time
+	return time.Now().UnixNano()
+}

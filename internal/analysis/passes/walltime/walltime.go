@@ -39,6 +39,7 @@ var HotPathPackages = []string{
 	"github.com/streamworks/streamworks/internal/match",
 	"github.com/streamworks/streamworks/internal/graph",
 	"github.com/streamworks/streamworks/internal/isomorphism",
+	"github.com/streamworks/streamworks/internal/mqo",
 }
 
 // banned are the time-package functions that read or schedule by the wall

@@ -17,6 +17,7 @@ import (
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/mqo"
 	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/replan"
@@ -105,6 +106,14 @@ type Config struct {
 	// exclusively through the configured obs.Clock (never a concrete clock
 	// — swvet's walltime pass enforces the seam).
 	Obs obs.Config
+	// SharedPlans switches registration onto the multi-query shared-plan
+	// path: instead of one SJ-Tree per query, all registered queries fold
+	// into a single evaluation DAG (internal/mqo) in which structurally
+	// identical subpatterns are computed once per edge and fanned out to
+	// every query containing them. Emission semantics are unchanged —
+	// shared-DAG mode produces byte-identical canonical match sets to the
+	// per-query mode for queries registered before ingestion begins.
+	SharedPlans bool
 }
 
 // DefaultConfig returns the configuration used by New when nil is passed.
@@ -141,6 +150,13 @@ type Engine struct {
 
 	registrations map[string]*Registration
 	order         []string // registration order, for deterministic iteration
+
+	// dag is the shared evaluation DAG, non-nil only under
+	// Config.SharedPlans; dagEvents is where Registration.emitShared appends
+	// MatchEvents during a DAG ProcessEdge or plan-swap replay (the DAG
+	// emits through per-attachment callbacks rather than returning slices).
+	dag       *mqo.DAG
+	dagEvents []MatchEvent
 
 	// evScratch is the per-edge match-event buffer reused across
 	// ProcessEdge calls; see the ProcessEdge doc for the aliasing contract.
@@ -186,8 +202,14 @@ func New(cfg *Config) *Engine {
 	e.planner = decompose.NewPlanner(e.est)
 	e.replanCfg = c.Replan.WithDefaults()
 	e.obs = newEngineObs(c.Obs)
+	if c.SharedPlans {
+		e.dag = mqo.New(e.dyn, mqo.WithObs(c.Obs))
+	}
 	return e
 }
+
+// SharedPlans reports whether the engine runs the shared-plan DAG path.
+func (e *Engine) SharedPlans() bool { return e.dag != nil }
 
 // Graph exposes the engine's dynamic data graph (read-only use).
 func (e *Engine) Graph() *graph.Dynamic { return e.dyn }
@@ -251,6 +273,16 @@ func (e *Engine) RegisterQuery(q *query.Graph, opts ...RegistrationOption) (*Reg
 	if err := e.extendRetention(q.Window()); err != nil {
 		return nil, fmt.Errorf("registering %q: %w", name, err)
 	}
+	if e.dag != nil {
+		// extendRetention may have rebuilt the dynamic graph (pre-ingest
+		// only); point the DAG at the live instance before attaching.
+		e.dag.SetGraph(e.dyn)
+		att, err := e.dag.Attach(name, q, reg.plan, mqo.AttachOptions{Emit: reg.emitShared})
+		if err != nil {
+			return nil, fmt.Errorf("registering %q: %w", name, err)
+		}
+		reg.att = att
+	}
 	e.registrations[name] = reg
 	e.order = append(e.order, name)
 	if reg.adaptive {
@@ -267,6 +299,11 @@ func (e *Engine) UnregisterQuery(name string) error {
 	}
 	if reg.adaptive {
 		e.adaptiveCount--
+	}
+	if e.dag != nil {
+		if err := e.dag.Detach(name); err != nil {
+			return err
+		}
 	}
 	delete(e.registrations, name)
 	for i, n := range e.order {
@@ -369,9 +406,22 @@ func (e *Engine) ProcessEdge(se graph.StreamEdge) []MatchEvent {
 	}
 
 	events := e.evScratch[:0]
-	for _, name := range e.order {
-		reg := e.registrations[name]
-		events = reg.processEdge(stored, events)
+	if e.dag != nil {
+		if e.obs.enabled {
+			e.obs.curEdge = uint64(stored.ID)
+		}
+		// Shared path: one DAG pass covers every registration; emissions
+		// arrive through Registration.emitShared, which appends to
+		// e.dagEvents (pointed at the scratch slice for this call).
+		e.dagEvents = events
+		e.dag.ProcessEdge(stored)
+		events = e.dagEvents
+		e.dagEvents = nil
+	} else {
+		for _, name := range e.order {
+			reg := e.registrations[name]
+			events = reg.processEdge(stored, events)
+		}
 	}
 	e.evScratch = events
 	e.metrics.MatchesEmitted += uint64(len(events))
@@ -457,6 +507,11 @@ func (e *Engine) Advance(ts graph.Timestamp) {
 func (e *Engine) pruneAll() {
 	e.metrics.PruneRuns++
 	wm := e.dyn.Watermark()
+	if e.dag != nil {
+		e.metrics.PartialsPruned += uint64(e.dag.Prune(wm, e.expiredPending))
+		clear(e.expiredPending)
+		return
+	}
 	for _, name := range e.order {
 		reg := e.registrations[name]
 		if w := reg.query.Window(); w > 0 {
@@ -476,22 +531,37 @@ func (e *Engine) Metrics() Metrics {
 	m.LiveEdges = e.dyn.NumEdges()
 	m.LiveVertices = e.dyn.NumVertices()
 	m.ExpiredEdges = e.dyn.ExpiredTotal()
+	if e.dag != nil {
+		ds := e.dag.Stats()
+		m.MQO = &ds
+		m.PartialMatches = ds.PartialMatches
+		m.LocalSearches = ds.LocalSearches
+	}
 	for _, name := range e.order {
 		reg := e.registrations[name]
-		m.PartialMatches += reg.tree.PartialMatchCount()
-		m.LocalSearches += reg.localSearches
 		qm := QueryMetrics{
 			Name:           name,
 			Strategy:       reg.plan.Strategy,
 			Matches:        reg.matches,
-			PartialMatches: reg.tree.PartialMatchCount(),
-			LocalSearches:  reg.localSearches,
 			Adaptive:       reg.adaptive,
 			PlanGeneration: reg.planGen,
 			Replans:        reg.replans,
 			PlanNodes:      reg.plan.NumNodes(),
 			PlanDepth:      reg.plan.Depth(),
-			Nodes:          reg.nodeMetrics(),
+		}
+		if reg.tree != nil {
+			m.PartialMatches += reg.tree.PartialMatchCount()
+			m.LocalSearches += reg.localSearches
+			qm.PartialMatches = reg.tree.PartialMatchCount()
+			qm.LocalSearches = reg.localSearches
+			qm.Nodes = reg.nodeMetrics()
+		} else {
+			// Shared mode: the per-query view of the DAG. LocalSearches
+			// reports the query's coverage (a shared leaf's searches count
+			// for every query viewing it); the DAG-level totals above report
+			// actual cost, and the gap between the two is the sharing win.
+			qm.PartialMatches = reg.att.PartialMatches()
+			qm.LocalSearches = reg.att.LeafSearches()
 		}
 		if n := len(reg.audits); n > 0 {
 			audit := reg.audits[n-1]

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/mqo"
 	"github.com/streamworks/streamworks/internal/query"
 )
 
@@ -46,6 +47,10 @@ type Metrics struct {
 	ExpiredEdges uint64
 	// Queries holds per-registration detail.
 	Queries []QueryMetrics
+	// MQO is the shared-plan DAG snapshot, nil unless the engine runs with
+	// Config.SharedPlans. Per-node stats are keyed by canonical signature,
+	// so sharded front-ends aggregate them with mqo.MergeStats.
+	MQO *mqo.Stats
 }
 
 // QueryMetrics is the per-registration portion of a metrics snapshot.
@@ -104,6 +109,10 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&sb, "edges=%d dropped=%d matches=%d partials=%d localSearches=%d liveEdges=%d liveVertices=%d expired=%d replans=%d\n",
 		m.EdgesProcessed, m.EdgesDropped, m.MatchesEmitted, m.PartialMatches,
 		m.LocalSearches, m.LiveEdges, m.LiveVertices, m.ExpiredEdges, m.Replans)
+	if m.MQO != nil {
+		fmt.Fprintf(&sb, "  mqo: nodes=%d shared=%d sharedHits=%d attachments=%d\n",
+			m.MQO.Nodes, m.MQO.SharedNodes, m.MQO.SharedHits, m.MQO.Attachments)
+	}
 	for _, q := range m.Queries {
 		fmt.Fprintf(&sb, "  %-24s strategy=%-10s matches=%-8d partials=%-8d searches=%-8d plan=gen%d/replans%d\n",
 			q.Name, q.Strategy, q.Matches, q.PartialMatches, q.LocalSearches, q.PlanGeneration, q.Replans)

@@ -31,6 +31,10 @@ type engineObs struct {
 	// crossed a serving tier). The engine is single-threaded, so one field
 	// suffices; insertPrims copies it onto every match the edge completes.
 	curArrival int64
+	// curEdge is the stored ID of that same edge, kept for the shared-DAG
+	// emission path: emitShared has no *graph.Edge in hand (the DAG emits
+	// through callbacks), so trace sampling reads the ID from here.
+	curEdge uint64
 }
 
 func newEngineObs(c obs.Config) engineObs {

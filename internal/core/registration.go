@@ -7,6 +7,7 @@ import (
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/isomorphism"
 	"github.com/streamworks/streamworks/internal/match"
+	"github.com/streamworks/streamworks/internal/mqo"
 	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/replan"
@@ -72,6 +73,9 @@ type Registration struct {
 	plan    *decompose.Plan
 	tree    *sjtree.Tree
 	matcher *isomorphism.Matcher
+	// att is the query's attachment to the shared evaluation DAG; it is
+	// non-nil exactly when tree is nil (Config.SharedPlans).
+	att *mqo.Attachment
 
 	// candidatesByType indexes leaf pattern edges by their required edge
 	// type; the empty key holds wildcard pattern edges that every arriving
@@ -127,9 +131,15 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 	} else if plan.Query != q {
 		return nil, fmt.Errorf("core: supplied plan is for a different query")
 	}
-	tree, err := sjtree.New(plan)
-	if err != nil {
-		return nil, fmt.Errorf("core: building SJ-Tree for %q: %w", name, err)
+	var tree *sjtree.Tree
+	if e.dag == nil {
+		// Shared-plan engines realize the plan as DAG nodes instead
+		// (Engine.RegisterQuery attaches after retention is settled).
+		var err error
+		tree, err = sjtree.New(plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: building SJ-Tree for %q: %w", name, err)
+		}
 	}
 	r := &Registration{
 		engine:   e,
@@ -146,7 +156,9 @@ func newRegistration(e *Engine, name string, q *query.Graph, opts ...Registratio
 		opts:     opts,
 	}
 	r.nodeEst = nodeEstimates(e.est, plan)
-	r.rebuildCandidates()
+	if r.tree != nil {
+		r.rebuildCandidates()
+	}
 	return r, nil
 }
 
@@ -180,7 +192,13 @@ func (r *Registration) Query() *query.Graph { return r.query }
 func (r *Registration) Plan() *decompose.Plan { return r.plan }
 
 // Tree returns the registration's SJ-Tree (read-only use: stats, display).
+// It is nil when the engine runs with Config.SharedPlans — the query's state
+// then lives in the shared DAG; see Attachment.
 func (r *Registration) Tree() *sjtree.Tree { return r.tree }
+
+// Attachment returns the query's shared-DAG attachment, or nil when the
+// engine runs per-query SJ-Trees.
+func (r *Registration) Attachment() *mqo.Attachment { return r.att }
 
 // Options returns the option list the registration was created with,
 // allowing a front-end to clone the registration onto another engine.
@@ -206,6 +224,9 @@ func (r *Registration) Matches() uint64 { return r.matches }
 func (r *Registration) NodeMetrics() []NodeMetrics { return r.nodeMetrics() }
 
 func (r *Registration) nodeMetrics() []NodeMetrics {
+	if r.tree == nil {
+		return nil
+	}
 	perNode := r.tree.Stats().PerNodeStored
 	out := make([]NodeMetrics, len(perNode))
 	for i, ns := range perNode {
@@ -271,6 +292,44 @@ func (r *Registration) processCandidates(cands []leafCandidate, de *graph.Edge, 
 		}
 	}
 	return events
+}
+
+// emitShared is the shared-DAG emission point, mirroring insertPrims' tail:
+// the DAG invokes it (via the attachment's Emit callback) for every complete
+// match of this query, already remapped into the query's own pattern space
+// and deduplicated. Events accumulate on engine.dagEvents, which ProcessEdge
+// (and the plan-swap replay) points at the appropriate buffer.
+func (r *Registration) emitShared(qm *match.Match) {
+	e := r.engine
+	o := &e.obs
+	ev := MatchEvent{
+		Query:      r.name,
+		Match:      qm,
+		DetectedAt: e.dyn.Watermark(),
+	}
+	if o.enabled {
+		ev.EmittedWallNS = o.clock.Now()
+		ev.ArrivedWallNS = o.curArrival
+		if qm.HasSpan() {
+			o.detectLag.Observe(int64(ev.DetectedAt - qm.Span.End))
+		}
+		if o.tracer.SampleEdge(o.curEdge) {
+			o.tracer.Record(obs.TraceEvent{
+				Stage:    obs.StageMatch,
+				Shard:    o.shard,
+				EdgeID:   o.curEdge,
+				StreamTS: int64(ev.DetectedAt),
+				WallNS:   ev.EmittedWallNS,
+				Query:    r.name,
+			})
+		}
+	}
+	r.matches++
+	if r.callback != nil {
+		r.callback(ev)
+	}
+	e.dispatch(ev)
+	e.dagEvents = append(e.dagEvents, ev)
 }
 
 // insertPrims pushes the scratch primitive matches into the SJ-Tree and

@@ -86,6 +86,12 @@ func (r *Registration) ReplanAudits() []ReplanAudit {
 // nodeAudit captures the frozen plan's per-node estimated-vs-observed state
 // under est.
 func nodeAudit(est *stats.Estimator, reg *Registration) []ReplanNodeAudit {
+	if reg.tree == nil {
+		// Shared-plan mode: per-node observations live in the DAG, keyed by
+		// canonical signature rather than this query's plan shape; the audit
+		// keeps its cost evidence and omits the per-node breakdown.
+		return nil
+	}
 	perNode := reg.tree.Stats().PerNodeStored
 	ests := nodeEstimates(est, reg.plan)
 	out := make([]ReplanNodeAudit, len(perNode))
@@ -156,7 +162,7 @@ func (e *Engine) maybeReplanAll() {
 			Nodes:          nodeAudit(wEst, reg),
 		}
 		if swap {
-			if err := e.swapPlan(reg, fresh, wEst); err != nil {
+			if err := e.installPlan(reg, fresh, wEst); err != nil {
 				audit.Swapped = false
 			} else {
 				reg.det.NoteSwap(now)
@@ -187,11 +193,19 @@ func (e *Engine) ReplanNow(name string, strategy decompose.Strategy) error {
 	if err != nil {
 		return fmt.Errorf("core: re-planning %q: %w", name, err)
 	}
-	if err := e.swapPlan(reg, fresh, wEst); err != nil {
+	if err := e.installPlan(reg, fresh, wEst); err != nil {
 		return err
 	}
 	reg.det.NoteSwap(e.dyn.Watermark())
 	return nil
+}
+
+// installPlan dispatches a plan swap to the mode-appropriate mechanism.
+func (e *Engine) installPlan(reg *Registration, plan *decompose.Plan, est *stats.Estimator) error {
+	if e.dag != nil {
+		return e.swapPlanShared(reg, plan, est)
+	}
+	return e.swapPlan(reg, plan, est)
 }
 
 // swapPlan installs plan as reg's live decomposition: a new SJ-Tree is
@@ -227,5 +241,37 @@ func (e *Engine) swapPlan(reg *Registration, plan *decompose.Plan, est *stats.Es
 		return true
 	})
 	e.metrics.ReplanEdgesReplayed += uint64(replayed)
+	return nil
+}
+
+// swapPlanShared is swapPlan's shared-DAG counterpart: the DAG re-attaches
+// the registration under the new plan while the old plan's nodes are still
+// live, so subtrees common to both plans — and anything shared with other
+// queries — keep their state instead of being replayed. Only genuinely new
+// DAG nodes are backfilled from the retained window (mqo.DAG.Swap); the
+// inherited emitted-set keeps the match stream exactly-once across the
+// boundary, and emissions produced during backfill flow through emitShared
+// like any other.
+func (e *Engine) swapPlanShared(reg *Registration, plan *decompose.Plan, est *stats.Estimator) error {
+	// emitShared appends to e.dagEvents; stash whatever buffer an enclosing
+	// ProcessEdge call is accumulating into and give the swap its own, so
+	// replay emissions are counted here without leaking into the caller's
+	// per-edge slice.
+	saved := e.dagEvents
+	e.dagEvents = nil
+	att, err := e.dag.Swap(reg.name, plan, reg.emitShared)
+	if err != nil {
+		e.dagEvents = saved
+		return fmt.Errorf("core: shared-plan swap for %q: %w", reg.name, err)
+	}
+	e.metrics.MatchesEmitted += uint64(len(e.dagEvents))
+	e.dagEvents = saved
+	reg.att = att
+	reg.plan = plan
+	reg.nodeEst = nodeEstimates(est, plan)
+	reg.planGen++
+	reg.replans++
+	e.metrics.Replans++
+	e.metrics.ReplanEdgesReplayed += att.ReplayedEdges()
 	return nil
 }

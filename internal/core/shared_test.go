@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/decompose"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// probeQuery shares its icmp_echo_req edge with smurfQuery.
+func probeQuery(window time.Duration) *query.Graph {
+	return query.NewBuilder("probe").
+		Window(window).
+		Vertex("scanner", "Host").
+		Vertex("target", "Host").
+		Vertex("resolver", "Host").
+		Edge("scanner", "target", "icmp_echo_req").
+		Edge("target", "resolver", "dns").
+		MustBuild()
+}
+
+// exfilQuery is a 3-edge chain overlapping both of the above.
+func exfilQuery(window time.Duration) *query.Graph {
+	return query.NewBuilder("exfil").
+		Window(window).
+		Vertex("a", "Host").
+		Vertex("b", "Host").
+		Vertex("c", "Host").
+		Vertex("d", "Host").
+		Edge("a", "b", "icmp_echo_req").
+		Edge("b", "c", "dns").
+		Edge("c", "d", "ftp").
+		MustBuild()
+}
+
+// randomHostStream generates a deterministic pseudo-random edge stream over a
+// small vertex universe so overlapping patterns complete often.
+func randomHostStream(seed int64, n int) []graph.StreamEdge {
+	rng := rand.New(rand.NewSource(seed))
+	types := []string{"icmp_echo_req", "icmp_echo_reply", "dns", "ftp", "http"}
+	base := graph.TimestampFromTime(time.Unix(5000, 0))
+	edges := make([]graph.StreamEdge, n)
+	for i := range edges {
+		src := graph.VertexID(rng.Intn(24) + 1)
+		dst := graph.VertexID(rng.Intn(24) + 1)
+		if dst == src {
+			dst = src%24 + 1
+		}
+		edges[i] = hostEdge(
+			graph.EdgeID(i+1), src, dst,
+			types[rng.Intn(len(types))],
+			base.Add(time.Duration(i)*200*time.Millisecond),
+		)
+	}
+	return edges
+}
+
+// matchSets runs edges through e and returns, per query, the sorted set of
+// canonical match signatures.
+func matchSets(t *testing.T, e *Engine, edges []graph.StreamEdge) map[string][]string {
+	t.Helper()
+	sets := map[string][]string{}
+	for _, se := range edges {
+		for _, ev := range e.ProcessEdge(se) {
+			sets[ev.Query] = append(sets[ev.Query], ev.Match.Signature())
+		}
+	}
+	for q := range sets {
+		sort.Strings(sets[q])
+	}
+	return sets
+}
+
+// TestSharedPlansParity: the shared-DAG engine must emit byte-identical
+// per-query match sets to the per-query engine, across strategies, on a
+// stream dense enough to exercise joins, windows and pruning.
+func TestSharedPlansParity(t *testing.T) {
+	for _, strat := range decompose.Strategies() {
+		t.Run(string(strat), func(t *testing.T) {
+			mk := func(sharedPlans bool) *Engine {
+				cfg := DefaultConfig()
+				cfg.SharedPlans = sharedPlans
+				cfg.PruneInterval = 64
+				e := New(&cfg)
+				for _, q := range []*query.Graph{
+					smurfQuery(30 * time.Second),
+					probeQuery(time.Minute),
+					exfilQuery(2 * time.Minute),
+				} {
+					if _, err := e.RegisterQuery(q, WithStrategy(strat)); err != nil {
+						t.Fatalf("register %s: %v", q.Name(), err)
+					}
+				}
+				return e
+			}
+			edges := randomHostStream(42, 4000)
+			perQuery := matchSets(t, mk(false), edges)
+			shared := matchSets(t, mk(true), edges)
+			total := 0
+			for q, want := range perQuery {
+				got := shared[q]
+				if len(got) != len(want) {
+					t.Fatalf("%s: shared emitted %d matches, per-query %d", q, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: match set diverges at %d:\n  shared    %s\n  per-query %s", q, i, got[i], want[i])
+					}
+				}
+				total += len(want)
+			}
+			for q := range shared {
+				if _, ok := perQuery[q]; !ok {
+					t.Fatalf("shared mode emitted for %s, per-query mode did not", q)
+				}
+			}
+			if total == 0 {
+				t.Fatalf("parity check vacuous: no matches at all")
+			}
+		})
+	}
+}
+
+// TestSharedPlansSharingVisible: overlapping queries must actually share —
+// DAG nodes fewer than the sum of plan nodes, shared hits accumulating, and
+// the mqo_shared_hits metric surfaced through Metrics.
+func TestSharedPlansSharingVisible(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharedPlans = true
+	e := New(&cfg)
+	planNodes := 0
+	for _, q := range []*query.Graph{smurfQuery(time.Minute), probeQuery(time.Minute), exfilQuery(time.Minute)} {
+		reg, err := e.RegisterQuery(q, WithStrategy(decompose.StrategyEager))
+		if err != nil {
+			t.Fatal(err)
+		}
+		planNodes += reg.Plan().NumNodes()
+	}
+	m := e.Metrics()
+	if m.MQO == nil {
+		t.Fatalf("Metrics.MQO nil on a shared-plans engine")
+	}
+	if m.MQO.Nodes >= planNodes {
+		t.Fatalf("no structural sharing: %d DAG nodes for %d plan nodes", m.MQO.Nodes, planNodes)
+	}
+	if m.MQO.SharedNodes == 0 {
+		t.Fatalf("no node marked shared")
+	}
+	for _, se := range randomHostStream(7, 1000) {
+		e.ProcessEdge(se)
+	}
+	m = e.Metrics()
+	if m.MQO.SharedHits == 0 {
+		t.Fatalf("no shared hits after 1000 edges over overlapping queries")
+	}
+	if m.MQO.LocalSearches == 0 || m.LocalSearches != m.MQO.LocalSearches {
+		t.Fatalf("DAG local searches not surfaced: engine=%d dag=%d", m.LocalSearches, m.MQO.LocalSearches)
+	}
+}
+
+// TestSharedPlansChurn: register/unregister cycles interleaved with ingest
+// must drop exactly the refcount-zero DAG nodes and leave survivors matching.
+func TestSharedPlansChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharedPlans = true
+	cfg.PruneInterval = 32
+	e := New(&cfg)
+	if _, err := e.RegisterQuery(smurfQuery(0), WithStrategy(decompose.StrategyEager)); err != nil {
+		t.Fatal(err)
+	}
+	baseNodes := e.Metrics().MQO.Nodes
+	edges := randomHostStream(99, 2400)
+	smurfMatches := uint64(0)
+	for i, se := range edges {
+		switch i % 400 {
+		case 100:
+			if _, err := e.RegisterQuery(probeQuery(0), WithStrategy(decompose.StrategyEager)); err != nil {
+				t.Fatalf("edge %d: register probe: %v", i, err)
+			}
+			if got := e.Metrics().MQO.Nodes; got != baseNodes+2 {
+				t.Fatalf("edge %d: nodes after probe attach = %d, want %d", i, got, baseNodes+2)
+			}
+		case 300:
+			if err := e.UnregisterQuery("probe"); err != nil {
+				t.Fatalf("edge %d: unregister probe: %v", i, err)
+			}
+			// Probe's dns leaf and join must be collected; the shared
+			// icmp_echo_req leaf and the rest of smurf's nodes must stay.
+			if got := e.Metrics().MQO.Nodes; got != baseNodes {
+				t.Fatalf("edge %d: nodes after probe detach = %d, want %d", i, got, baseNodes)
+			}
+		}
+		e.ProcessEdge(se)
+	}
+	reg, _ := e.Registration("smurf")
+	smurfMatches = reg.Matches()
+	if smurfMatches == 0 {
+		t.Fatalf("smurf never matched across churn")
+	}
+	// The surviving query's match stream must equal a churn-free engine's.
+	cfg2 := DefaultConfig()
+	cfg2.SharedPlans = true
+	cfg2.PruneInterval = 32
+	ref := New(&cfg2)
+	if _, err := ref.RegisterQuery(smurfQuery(0), WithStrategy(decompose.StrategyEager)); err != nil {
+		t.Fatal(err)
+	}
+	refSets := matchSets(t, ref, edges)
+	if got := uint64(len(refSets["smurf"])); got != smurfMatches {
+		t.Fatalf("churn changed smurf's match count: %d with churn, %d without", smurfMatches, got)
+	}
+	if err := e.UnregisterQuery("smurf"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().MQO.Nodes; got != 0 {
+		t.Fatalf("nodes after last unregister = %d, want 0", got)
+	}
+}
+
+// TestSharedPlansReplan: ReplanNow on a shared-plans engine swaps the
+// query's attachment without losing or duplicating matches, and keeps
+// sharing intact for the untouched queries.
+func TestSharedPlansReplan(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharedPlans = true
+	e := New(&cfg)
+	var got []string
+	if _, err := e.RegisterQuery(smurfQuery(time.Minute),
+		WithStrategy(decompose.StrategySelective),
+		WithCallback(func(ev MatchEvent) { got = append(got, ev.Match.Signature()) }),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterQuery(probeQuery(time.Minute), WithStrategy(decompose.StrategyEager)); err != nil {
+		t.Fatal(err)
+	}
+	base := graph.TimestampFromTime(time.Unix(6000, 0))
+	e.ProcessEdge(hostEdge(1, 1, 2, "icmp_echo_req", base))
+	e.ProcessEdge(hostEdge(2, 2, 3, "icmp_echo_reply", base.Add(time.Second)))
+	e.ProcessEdge(hostEdge(3, 5, 6, "icmp_echo_req", base.Add(2*time.Second)))
+	if len(got) != 1 {
+		t.Fatalf("pre-replan matches: %v", got)
+	}
+	if err := e.ReplanNow("smurf", decompose.StrategyEager); err != nil {
+		t.Fatalf("ReplanNow: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("replan replay duplicated emissions: %d", len(got))
+	}
+	reg, _ := e.Registration("smurf")
+	if reg.PlanGeneration() != 2 || reg.Replans() != 1 {
+		t.Fatalf("plan generation/replans = %d/%d", reg.PlanGeneration(), reg.Replans())
+	}
+	if reg.Tree() != nil {
+		t.Fatalf("shared-mode registration grew a tree after replan")
+	}
+	if reg.Attachment() == nil || reg.Attachment().Plan().Strategy != decompose.StrategyEager {
+		t.Fatalf("attachment not swapped onto the eager plan")
+	}
+	// The dangling request must complete post-swap (state carried over).
+	e.ProcessEdge(hostEdge(4, 6, 7, "icmp_echo_reply", base.Add(3*time.Second)))
+	if len(got) != 2 {
+		t.Fatalf("post-swap completion lost: %v", got)
+	}
+	// Replan metrics flow like the per-query path's.
+	m := e.Metrics()
+	if m.Replans != 1 {
+		t.Fatalf("Metrics.Replans = %d", m.Replans)
+	}
+	// smurf (eager) and probe (eager) now share the echo_req leaf.
+	if m.MQO.SharedNodes == 0 {
+		t.Fatalf("no sharing between smurf and probe after swap onto eager")
+	}
+}
+
+// TestSharedPlansWindowParityAfterPrune: pruning in shared mode must not
+// change emissions relative to per-query mode (windowed and window-less
+// queries together, with expiry-driven pruning in play).
+func TestSharedPlansWindowParityAfterPrune(t *testing.T) {
+	mk := func(sharedPlans bool) *Engine {
+		cfg := DefaultConfig()
+		cfg.SharedPlans = sharedPlans
+		cfg.Retention = 90 * time.Second
+		cfg.PruneInterval = 16
+		e := New(&cfg)
+		for _, q := range []*query.Graph{smurfQuery(10 * time.Second), probeQuery(0)} {
+			if _, err := e.RegisterQuery(q, WithStrategy(decompose.StrategyEager)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	edges := randomHostStream(1234, 3000)
+	want := matchSets(t, mk(false), edges)
+	got := matchSets(t, mk(true), edges)
+	for q, w := range want {
+		g := got[q]
+		if fmt.Sprint(g) != fmt.Sprint(w) {
+			t.Fatalf("%s diverged: shared %d matches, per-query %d", q, len(g), len(w))
+		}
+	}
+	if len(want["smurf"]) == 0 && len(want["probe"]) == 0 {
+		t.Fatalf("vacuous: no matches")
+	}
+}

@@ -1,0 +1,323 @@
+// Canonical subpattern fragments: the common-subexpression layer under the
+// shared-plan evaluation DAG (internal/mqo).
+//
+// A decomposition plan node covers a connected set of pattern edges of one
+// query. Canonicalize relabels that subpattern's vertices into a canonical
+// 0..n-1 space — chosen so that any two isomorphic subpatterns (same vertex
+// and edge types, predicates, directions and shape, regardless of which
+// query they came from or how its IDs were assigned) produce byte-identical
+// canonical signatures and structurally identical canonical query graphs.
+// The signature is the sharing key: queries whose plans contain isomorphic
+// subtrees evaluate them through one DAG node, and the per-query views are
+// recovered by remapping matches through the fragment's ID maps
+// (match.Match.Remap) instead of re-running any graph search.
+//
+// Canonical labeling is exact up to the labeling budget: vertices are
+// partitioned by an iterated neighborhood-refinement invariant and only
+// permutations within invariant classes are enumerated, capped at
+// canonMaxLabelings. Fragments whose automorphism-class structure exceeds
+// the cap fall back to an opaque, never-shared signature — correctness is
+// unaffected, only sharing is lost (and real detection patterns are far
+// below the cap). Missed sharing between isomorphic fragments is always
+// sound; a shared signature, by construction, implies isomorphism.
+package decompose
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// canonMaxLabelings caps how many within-class labelings Canonicalize
+// enumerates before giving up on a canonical form (7! — a fragment whose
+// vertices are this symmetric is pathological for a detection pattern).
+const canonMaxLabelings = 5040
+
+// Fragment is a canonicalized subpattern: a standalone query graph in
+// canonical vertex/edge ID space plus the maps tying it back to the source
+// query. Matches of Graph are translated to source-query space (and back)
+// with the To/From maps; Sig is the structural sharing key.
+type Fragment struct {
+	// Sig is the canonical structural signature. Two fragments share it iff
+	// they are isomorphic as typed, predicated, directed subpatterns (or, in
+	// the over-budget fallback, never).
+	Sig string
+	// Graph is the subpattern rebuilt in canonical ID space: vertices named
+	// c0..cn-1 in canonical order, edges in canonical order, window zero
+	// (windows are a per-consumer concern — sharing ignores them).
+	Graph *query.Graph
+	// VertToQuery / EdgeToQuery map canonical IDs back to the source query.
+	VertToQuery []query.VertexID
+	EdgeToQuery []query.EdgeID
+	// VertFromQuery / EdgeFromQuery are the inverse maps, covering exactly
+	// the subpattern's vertices and edges.
+	VertFromQuery map[query.VertexID]query.VertexID
+	EdgeFromQuery map[query.EdgeID]query.EdgeID
+}
+
+// predSig renders a predicate list canonically: each predicate with its
+// value's dynamic kind (so Int(5) and String("5") can never alias), the list
+// sorted (conjunction order is semantically irrelevant).
+func predSig(preds []query.Predicate) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		if p.Op == query.OpExists {
+			parts[i] = p.Attr + " exists"
+		} else {
+			parts[i] = p.Attr + " " + p.Op.String() + " " + p.Value.Kind().String() + ":" + p.Value.String()
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}
+
+// Canonicalize computes the canonical fragment of the subpattern of q
+// induced by edges (which must be non-empty and connected — plan validation
+// guarantees both for plan nodes). scope uniquifies the fallback signature
+// of over-budget fragments; callers pass the registration name so a fragment
+// that cannot be canonicalized is shared with nothing, not accidentally with
+// an equally-uncanonicalizable fragment of another query.
+func Canonicalize(q *query.Graph, edges []query.EdgeID, scope string) *Fragment {
+	verts := q.EndpointsOf(edges)
+	vidx := make(map[query.VertexID]int, len(verts)) // query vertex -> dense fragment slot
+	for i, v := range verts {
+		vidx[v] = i
+	}
+
+	// Iterated neighborhood refinement: start from (type, predicates,
+	// fragment degree), then twice fold in the multiset of incident edge
+	// descriptors with the neighbor's previous-round invariant. Two rounds
+	// separate everything a Weisfeiler-Leman pass separates on patterns of
+	// this size; anything still together is (almost always) automorphic and
+	// handled by enumeration.
+	inv := make([]string, len(verts))
+	deg := make([]int, len(verts))
+	for _, eid := range edges {
+		e := q.Edge(eid)
+		deg[vidx[e.Source]]++
+		deg[vidx[e.Target]]++
+	}
+	for i, v := range verts {
+		qv := q.Vertex(v)
+		inv[i] = qv.Type + "(" + predSig(qv.Preds) + ")#" + strconv.Itoa(deg[i])
+	}
+	for round := 0; round < 2; round++ {
+		next := make([]string, len(verts))
+		for i := range verts {
+			var incident []string
+			for _, eid := range edges {
+				e := q.Edge(eid)
+				si, ti := vidx[e.Source], vidx[e.Target]
+				if si != i && ti != i {
+					continue
+				}
+				dir := "out"
+				other := ti
+				if ti == i && si != i {
+					dir, other = "in", si
+				} else if si == i && ti == i {
+					dir, other = "self", i
+				}
+				if e.AnyDirection {
+					dir = "any"
+				}
+				incident = append(incident, e.Type+"|"+predSig(e.Preds)+"|"+dir+"|"+inv[other])
+			}
+			sort.Strings(incident)
+			next[i] = inv[i] + "{" + strings.Join(incident, ",") + "}"
+		}
+		inv = next
+	}
+
+	// Partition into invariant classes, classes ordered by invariant string,
+	// vertices within a class by query ID (a deterministic but arbitrary
+	// base order the enumeration permutes).
+	classOf := make(map[string][]int)
+	for i := range verts {
+		classOf[inv[i]] = append(classOf[inv[i]], i)
+	}
+	classKeys := make([]string, 0, len(classOf))
+	for k := range classOf {
+		classKeys = append(classKeys, k)
+	}
+	sort.Strings(classKeys)
+	base := make([]int, 0, len(verts)) // fragment slots in class order
+	labelings := 1
+	overBudget := false
+	for _, k := range classKeys {
+		cls := classOf[k]
+		sort.Ints(cls)
+		base = append(base, cls...)
+		for f := 2; f <= len(cls); f++ {
+			if labelings *= f; labelings > canonMaxLabelings {
+				// Over budget: keep completing the base labeling (the
+				// canonical graph is still built from it) but skip the
+				// enumeration and emit the opaque signature.
+				overBudget = true
+				labelings = canonMaxLabelings + 1
+			}
+		}
+	}
+
+	// label[slot] = canonical index. The base labeling assigns canonical
+	// indices in class order; enumeration permutes within classes.
+	label := make([]int, len(verts))
+	assign := func(order []int) {
+		for pos, slot := range order {
+			label[slot] = pos
+		}
+	}
+	assign(base)
+
+	renderEdges := func() string {
+		parts := make([]string, 0, len(edges))
+		for _, eid := range edges {
+			e := q.Edge(eid)
+			s, t := label[vidx[e.Source]], label[vidx[e.Target]]
+			arrow := ">"
+			if e.AnyDirection {
+				arrow = "-"
+				if s > t {
+					s, t = t, s
+				}
+			}
+			parts = append(parts, strconv.Itoa(s)+arrow+strconv.Itoa(t)+"["+e.Type+"|"+predSig(e.Preds)+"]")
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ";")
+	}
+
+	var vertexSection strings.Builder
+	for _, k := range classKeys {
+		vertexSection.WriteString(strconv.Itoa(len(classOf[k])) + "*" + k + ";")
+	}
+
+	bestEdges := renderEdges()
+	if !overBudget && labelings > 1 {
+		bestOrder := append([]int(nil), base...)
+		// Enumerate within-class permutations of the base order via Heap-less
+		// odometer recursion over classes.
+		var classes [][]int
+		for _, k := range classKeys {
+			classes = append(classes, classOf[k])
+		}
+		cur := append([]int(nil), base...)
+		var walk func(ci, off int)
+		var permute func(cls []int, k int, off int, ci int)
+		walk = func(ci, off int) {
+			if ci == len(classes) {
+				assign(cur)
+				if r := renderEdges(); r < bestEdges {
+					bestEdges = r
+					copy(bestOrder, cur)
+				}
+				return
+			}
+			permute(append([]int(nil), classes[ci]...), 0, off, ci)
+		}
+		permute = func(cls []int, k, off, ci int) {
+			if k == len(cls) {
+				walk(ci+1, off+len(cls))
+				return
+			}
+			for i := k; i < len(cls); i++ {
+				cls[k], cls[i] = cls[i], cls[k]
+				copy(cur[off:], cls)
+				permute(cls, k+1, off, ci)
+				cls[k], cls[i] = cls[i], cls[k]
+			}
+			copy(cur[off:], cls)
+		}
+		walk(0, 0)
+		assign(bestOrder)
+		bestEdges = renderEdges()
+	}
+
+	sig := "v:" + vertexSection.String() + "|e:" + bestEdges
+	if overBudget {
+		// Opaque fallback: unique per (registration, edge set), shared with
+		// nothing. Edge sets are per-plan-node unique within a query, and
+		// registration names are unique within an engine.
+		parts := make([]string, len(edges))
+		for i, e := range edges {
+			parts[i] = strconv.Itoa(int(e))
+		}
+		sig = "opaque:" + scope + ":" + strings.Join(parts, ",")
+	}
+
+	// Build the canonical graph under the winning labeling: vertices in
+	// canonical index order, edges in canonical rendering order (ties broken
+	// by source edge ID, keeping the construction deterministic even between
+	// indistinguishable parallel edges).
+	f := &Fragment{
+		Sig:           sig,
+		VertToQuery:   make([]query.VertexID, len(verts)),
+		EdgeToQuery:   make([]query.EdgeID, 0, len(edges)),
+		VertFromQuery: make(map[query.VertexID]query.VertexID, len(verts)),
+		EdgeFromQuery: make(map[query.EdgeID]query.EdgeID, len(edges)),
+	}
+	b := query.NewBuilder("")
+	names := make([]string, len(verts))
+	for slot, v := range verts {
+		f.VertToQuery[label[slot]] = v
+		f.VertFromQuery[v] = query.VertexID(label[slot])
+	}
+	for idx, v := range f.VertToQuery {
+		qv := q.Vertex(v)
+		names[idx] = "c" + strconv.Itoa(idx)
+		b.Vertex(names[idx], qv.Type, qv.Preds...)
+	}
+	type edgeEntry struct {
+		key string
+		qe  query.EdgeID
+	}
+	entries := make([]edgeEntry, 0, len(edges))
+	for _, eid := range edges {
+		e := q.Edge(eid)
+		s, t := label[vidx[e.Source]], label[vidx[e.Target]]
+		arrow := ">"
+		if e.AnyDirection {
+			arrow = "-"
+			if s > t {
+				s, t = t, s
+			}
+		}
+		entries = append(entries, edgeEntry{
+			key: strconv.Itoa(s) + arrow + strconv.Itoa(t) + "[" + e.Type + "|" + predSig(e.Preds) + "]",
+			qe:  eid,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].qe < entries[j].qe
+	})
+	for fe, ent := range entries {
+		e := q.Edge(ent.qe)
+		s, t := int(f.VertFromQuery[e.Source]), int(f.VertFromQuery[e.Target])
+		if e.AnyDirection {
+			if s > t {
+				s, t = t, s
+			}
+			b.UndirectedEdge(names[s], names[t], e.Type, e.Preds...)
+		} else {
+			b.Edge(names[s], names[t], e.Type, e.Preds...)
+		}
+		f.EdgeToQuery = append(f.EdgeToQuery, ent.qe)
+		f.EdgeFromQuery[ent.qe] = query.EdgeID(fe)
+	}
+	g, err := b.Build()
+	if err != nil {
+		// Plan nodes are validated connected and non-empty, so the canonical
+		// rebuild cannot fail; a failure here is a canonicalization bug.
+		panic("decompose: canonical fragment rebuild failed: " + err.Error())
+	}
+	f.Graph = g
+	return f
+}

@@ -1,0 +1,190 @@
+package decompose
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/query"
+)
+
+// allEdges returns every edge ID of q in declaration order.
+func allEdges(q *query.Graph) []query.EdgeID {
+	out := make([]query.EdgeID, q.NumEdges())
+	for i := range out {
+		out[i] = query.EdgeID(i)
+	}
+	return out
+}
+
+// TestCanonicalizeIsomorphicVariants: the same wedge pattern declared with
+// different vertex names, declaration orders and edge orders must canonicalize
+// to one signature — that signature identity is what the MQO DAG shares on.
+func TestCanonicalizeIsomorphicVariants(t *testing.T) {
+	a := query.NewBuilder("a").
+		Vertex("x", "Host").Vertex("y", "Host").Vertex("z", "Host").
+		Edge("x", "y", "flow").Edge("y", "z", "flow").
+		MustBuild()
+	b := query.NewBuilder("b").
+		Vertex("mid", "Host").Vertex("tail", "Host").Vertex("head", "Host").
+		Edge("mid", "tail", "flow").Edge("head", "mid", "flow").
+		MustBuild()
+	fa := Canonicalize(a, allEdges(a), "a")
+	fb := Canonicalize(b, allEdges(b), "b")
+	if fa.Sig != fb.Sig {
+		t.Fatalf("isomorphic wedges got different sigs:\n  %s\n  %s", fa.Sig, fb.Sig)
+	}
+	if strings.HasPrefix(fa.Sig, "opaque:") {
+		t.Fatalf("small wedge fell back to opaque sig: %s", fa.Sig)
+	}
+	if fa.Graph.NumEdges() != 2 || fa.Graph.NumVertices() != 3 {
+		t.Fatalf("canonical graph shape: %d vertices, %d edges", fa.Graph.NumVertices(), fa.Graph.NumEdges())
+	}
+}
+
+// TestCanonicalizeDistinguishesStructure: a 2-path and a 2-star out of the
+// same vertex must NOT share a signature, nor must different edge types or
+// directions.
+func TestCanonicalizeDistinguishesStructure(t *testing.T) {
+	wedge := query.NewBuilder("w").
+		Vertex("x", "Host").Vertex("y", "Host").Vertex("z", "Host").
+		Edge("x", "y", "flow").Edge("y", "z", "flow").
+		MustBuild()
+	star := query.NewBuilder("s").
+		Vertex("x", "Host").Vertex("y", "Host").Vertex("z", "Host").
+		Edge("y", "x", "flow").Edge("y", "z", "flow").
+		MustBuild()
+	otherType := query.NewBuilder("o").
+		Vertex("x", "Host").Vertex("y", "Host").Vertex("z", "Host").
+		Edge("x", "y", "flow").Edge("y", "z", "dns").
+		MustBuild()
+	sigs := map[string]string{}
+	for name, q := range map[string]*query.Graph{"wedge": wedge, "star": star, "otherType": otherType} {
+		f := Canonicalize(q, allEdges(q), name)
+		for prev, ps := range sigs {
+			if ps == f.Sig {
+				t.Fatalf("%s and %s share a signature: %s", name, prev, f.Sig)
+			}
+		}
+		sigs[name] = f.Sig
+	}
+}
+
+// TestCanonicalizePredicateKinds: predicates with the same textual value but
+// different value kinds must not alias (Int(1) vs String("1")), and equal
+// predicates in different declaration order must.
+func TestCanonicalizePredicateKinds(t *testing.T) {
+	intQ := query.NewBuilder("i").
+		Vertex("x", "Host").Vertex("y", "Host").
+		Edge("x", "y", "flow", query.Eq("port", graph.Int(1))).
+		MustBuild()
+	strQ := query.NewBuilder("s").
+		Vertex("x", "Host").Vertex("y", "Host").
+		Edge("x", "y", "flow", query.Eq("port", graph.String("1"))).
+		MustBuild()
+	fi := Canonicalize(intQ, allEdges(intQ), "i")
+	fs := Canonicalize(strQ, allEdges(strQ), "s")
+	if fi.Sig == fs.Sig {
+		t.Fatalf("Int(1) and String(\"1\") predicates alias: %s", fi.Sig)
+	}
+
+	p1 := query.NewBuilder("p1").
+		Vertex("x", "Host").Vertex("y", "Host").
+		Edge("x", "y", "flow", query.Eq("port", graph.Int(1)), query.Exists("proto")).
+		MustBuild()
+	p2 := query.NewBuilder("p2").
+		Vertex("x", "Host").Vertex("y", "Host").
+		Edge("x", "y", "flow", query.Exists("proto"), query.Eq("port", graph.Int(1))).
+		MustBuild()
+	f1 := Canonicalize(p1, allEdges(p1), "p1")
+	f2 := Canonicalize(p2, allEdges(p2), "p2")
+	if f1.Sig != f2.Sig {
+		t.Fatalf("predicate order changed the signature:\n  %s\n  %s", f1.Sig, f2.Sig)
+	}
+}
+
+// TestCanonicalizeUndirected: undirected edges canonicalize identically
+// regardless of which endpoint was declared as source.
+func TestCanonicalizeUndirected(t *testing.T) {
+	u1 := query.NewBuilder("u1").
+		Vertex("x", "Host").Vertex("y", "Server").
+		UndirectedEdge("x", "y", "link").
+		MustBuild()
+	u2 := query.NewBuilder("u2").
+		Vertex("y", "Server").Vertex("x", "Host").
+		UndirectedEdge("y", "x", "link").
+		MustBuild()
+	f1 := Canonicalize(u1, allEdges(u1), "u1")
+	f2 := Canonicalize(u2, allEdges(u2), "u2")
+	if f1.Sig != f2.Sig {
+		t.Fatalf("undirected orientation changed the signature:\n  %s\n  %s", f1.Sig, f2.Sig)
+	}
+}
+
+// TestCanonicalizeSubsetMaps: the fragment's query<->canonical maps must be
+// mutually inverse and cover exactly the requested edge subset.
+func TestCanonicalizeSubsetMaps(t *testing.T) {
+	q := query.NewBuilder("sub").
+		Window(time.Minute).
+		Vertex("a", "Host").Vertex("b", "Host").Vertex("c", "Host").Vertex("d", "Host").
+		Edge("a", "b", "flow").Edge("b", "c", "flow").Edge("c", "d", "dns").
+		MustBuild()
+	sub := []query.EdgeID{1, 2} // b->c flow, c->d dns
+	f := Canonicalize(q, sub, "sub")
+	if f.Graph.NumEdges() != 2 || f.Graph.NumVertices() != 3 {
+		t.Fatalf("fragment shape: %d vertices, %d edges", f.Graph.NumVertices(), f.Graph.NumEdges())
+	}
+	for ce, qe := range f.EdgeToQuery {
+		if got := f.EdgeFromQuery[qe]; got != query.EdgeID(ce) {
+			t.Fatalf("edge map not inverse: canonical %d -> query %d -> canonical %d", ce, qe, got)
+		}
+		if qe != 1 && qe != 2 {
+			t.Fatalf("fragment covers unrequested edge %d", qe)
+		}
+	}
+	for cv, qv := range f.VertToQuery {
+		if got := f.VertFromQuery[qv]; got != query.VertexID(cv) {
+			t.Fatalf("vertex map not inverse: canonical %d -> query %d -> canonical %d", cv, qv, got)
+		}
+	}
+	// The canonical edge's endpoints must be the canonical images of the
+	// query edge's endpoints (same direction — these are directed edges).
+	for ce, qe := range f.EdgeToQuery {
+		cEdge := f.Graph.Edge(query.EdgeID(ce))
+		qEdge := q.Edge(qe)
+		if cEdge.Source != f.VertFromQuery[qEdge.Source] || cEdge.Target != f.VertFromQuery[qEdge.Target] {
+			t.Fatalf("canonical edge %d endpoints disagree with query edge %d through the vertex map", ce, qe)
+		}
+		if cEdge.Type != qEdge.Type {
+			t.Fatalf("canonical edge %d type %q != query edge type %q", ce, cEdge.Type, qEdge.Type)
+		}
+	}
+}
+
+// TestCanonicalizeOverBudgetFallback: a pattern whose refinement leaves one
+// huge automorphism class (a k-star of identical edges) exceeds the labeling
+// budget and must fall back to an opaque, scope-qualified signature instead
+// of burning factorial time — and two different scopes must not share it.
+func TestCanonicalizeOverBudgetFallback(t *testing.T) {
+	b := query.NewBuilder("star")
+	b.Vertex("hub", "Host")
+	names := []string{}
+	for i := 0; i < 9; i++ { // 9! = 362880 > canonMaxLabelings
+		n := string(rune('a' + i))
+		b.Vertex(n, "Host")
+		names = append(names, n)
+	}
+	for _, n := range names {
+		b.Edge("hub", n, "flow")
+	}
+	q := b.MustBuild()
+	f1 := Canonicalize(q, allEdges(q), "scope1")
+	f2 := Canonicalize(q, allEdges(q), "scope2")
+	if !strings.HasPrefix(f1.Sig, "opaque:") {
+		t.Fatalf("9-star did not fall back to opaque sig: %s", f1.Sig)
+	}
+	if f1.Sig == f2.Sig {
+		t.Fatalf("opaque sigs from different scopes alias: %s", f1.Sig)
+	}
+}

@@ -3,6 +3,7 @@ package gen
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -228,6 +229,118 @@ func runDriftOnce(w Workload, shards int, adaptive bool) (MatchSet, streamworks.
 	}
 	<-sub.Done()
 	return set, m, t1.Sub(t0), postDur, nil
+}
+
+// MQOBenchResult measures one replay of a many-queries workload with shared
+// plans on or off. The acceptance number tracked across PRs is
+// EdgesPerSec(shared) vs EdgesPerSec(per-query) at the same query count —
+// the multi-query-optimization win — with the two modes' match sets required
+// to be identical.
+type MQOBenchResult struct {
+	Workload       string  `json:"workload"`
+	Engine         string  `json:"engine"` // "single" or "sharded-N"
+	Mode           string  `json:"mode"`   // "per-query" or "shared"
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Queries        int     `json:"queries"`
+	Edges          int     `json:"edges"`
+	EdgesPerSec    float64 `json:"edges_per_sec"`
+	LocalSearches  uint64  `json:"local_searches"`
+	PartialMatches int     `json:"partial_matches"`
+	DAGNodes       int     `json:"dag_nodes,omitempty"`
+	DAGSharedNodes int     `json:"dag_shared_nodes,omitempty"`
+	SharedHits     uint64  `json:"shared_hits,omitempty"`
+	Matches        int     `json:"matches"`
+}
+
+// BenchManyQueries replays a many-queries workload runs times with shared
+// plans on or off, timing only the edge stream (registration of hundreds of
+// queries is a fixed setup cost both modes pay identically), and reports the
+// best run by throughput plus the engine's evaluation counters from that
+// run. The returned match set lets callers enforce that sharing changed HOW
+// matches were computed, never WHICH.
+func BenchManyQueries(w Workload, shards int, shared bool, runs int) (MQOBenchResult, MatchSet, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	mode := "per-query"
+	if shared {
+		mode = "shared"
+	}
+	engine := "single"
+	if shards > 0 {
+		engine = fmt.Sprintf("sharded-%d", shards)
+	}
+	res := MQOBenchResult{
+		Workload:   w.Name,
+		Engine:     engine,
+		Mode:       mode,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Queries:    len(w.Queries),
+		Edges:      len(w.Edges),
+	}
+	var bestSet MatchSet
+	for i := 0; i < runs; i++ {
+		set, m, dur, err := runManyQueriesOnce(w, shards, shared)
+		if err != nil {
+			return MQOBenchResult{}, nil, err
+		}
+		eps := float64(len(w.Edges)) / dur.Seconds()
+		if eps > res.EdgesPerSec {
+			res.EdgesPerSec = eps
+			res.LocalSearches = m.LocalSearches
+			res.PartialMatches = m.PartialMatches
+			res.Matches = len(set)
+			if m.MQO != nil {
+				res.DAGNodes = m.MQO.Nodes
+				res.DAGSharedNodes = m.MQO.SharedNodes
+				res.SharedHits = m.MQO.SharedHits
+			}
+			bestSet = set
+		}
+	}
+	return res, bestSet, nil
+}
+
+func runManyQueriesOnce(w Workload, shards int, shared bool) (MatchSet, streamworks.Metrics, time.Duration, error) {
+	opts := []streamworks.Option{
+		streamworks.WithEngineConfig(w.Engine),
+		streamworks.WithSharedPlans(shared),
+	}
+	var eng streamworks.Engine
+	if shards > 0 {
+		eng = streamworks.NewSharded(append(opts, streamworks.WithShards(shards))...)
+	} else {
+		eng = streamworks.New(opts...)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	for _, q := range w.Queries {
+		if err := eng.RegisterQuery(ctx, q); err != nil {
+			return nil, streamworks.Metrics{}, 0, err
+		}
+	}
+	set := make(MatchSet)
+	sub, err := eng.Subscribe("", streamworks.SinkFunc(func(m streamworks.Match) {
+		set.AddKey(m.Query, m.Signature)
+	}))
+	if err != nil {
+		return nil, streamworks.Metrics{}, 0, err
+	}
+	defer sub.Close()
+	t0 := time.Now()
+	if err := eng.ProcessBatch(ctx, w.Edges); err != nil {
+		return nil, streamworks.Metrics{}, 0, err
+	}
+	dur := time.Since(t0)
+	m, err := eng.Metrics(ctx)
+	if err != nil {
+		return nil, streamworks.Metrics{}, 0, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, streamworks.Metrics{}, 0, err
+	}
+	<-sub.Done()
+	return set, m, dur, nil
 }
 
 // BenchNewsWorkload builds the canonical news benchmark workload: the Fig. 2

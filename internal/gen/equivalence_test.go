@@ -39,23 +39,32 @@ func TestCrossStrategyEquivalenceMatrix(t *testing.T) {
 		tinyNetflowWorkload(),
 		tinyNewsWorkload(),
 		tinyDriftWorkload(),
+		tinyManyQueriesWorkload(),
 	}
 	type mode struct {
 		name     string
 		shards   int // 0 = single engine
 		adaptive bool
 		traced   bool // observability + edge-journey tracing on
+		shared   bool // fold all queries into one shared evaluation DAG
 	}
 	modes := []mode{
-		{"single", 0, false, false},
-		{"single-adaptive", 0, true, false},
-		{"sharded2", 2, false, false},
-		{"sharded2-adaptive", 2, true, false},
+		{"single", 0, false, false, false},
+		{"single-adaptive", 0, true, false, false},
+		{"sharded2", 2, false, false, false},
+		{"sharded2-adaptive", 2, true, false, false},
 		// Observability cells: histograms plus 1-in-1 trace sampling are
 		// free to change HOW the run is recorded, never WHICH matches it
 		// finds.
-		{"single-traced", 0, false, true},
-		{"sharded2-adaptive-traced", 2, true, true},
+		{"single-traced", 0, false, true, false},
+		{"sharded2-adaptive-traced", 2, true, true, false},
+		// Shared-plan cells: the MQO DAG evaluates common subpatterns once
+		// and fans matches out per query — byte-identical match sets are the
+		// whole contract. The adaptive cell re-plans the shared DAG in place.
+		{"single-shared", 0, false, false, true},
+		{"single-shared-adaptive", 0, true, false, true},
+		{"sharded2-shared", 2, false, false, true},
+		{"sharded2-shared-adaptive", 2, true, false, true},
 	}
 	for _, w := range workloads {
 		w := w
@@ -78,6 +87,7 @@ func TestCrossStrategyEquivalenceMatrix(t *testing.T) {
 						opts := []streamworks.Option{
 							streamworks.WithPlanStrategy(string(strat)),
 							streamworks.WithAdaptivePlanning(m.adaptive),
+							streamworks.WithSharedPlans(m.shared),
 						}
 						if m.traced {
 							opts = append(opts,

@@ -334,6 +334,39 @@ func (m *Match) Join(o *Match) *Match {
 	return j
 }
 
+// Remap returns a copy of the match re-expressed in another pattern-ID
+// space: every binding of source pattern vertex qv moves to vmap[qv] and
+// every binding of source pattern edge qe moves to emap[qe]. The temporal
+// span is copied verbatim — the data edges are unchanged, only the pattern
+// side of the binding is renamed. nv and ne size the destination space.
+//
+// The shared-plan evaluation DAG (internal/mqo) lives on this operation:
+// matches are computed once in a canonical fragment's ID space and remapped
+// — two array permutes, no graph search — into each parent fragment's or
+// consumer query's space. Both maps must cover every bound source ID; IDs
+// mapped to out-of-range slots panic, as that is a canonicalization bug, not
+// a data condition.
+func (m *Match) Remap(nv, ne int, vmap []query.VertexID, emap []query.EdgeID) *Match {
+	r := NewSized(nv, ne)
+	for qv, dv := range m.vertices {
+		if dv == unbound {
+			continue
+		}
+		r.vertices[vmap[qv]] = dv
+		r.nv++
+	}
+	for qe, de := range m.edges {
+		if de == unbound {
+			continue
+		}
+		r.edges[emap[qe]] = de
+		r.ne++
+	}
+	r.Span = m.Span
+	r.spanSet = m.spanSet
+	return r
+}
+
 // mix64 is the splitmix64 finalizer, a fast 64-bit bijective mixer.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30

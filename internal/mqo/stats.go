@@ -1,0 +1,126 @@
+package mqo
+
+import (
+	"time"
+)
+
+// NodeStats is one DAG node's live counters. Sig is the canonical sharing
+// key — stable across engines, so sharded front-ends aggregate per-node
+// stats by summing counters of equal signatures.
+type NodeStats struct {
+	Sig    string `json:"sig"`
+	Edges  int    `json:"edges"`
+	IsLeaf bool   `json:"is_leaf"`
+	Refs   int    `json:"refs"`
+	// Consumers is how many attachments emit from this node; Refs additionally
+	// counts parent links. Refs > 1 marks the node as shared.
+	Consumers    int           `json:"consumers"`
+	Window       time.Duration `json:"window"`
+	Stored       int           `json:"stored"`
+	Inserted     uint64        `json:"inserted"`
+	Pruned       uint64        `json:"pruned"`
+	Searches     uint64        `json:"searches"`
+	Partitions   int           `json:"partitions"`
+	JoinAttempts uint64        `json:"join_attempts"`
+	JoinHits     uint64        `json:"join_hits"`
+	WindowDrops  uint64        `json:"window_drops"`
+}
+
+// Stats is a snapshot of the DAG's structure and counters.
+type Stats struct {
+	Nodes       int `json:"nodes"`
+	SharedNodes int `json:"shared_nodes"`
+	Attachments int `json:"attachments"`
+	// PartialMatches counts stored entries across all node collections and
+	// link partitions — the shared-mode memory-pressure metric.
+	PartialMatches int         `json:"partial_matches"`
+	LocalSearches  uint64      `json:"local_searches"`
+	SharedHits     uint64      `json:"shared_hits"`
+	PerNode        []NodeStats `json:"per_node,omitempty"`
+}
+
+// MergeStats folds per-shard DAG snapshots into one. Replicated shards build
+// structurally identical DAGs, so per-node entries are merged by canonical
+// signature: counters and stored sizes sum, structural fields (Edges, IsLeaf,
+// Refs, Consumers, Window) come from the first snapshot that carries the
+// signature. Node order follows the first snapshot, with signatures unique to
+// later snapshots appended in their order of appearance.
+func MergeStats(snaps ...Stats) Stats {
+	var out Stats
+	idx := make(map[string]int)
+	for i, s := range snaps {
+		if i == 0 {
+			out.Nodes = s.Nodes
+			out.SharedNodes = s.SharedNodes
+			out.Attachments = s.Attachments
+		}
+		out.PartialMatches += s.PartialMatches
+		out.LocalSearches += s.LocalSearches
+		out.SharedHits += s.SharedHits
+		for _, ns := range s.PerNode {
+			j, ok := idx[ns.Sig]
+			if !ok {
+				idx[ns.Sig] = len(out.PerNode)
+				out.PerNode = append(out.PerNode, ns)
+				if i > 0 {
+					// A signature absent from the first snapshot (e.g. a
+					// register raced a snapshot sweep): keep the totals
+					// honest anyway.
+					out.Nodes++
+					if ns.Refs > 1 {
+						out.SharedNodes++
+					}
+				}
+				continue
+			}
+			m := &out.PerNode[j]
+			m.Stored += ns.Stored
+			m.Inserted += ns.Inserted
+			m.Pruned += ns.Pruned
+			m.Searches += ns.Searches
+			m.Partitions += ns.Partitions
+			m.JoinAttempts += ns.JoinAttempts
+			m.JoinHits += ns.JoinHits
+			m.WindowDrops += ns.WindowDrops
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot with per-node detail in node creation order.
+func (d *DAG) Stats() Stats {
+	s := Stats{
+		Nodes:         len(d.nodes),
+		Attachments:   len(d.atts),
+		LocalSearches: d.localSearches,
+		SharedHits:    d.sharedHits,
+	}
+	for _, sig := range d.order {
+		n := d.nodes[sig]
+		if n.refs() > 1 {
+			s.SharedNodes++
+		}
+		ns := NodeStats{
+			Sig:          n.sig,
+			Edges:        n.frag.Graph.NumEdges(),
+			IsLeaf:       n.left == nil,
+			Refs:         n.refs(),
+			Consumers:    len(n.consumers),
+			Window:       n.window,
+			Stored:       n.coll.Len(),
+			Inserted:     n.coll.InsertedTotal(),
+			Pruned:       n.coll.PrunedTotal(),
+			Searches:     n.searches,
+			JoinAttempts: n.joinAttempts,
+			JoinHits:     n.joinHits,
+			WindowDrops:  n.windowDrops,
+		}
+		s.PartialMatches += n.coll.Len()
+		if n.left != nil {
+			ns.Partitions = n.left.part.Partitions() + n.right.part.Partitions()
+			s.PartialMatches += n.left.part.Len() + n.right.part.Len()
+		}
+		s.PerNode = append(s.PerNode, ns)
+	}
+	return s
+}

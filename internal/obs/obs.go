@@ -138,6 +138,12 @@ const (
 	// a client's measured detect-and-deliver latency — the closure check for
 	// the segment breakdown.
 	JourneyHistogramName = "detect_wall_journey"
+	// MQOSharedHitsCounterName counts the shared-plan DAG's fan-out saving:
+	// for every leaf local search of a DAG node referenced by k parents or
+	// consumers, k−1 per-query searches were avoided. Zero while no
+	// structurally overlapping queries are attached — sharing is visible,
+	// not assumed.
+	MQOSharedHitsCounterName = "mqo_shared_hits"
 )
 
 // Segment returns the histogram for one latency segment, creating it on

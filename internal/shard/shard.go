@@ -53,6 +53,7 @@ import (
 
 	"github.com/streamworks/streamworks/internal/core"
 	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/mqo"
 	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/stream"
@@ -711,6 +712,19 @@ func (s *ShardedEngine) Metrics() core.Metrics {
 	}
 	if len(snaps) > 0 {
 		m.Registrations = snaps[0].Registrations
+	}
+	// Shared-plan DAG snapshots merge by canonical node signature: every
+	// shard builds the same DAG structure for the same registrations, so the
+	// per-node counters sum meaningfully (mqo.MergeStats).
+	var dagSnaps []mqo.Stats
+	for _, sm := range snaps {
+		if sm.MQO != nil {
+			dagSnaps = append(dagSnaps, *sm.MQO)
+		}
+	}
+	if len(dagSnaps) > 0 {
+		merged := mqo.MergeStats(dagSnaps...)
+		m.MQO = &merged
 	}
 	unique, _, perQuery := s.dedup.stats()
 	m.MatchesEmitted = unique

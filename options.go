@@ -197,6 +197,21 @@ func WithReplanCooldown(d time.Duration) Option {
 	return func(c *config) { c.engine.Replan.Cooldown = d }
 }
 
+// WithSharedPlans switches in-process backends onto the multi-query
+// shared-plan path: instead of one SJ-Tree per registered query, all queries
+// fold into a single evaluation DAG in which structurally identical
+// subpatterns (shared leaf primitives, wedges, larger common subtrees) are
+// computed once per arriving edge and fanned out to every query containing
+// them. Emission semantics are unchanged — each query's match stream is
+// byte-identical to what per-query mode produces for queries registered
+// before ingestion — so the switch is purely a cost optimization for
+// workloads with many overlapping standing queries. Metrics gain a DAG
+// section (node count, shared nodes, shared hits); the daemon exposes the
+// same switch via the -shared-plans flag. Default off.
+func WithSharedPlans(enabled bool) Option {
+	return func(c *config) { c.engine.SharedPlans = enabled }
+}
+
 // WithObservability turns the observability layer on for in-process
 // backends: per-segment latency histograms (local search, SJ-tree join,
 // shard mailbox wait, dispatch), the stream-time detection-lag histogram,
