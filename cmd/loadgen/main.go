@@ -4,18 +4,24 @@
 // end-to-end match latency. It drives the server exactly like a production
 // feeder: the public streamworks.Connect backend for health, query
 // registration, the push match subscription and metrics, plus the raw typed
-// client for asynchronous NDJSON edge batches with 429 backoff (the public
+// client for asynchronous edge batches with 429 backoff (the public
 // Engine's ProcessBatch waits for routing, which a load generator must not).
+// The -transport flag selects the ingest encoding: NDJSON batches, binary
+// frame batches, or the persistent binary /v1/stream session.
 //
 //	loadgen -addr http://127.0.0.1:8090 -workload netflow -edges 100000
 //	loadgen -workload many-queries -queries 300   # 300 generated variants (pair with streamworksd -shared-plans)
+//	loadgen -transport stream              # persistent binary ingest session
 //	loadgen -json -out BENCH_server.json   # machine-readable results
+//	loadgen -json -merge -transport binary # fold this run into runs[transport] of -out
 //	loadgen -dump edges.ndjson             # write the stream for curl replay
 //
 // Match latency is measured per match as the wall-clock gap between the
 // moment the last edge of the match was handed to the server and the moment
 // the match report arrived on the subscription — the full detect-and-deliver
-// path through queue, shards, dedup and fan-out.
+// path through queue, shards, dedup and fan-out. Latency percentiles are
+// computed over a bounded reservoir sample (the mean and max stay exact over
+// every match), so arbitrarily long runs hold a fixed memory footprint.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -53,7 +60,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		jsonOut  = flag.Bool("json", false, "write machine-readable results")
 		outPath  = flag.String("out", "BENCH_server.json", "path for -json results")
+		mergeOut = flag.Bool("merge", false, "with -json, merge this run into -out under runs[transport] instead of overwriting the file with a single result")
 		dumpPath = flag.String("dump", "", "write the workload as NDJSON to this file and exit")
+
+		transport = flag.String("transport", "ndjson", "ingest transport: ndjson, binary (framed batches) or stream (persistent binary session)")
+		reservoir = flag.Int("reservoir", 65536, "latency reservoir size: percentiles are exact over up to this many uniformly sampled matches")
 
 		waitIngest  = flag.Bool("wait", false, "ingest with wait=1: each batch is routed (and WAL'd on a durable daemon) before the next is sent — required for exact crash-recovery comparisons")
 		sigsPath    = flag.String("sigs", "", "write the delivered match-signature set (query<TAB>signature, sorted, deduplicated) to this file on exit")
@@ -84,11 +95,20 @@ func main() {
 		return
 	}
 
+	ctr := client.TransportNDJSON
+	switch *transport {
+	case "ndjson":
+	case "binary", "stream":
+		ctr = client.TransportBinary
+	default:
+		log.Fatalf("loadgen: unknown transport %q (want ndjson, binary or stream)", *transport)
+	}
+
 	// Transient ingest failures — 429 shed, 503 while draining or degraded,
 	// connection errors across a daemon restart — retry inside the client
 	// with capped exponential backoff; a minute of sustained failure is
 	// fatal.
-	c := client.New(*addr, client.WithRetry(client.RetryPolicy{
+	c := client.New(*addr, client.WithTransport(ctr), client.WithRetry(client.RetryPolicy{
 		MaxAttempts: 120,
 		BaseDelay:   5 * time.Millisecond,
 		MaxDelay:    time.Second,
@@ -114,9 +134,9 @@ func main() {
 		sendTimes = make(map[uint64]time.Time, len(w.Edges))
 	)
 	var (
-		latMu     sync.Mutex
-		latencies []float64 // milliseconds
-		matches   int
+		latMu   sync.Mutex
+		lats    = newReservoir(*reservoir, *seed)
+		matches int
 	)
 	// sigs deduplicates delivered matches by identity — redeliveries after a
 	// daemon restart collapse, which is what makes crash and uninterrupted
@@ -141,7 +161,7 @@ func main() {
 		latMu.Lock()
 		matches++
 		if !last.IsZero() {
-			latencies = append(latencies, float64(now.Sub(last))/float64(time.Millisecond))
+			lats.add(float64(now.Sub(last)) / float64(time.Millisecond))
 		}
 		if *sigsPath != "" {
 			sigs[rep.Query+"\t"+rep.Signature] = struct{}{}
@@ -195,9 +215,35 @@ func main() {
 	// would have its matches delivered to no one, and nothing short of
 	// another restart would redeliver them — a silent hole in the signature
 	// set that crash-recovery comparisons diff against.
-	rawc := client.New(*addr) // no internal retry; the loop below owns it
+	rawc := client.New(*addr, client.WithTransport(ctr)) // no internal retry; the loop below owns it
 	var localRetries uint64
+	// The persistent binary session: one long-lived POST /v1/stream whose
+	// backpressure is the TCP window, so no 429/retry machinery applies —
+	// Send simply blocks while the daemon's queue is full.
+	var es *client.EdgeStream
+	if *transport == "stream" {
+		var err error
+		es, err = c.OpenEdgeStream(ctx)
+		if err != nil {
+			log.Fatalf("loadgen: opening edge stream: %v", err)
+		}
+	}
 	ingest := func(chunk []graph.StreamEdge, wait bool) error {
+		if es != nil {
+			if len(chunk) == 0 {
+				return nil // the final flush is EdgeStream.Close below
+			}
+			if *resubscribe {
+				deadline := time.Now().Add(2 * time.Minute)
+				for !attached.Load() {
+					if time.Now().After(deadline) {
+						return fmt.Errorf("match stream detached for too long")
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+			return es.Send(chunk)
+		}
 		if !*resubscribe {
 			_, err := c.IngestBatch(ctx, chunk, wait)
 			return err
@@ -240,9 +286,18 @@ func main() {
 			log.Fatalf("loadgen: ingest: %v", err)
 		}
 	}
-	// Flush: an empty wait batch returns only after everything queued ahead
-	// of it has been routed to the shards.
-	if err := ingest(nil, true); err != nil {
+	// Flush: an empty wait batch (or, for the persistent session, closing it)
+	// returns only after everything queued ahead has been routed to the
+	// shards.
+	if es != nil {
+		res, err := es.Close()
+		if err != nil {
+			log.Fatalf("loadgen: closing edge stream: %v", err)
+		}
+		if res.Accepted != len(w.Edges) {
+			log.Fatalf("loadgen: stream session accepted %d of %d edges", res.Accepted, len(w.Edges))
+		}
+	} else if err := ingest(nil, true); err != nil {
 		log.Fatalf("loadgen: flush: %v", err)
 	}
 	ingestDur := time.Since(start)
@@ -261,6 +316,7 @@ func main() {
 	eps := float64(len(w.Edges)) / ingestDur.Seconds()
 	res := benchResult{
 		Workload:     w.Name,
+		Transport:    *transport,
 		Edges:        len(w.Edges),
 		Batch:        *batch,
 		Shards:       len(metrics.Shards),
@@ -269,7 +325,7 @@ func main() {
 		Matches:      matches,
 		Truncated:    truncated.Load(),
 		Rejected429:  rejected,
-		LatencyMS:    summarize(latencies),
+		LatencyMS:    lats.summary(),
 		ServerSide:   metrics.Server,
 		EngineTotals: engineCounters(metrics.Engine),
 	}
@@ -282,7 +338,7 @@ func main() {
 		})
 	}
 
-	fmt.Printf("workload=%s edges=%d batch=%d shards=%d\n", res.Workload, res.Edges, res.Batch, res.Shards)
+	fmt.Printf("workload=%s transport=%s edges=%d batch=%d shards=%d\n", res.Workload, res.Transport, res.Edges, res.Batch, res.Shards)
 	fmt.Printf("ingest: %.2fs (%.0f edges/sec, %d attempts retried)\n", res.IngestSecs, res.EdgesPerSec, rejected)
 	note := ""
 	if res.Truncated {
@@ -349,20 +405,48 @@ func main() {
 	}
 
 	if *jsonOut {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatalf("loadgen: %v", err)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			log.Fatalf("loadgen: writing %s: %v", *outPath, err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeResult(*outPath, *mergeOut, res); err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
 		log.Printf("loadgen: wrote %s", *outPath)
 	}
+}
+
+// writeResult writes res to path: as the whole file, or — with merge — as
+// the runs[transport] entry of a per-transport comparison document, keeping
+// the other transports' entries from an existing file intact.
+func writeResult(path string, merge bool, res benchResult) error {
+	var out any = res
+	if merge {
+		doc := struct {
+			Runs map[string]json.RawMessage `json:"runs"`
+		}{Runs: map[string]json.RawMessage{}}
+		if prev, err := os.ReadFile(path); err == nil {
+			// Best-effort: a missing, single-run or corrupt file just starts
+			// a fresh comparison document.
+			_ = json.Unmarshal(prev, &doc)
+			if doc.Runs == nil {
+				doc.Runs = map[string]json.RawMessage{}
+			}
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		doc.Runs[res.Transport] = raw
+		out = doc
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func buildWorkload(name string, edges, hosts, articles int, window time.Duration, seed int64) gen.Workload {
@@ -439,7 +523,11 @@ type serverMetrics struct {
 }
 
 type latencySummary struct {
+	// Samples is every match observed; Sampled is how many of them are in
+	// the reservoir the percentiles are computed over (equal until the
+	// reservoir fills). Mean and Max are exact over all Samples.
 	Samples int     `json:"samples"`
+	Sampled int     `json:"reservoir_samples"`
 	Mean    float64 `json:"mean"`
 	P50     float64 `json:"p50"`
 	P90     float64 `json:"p90"`
@@ -447,26 +535,63 @@ type latencySummary struct {
 	Max     float64 `json:"max"`
 }
 
-func summarize(ms []float64) latencySummary {
-	if len(ms) == 0 {
+// latencyReservoir is a bounded uniform sample (Vitter's algorithm R) of
+// per-match latencies. The mean and max are tracked exactly over every
+// observation; percentiles are exact order statistics over the reservoir, so
+// memory stays fixed however long the run is.
+type latencyReservoir struct {
+	vals []float64
+	cap  int
+	n    int64
+	sum  float64
+	max  float64
+	rng  *rand.Rand
+}
+
+func newReservoir(size int, seed int64) *latencyReservoir {
+	if size <= 0 {
+		size = 65536
+	}
+	return &latencyReservoir{
+		vals: make([]float64, 0, min(size, 65536)),
+		cap:  size,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (r *latencyReservoir) add(v float64) {
+	r.n++
+	r.sum += v
+	if v > r.max {
+		r.max = v
+	}
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.cap) {
+		r.vals[j] = v
+	}
+}
+
+func (r *latencyReservoir) summary() latencySummary {
+	if r.n == 0 {
 		return latencySummary{}
 	}
+	ms := append([]float64(nil), r.vals...)
 	sort.Float64s(ms)
 	pick := func(p float64) float64 {
 		idx := int(p * float64(len(ms)-1))
 		return ms[idx]
 	}
-	sum := 0.0
-	for _, v := range ms {
-		sum += v
-	}
 	return latencySummary{
-		Samples: len(ms),
-		Mean:    sum / float64(len(ms)),
+		Samples: int(r.n),
+		Sampled: len(ms),
+		Mean:    r.sum / float64(r.n),
 		P50:     pick(0.50),
 		P90:     pick(0.90),
 		P99:     pick(0.99),
-		Max:     ms[len(ms)-1],
+		Max:     r.max,
 	}
 }
 
@@ -544,6 +669,7 @@ func engineCounters(m core.Metrics) engineTotals {
 
 type benchResult struct {
 	Workload     string          `json:"workload"`
+	Transport    string          `json:"transport"`
 	Edges        int             `json:"edges"`
 	Batch        int             `json:"batch"`
 	Shards       int             `json:"shards"`

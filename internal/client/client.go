@@ -1,9 +1,12 @@
 // Package client is the typed Go client for the StreamWorks HTTP API
 // (internal/server). It registers queries (serializing query.Graph values
-// back into the text DSL), pushes NDJSON edge batches with the same wire
-// encoder the server decodes with, streams match reports with incremental
-// decoding, and fetches metrics. The end-to-end tests and cmd/loadgen drive
-// live servers exclusively through it.
+// back into the text DSL), pushes edge batches — NDJSON or binary frames,
+// selected with WithTransport — with the same wire encoders the server
+// decodes with, holds persistent binary ingest sessions open (EdgeStream),
+// streams match reports with incremental decoding (including self-healing
+// resubscription, SubscribeMatchesRetry), and fetches metrics. The
+// end-to-end tests and cmd/loadgen drive live servers exclusively through
+// it.
 package client
 
 import (
@@ -26,14 +29,16 @@ import (
 	"github.com/streamworks/streamworks/internal/graph"
 	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/query"
+	"github.com/streamworks/streamworks/internal/wire"
 )
 
 // Client talks to one streamworksd instance.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retry   RetryPolicy
-	retries atomic.Uint64
+	base      string
+	hc        *http.Client
+	retry     RetryPolicy
+	transport Transport
+	retries   atomic.Uint64
 }
 
 // Option customizes a Client.
@@ -294,21 +299,32 @@ func (c *Client) QueryDSL(ctx context.Context, name string) (string, error) {
 // full ingest queue surfaces as an *APIError with status 429 (check with
 // IsOverloaded).
 func (c *Client) IngestBatch(ctx context.Context, edges []graph.StreamEdge, wait bool) (*api.IngestResponse, error) {
-	var buf bytes.Buffer
-	if err := loader.WriteJSONL(&buf, edges); err != nil {
-		return nil, err
+	var payload []byte
+	contentType := "application/x-ndjson"
+	if c.Transport() == TransportBinary {
+		payload = encodeBinaryBatch(edges)
+		contentType = wire.ContentTypeBinary
+	} else {
+		var buf bytes.Buffer
+		if err := loader.WriteJSONL(&buf, edges); err != nil {
+			return nil, err
+		}
+		payload = buf.Bytes()
 	}
-	if !c.retry.enabled() {
-		return c.IngestReader(ctx, &buf, wait)
-	}
-	payload := buf.Bytes()
 	path := "/v1/edges"
 	if wait {
 		path += "?wait=1"
 	}
+	if !c.retry.enabled() {
+		var out api.IngestResponse
+		if err := c.roundTrip(ctx, http.MethodPost, path, contentType, bytes.NewReader(payload), &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
 	for attempt := 1; ; attempt++ {
 		var out api.IngestResponse
-		err := c.roundTrip(ctx, http.MethodPost, path, "application/x-ndjson",
+		err := c.roundTrip(ctx, http.MethodPost, path, contentType,
 			bytes.NewReader(payload), &out)
 		if err == nil {
 			return &out, nil
@@ -372,12 +388,14 @@ func (c *Client) Metrics(ctx context.Context) (*api.MetricsResponse, error) {
 // (resubscribe in that case). Always Close a subscription when done.
 type Subscription struct {
 	body io.ReadCloser
-	dec  *json.Decoder
+	next func() (export.MatchReport, error)
 }
 
-// SubscribeMatches opens a streaming NDJSON subscription. queryName filters
-// to one registered query; empty subscribes to all. Cancelling ctx tears the
-// stream down (Next will return the context error).
+// SubscribeMatches opens a streaming match subscription in the client's
+// transport (NDJSON by default, binary frames under
+// WithTransport(TransportBinary)). queryName filters to one registered
+// query; empty subscribes to all. Cancelling ctx tears the stream down
+// (Next will return the context error).
 func (c *Client) SubscribeMatches(ctx context.Context, queryName string) (*Subscription, error) {
 	path := "/v1/matches"
 	if queryName != "" {
@@ -387,6 +405,10 @@ func (c *Client) SubscribeMatches(ctx context.Context, queryName string) (*Subsc
 	if err != nil {
 		return nil, err
 	}
+	binary := c.Transport() == TransportBinary
+	if binary {
+		req.Header.Set("Accept", wire.ContentTypeBinary)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -395,16 +417,33 @@ func (c *Client) SubscribeMatches(ctx context.Context, queryName string) (*Subsc
 		defer resp.Body.Close()
 		return nil, apiError(resp)
 	}
-	return &Subscription{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+	sub := &Subscription{body: resp.Body}
+	if binary {
+		rd := wire.NewReader(resp.Body)
+		sub.next = func() (export.MatchReport, error) {
+			typ, payload, err := rd.Next()
+			if err != nil {
+				return export.MatchReport{}, err
+			}
+			if typ != wire.FrameMatch {
+				return export.MatchReport{}, wire.ErrCorrupt
+			}
+			return wire.DecodeMatch(payload)
+		}
+	} else {
+		dec := json.NewDecoder(resp.Body)
+		sub.next = func() (export.MatchReport, error) {
+			var rep export.MatchReport
+			err := dec.Decode(&rep)
+			return rep, err
+		}
+	}
+	return sub, nil
 }
 
 // Next blocks for the next match report. io.EOF signals a clean end of
 // stream (server drain or slow-consumer eviction).
-func (s *Subscription) Next() (export.MatchReport, error) {
-	var rep export.MatchReport
-	err := s.dec.Decode(&rep)
-	return rep, err
-}
+func (s *Subscription) Next() (export.MatchReport, error) { return s.next() }
 
 // Close releases the underlying connection.
 func (s *Subscription) Close() error { return s.body.Close() }

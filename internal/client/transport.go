@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/api"
+	"github.com/streamworks/streamworks/internal/export"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/wire"
+)
+
+// Transport selects the wire encoding for ingest bodies and match streams.
+type Transport string
+
+const (
+	// TransportNDJSON is the default text transport: one JSON object per
+	// line, human-readable, curl-able.
+	TransportNDJSON Transport = "ndjson"
+	// TransportBinary is the length-prefixed binary frame transport
+	// (internal/wire): smaller bodies, no per-edge JSON encode/decode, and
+	// the only encoding the persistent /v1/stream session speaks.
+	TransportBinary Transport = "binary"
+)
+
+// WithTransport selects the wire encoding for IngestBatch and
+// SubscribeMatches. The default is TransportNDJSON.
+func WithTransport(t Transport) Option {
+	return func(c *Client) { c.transport = t }
+}
+
+// Transport reports the client's configured wire encoding.
+func (c *Client) Transport() Transport {
+	if c.transport == "" {
+		return TransportNDJSON
+	}
+	return c.transport
+}
+
+// encodeBinaryBatch renders edges as a complete binary ingest body:
+// stream magic followed by one edge frame per edge.
+func encodeBinaryBatch(edges []graph.StreamEdge) []byte {
+	buf := append([]byte(nil), wire.StreamMagic...)
+	var scratch []byte
+	for _, se := range edges {
+		buf, scratch = wire.AppendEdgeFrame(buf, scratch, se)
+	}
+	return buf
+}
+
+// EdgeStream is a persistent ingest session: one long-lived POST /v1/stream
+// request whose body is written incrementally, edge frames dispatched by the
+// server as they arrive. Backpressure is the TCP window — Send blocks when
+// the server's ingest queue is full. Close ends the session and returns the
+// server's summary (total edges routed to the shards).
+type EdgeStream struct {
+	pw      *io.PipeWriter
+	done    chan edgeStreamResult
+	buf     []byte
+	scratch []byte
+	started bool
+	sent    int
+}
+
+type edgeStreamResult struct {
+	resp *api.IngestResponse
+	err  error
+}
+
+// OpenEdgeStream starts a persistent binary ingest session. The transport
+// setting does not apply: sessions are always binary. Cancelling ctx tears
+// the session down (Send fails, Close reports the error).
+func (c *Client) OpenEdgeStream(ctx context.Context) (*EdgeStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeBinary)
+	es := &EdgeStream{pw: pw, done: make(chan edgeStreamResult, 1)}
+	go func() {
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// Unblock any in-flight Send: the transport abandoned the body.
+			pr.CloseWithError(err)
+			es.done <- edgeStreamResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			err := apiError(resp)
+			pr.CloseWithError(err)
+			es.done <- edgeStreamResult{err: err}
+			return
+		}
+		var out api.IngestResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+			es.done <- edgeStreamResult{err: derr}
+			return
+		}
+		es.done <- edgeStreamResult{resp: &out}
+	}()
+	return es, nil
+}
+
+// Send encodes edges as binary frames and writes them to the session,
+// blocking while the server's queue exerts backpressure. A write error
+// usually means the server refused or ended the session; call Close for the
+// authoritative result.
+func (es *EdgeStream) Send(edges []graph.StreamEdge) error {
+	es.buf = es.buf[:0]
+	if !es.started {
+		es.buf = append(es.buf, wire.StreamMagic...)
+		es.started = true
+	}
+	for _, se := range edges {
+		es.buf, es.scratch = wire.AppendEdgeFrame(es.buf, es.scratch, se)
+	}
+	if _, err := es.pw.Write(es.buf); err != nil {
+		return err
+	}
+	es.sent += len(edges)
+	return nil
+}
+
+// Sent reports how many edges have been written to the session so far.
+func (es *EdgeStream) Sent() int { return es.sent }
+
+// Close ends the session body and waits for the server's summary. The
+// response's Accepted is the authoritative count of edges routed to the
+// shards.
+func (es *EdgeStream) Close() (*api.IngestResponse, error) {
+	es.pw.Close()
+	r := <-es.done
+	return r.resp, r.err
+}
+
+// RetryStream is a self-healing match subscription: when the server evicts
+// this subscriber for falling behind, or the connection drops mid-stream,
+// it transparently resubscribes under the client's RetryPolicy and keeps
+// delivering. Matches buffered server-side but never flushed before the
+// break are redelivered on durable servers and lost on in-memory ones;
+// duplicates are possible either way — consumers that need exactly-once
+// deduplicate on (Query, Signature), the canonical match identity.
+type RetryStream struct {
+	c     *Client
+	ctx   context.Context
+	query string
+	sub   *Subscription
+
+	reconnects int
+}
+
+// SubscribeMatchesRetry opens a RetryStream for queryName ("" = all
+// queries). The initial subscribe also retries under the policy, so it can
+// be called while the daemon is still coming up.
+func (c *Client) SubscribeMatchesRetry(ctx context.Context, queryName string) *RetryStream {
+	return &RetryStream{c: c, ctx: ctx, query: queryName}
+}
+
+// Reconnects reports how many times the stream re-subscribed.
+func (rs *RetryStream) Reconnects() int { return rs.reconnects }
+
+// Next blocks for the next match report, resubscribing as needed. It
+// returns the context error when ctx ends, or the last subscribe error once
+// the retry budget is exhausted (a drained server answers every resubscribe
+// with 503, so a graceful daemon shutdown surfaces here as that 503).
+func (rs *RetryStream) Next() (export.MatchReport, error) {
+	for {
+		if rs.sub == nil {
+			if err := rs.dial(); err != nil {
+				return export.MatchReport{}, err
+			}
+		}
+		rep, err := rs.sub.Next()
+		if err == nil {
+			return rep, nil
+		}
+		rs.sub.Close()
+		rs.sub = nil
+		if rs.ctx.Err() != nil {
+			return export.MatchReport{}, rs.ctx.Err()
+		}
+		// io.EOF: evicted (or the server is draining — the resubscribe's
+		// 503 settles which). Anything else: a broken connection. Both are
+		// answered by resubscribing.
+		rs.reconnects++
+	}
+}
+
+// dial subscribes under the retry policy.
+func (rs *RetryStream) dial() error {
+	for attempt := 1; ; attempt++ {
+		sub, err := rs.c.SubscribeMatches(rs.ctx, rs.query)
+		if err == nil {
+			rs.sub = sub
+			return nil
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		var retryAfter time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			retryAfter = ae.RetryAfter
+		}
+		delay, ok := rs.c.retry.backoff(attempt, retryAfter)
+		if !ok {
+			return err
+		}
+		rs.c.retries.Add(1)
+		t := time.NewTimer(delay)
+		select {
+		case <-rs.ctx.Done():
+			t.Stop()
+			return rs.ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Close releases the live subscription, if any.
+func (rs *RetryStream) Close() error {
+	if rs.sub != nil {
+		err := rs.sub.Close()
+		rs.sub = nil
+		return err
+	}
+	return nil
+}

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 	"text/tabwriter"
 
@@ -62,6 +62,7 @@ func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport
 	}
 	// ForEachVertex iterates in ascending pattern-ID order, matching the
 	// sorted order the map-based representation had to construct.
+	r.Bindings = make([]Binding, 0, ev.Match.NumVertices())
 	ev.Match.ForEachVertex(func(qv query.VertexID, dv graph.VertexID) bool {
 		b := Binding{VertexID: uint64(dv)}
 		if q != nil {
@@ -91,7 +92,7 @@ func BuildReport(ev core.MatchEvent, q *query.Graph, g *graph.Graph) MatchReport
 		deIDs = append(deIDs, uint64(de))
 		return true
 	})
-	sort.Slice(deIDs, func(i, j int) bool { return deIDs[i] < deIDs[j] })
+	slices.Sort(deIDs)
 	r.EdgeIDs = deIDs
 	return r
 }

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/loader"
+	"github.com/streamworks/streamworks/internal/stream"
+	"github.com/streamworks/streamworks/internal/wire"
+)
+
+// Streaming ingest: the handler hands decoded chunks to the runner as the
+// body decodes, instead of queue-then-drain. A match completed by an edge
+// early in a large upload is detected (and flushed to subscribers) while
+// the rest of the body is still on the wire. Chunk sizing adapts to queue
+// depth — an idle queue favors small chunks so shards start immediately, a
+// backed-up queue favors large ones so the per-chunk routing and WAL-frame
+// overhead amortizes.
+const (
+	minIngestChunk = 256
+	maxIngestChunk = 8192
+	// streamFlushProbe is the buffered-byte threshold below which the
+	// persistent stream handler flushes its partial chunk before blocking
+	// on the connection: a trickling feeder gets per-edge dispatch, a
+	// saturating one gets full chunks.
+	streamFlushProbe = 16
+)
+
+// adaptiveChunk picks the next enqueue size from the current queue depth.
+func (s *Server) adaptiveChunk() int {
+	fill, depth := len(s.run.batches), cap(s.run.batches)
+	c := minIngestChunk << uint(5*fill/max(depth, 1)) // 256 … 8192
+	if c > maxIngestChunk {
+		c = maxIngestChunk
+	}
+	if c > s.cfg.MaxBatchEdges {
+		c = s.cfg.MaxBatchEdges
+	}
+	return c
+}
+
+// chunkPool recycles ingest chunk slices. The runner returns a chunk after
+// ProcessBatch (the WAL append has joined and every downstream tier holds
+// copies, never the slice), so reuse is alias-free.
+var chunkPool = sync.Pool{New: func() any { return new([]graph.StreamEdge) }}
+
+func getChunk() []graph.StreamEdge {
+	return (*(chunkPool.Get().(*[]graph.StreamEdge)))[:0]
+}
+
+func putChunk(c []graph.StreamEdge) {
+	c = c[:0]
+	chunkPool.Put(&c)
+}
+
+var errQueueFull = errors.New("server: ingest queue full")
+
+// enqueue hands one chunk to the runner. Blocking sends are safe under the
+// read lock: Close flips draining under the write lock (so no new sends
+// start) and only closes the queue after every read lock is released, while
+// the runner keeps draining until then.
+func (s *Server) enqueue(b ingestBatch, blocking bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if blocking {
+		s.run.batches <- b
+		return nil
+	}
+	select {
+	case s.run.batches <- b:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// ingester is the per-request streaming decode state shared by the NDJSON
+// and binary paths of POST /v1/edges and by POST /v1/stream.
+type ingester struct {
+	s       *Server
+	arrived int64      // obs arrival stamp (0 when observability is off)
+	job     *ingestJob // accumulates processed/err across chunks (wait mode)
+	chunk   []graph.StreamEdge
+	target  int // current adaptive chunk size
+	total   int // edges accepted (enqueued) so far
+	chunks  int // chunks enqueued so far
+	capped  bool
+	err     error // first enqueue failure (errQueueFull or ErrDraining)
+}
+
+// push buffers one decoded edge, flushing the chunk when it reaches the
+// adaptive target. Returns false to stop the decode loop.
+func (g *ingester) push(se graph.StreamEdge) bool {
+	if g.total >= g.s.cfg.MaxBatchEdges {
+		g.capped = true
+		return false
+	}
+	if g.chunk == nil {
+		g.chunk = getChunk()
+		g.target = g.s.adaptiveChunk()
+	}
+	g.chunk = append(g.chunk, se)
+	g.total++
+	if len(g.chunk) >= g.target {
+		return g.flush()
+	}
+	return true
+}
+
+// flush enqueues the buffered chunk. The first chunk of a request is
+// non-blocking — admission control stays a fast 429 — while later chunks
+// block: the request is already partially accepted, so backpressure
+// switches from shedding to pacing the decoder (and, transitively, the
+// client's TCP stream) against the runner.
+func (g *ingester) flush() bool {
+	if len(g.chunk) == 0 {
+		return true
+	}
+	b := ingestBatch{edges: g.chunk, job: g.job, enqNS: g.arrived, pooled: true}
+	if err := g.s.enqueue(b, g.chunks > 0); err != nil {
+		g.total -= len(g.chunk)
+		putChunk(g.chunk)
+		g.chunk = nil
+		g.err = err
+		return false
+	}
+	g.chunks++
+	g.chunk = nil
+	return true
+}
+
+// consumeNDJSON streams an NDJSON body through push.
+func (g *ingester) consumeNDJSON(body io.Reader) error {
+	src := loader.JSONLSource(body)
+	_, err := stream.Replay(src, g.push)
+	if errors.Is(err, stream.ErrStopped) {
+		return nil // capped or enqueue failure; both recorded on g
+	}
+	return err
+}
+
+// consumeBinary streams a binary frame body (magic + edge frames) through
+// push. Match frames in an ingest body are corrupt input.
+func (g *ingester) consumeBinary(body io.Reader) error {
+	rd := wire.NewReader(body)
+	for {
+		typ, payload, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if typ != wire.FrameEdge {
+			return wire.ErrCorrupt
+		}
+		se, err := wire.DecodeEdge(payload)
+		if err != nil {
+			return err
+		}
+		if !g.push(se) {
+			return nil
+		}
+	}
+}
+
+// shedIngest applies the admission checks shared by both ingest endpoints:
+// drain state, durability policy and the fast queue-full probe. It writes
+// the refusal response and reports whether the request was shed.
+func (s *Server) shedIngest(w http.ResponseWriter) bool {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return true
+	}
+	if s.cfg.RequireDurability && s.eng.Durability().Mode == "degraded" {
+		// The operator asked for durable ingest or nothing: refuse rather
+		// than silently accept edges that would not survive a restart.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: "durability degraded"})
+		return true
+	}
+	if len(s.run.batches) == cap(s.run.batches) {
+		// Fast path only — the authoritative check is the first chunk's
+		// non-blocking enqueue.
+		s.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest queue full"})
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// The ingest segment starts at request arrival, not at enqueue: body
+	// decode is a real part of the edge's journey, and stamping here is what
+	// lets the per-segment means account for detect-and-deliver latency.
+	var arrivedNS int64
+	if s.obsClock != nil {
+		arrivedNS = s.obsClock.Now()
+	}
+	if s.shedIngest(w) {
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	g := &ingester{s: s, arrived: arrivedNS}
+	if wait {
+		g.job = &ingestJob{}
+	}
+	var decodeErr error
+	if strings.Contains(r.Header.Get("Content-Type"), wire.ContentTypeBinary) {
+		decodeErr = g.consumeBinary(r.Body)
+	} else {
+		decodeErr = g.consumeNDJSON(r.Body)
+	}
+	if g.err == nil {
+		// Trailing partial chunk — flushed even after a decode error or the
+		// cap, so Accepted reports exactly what was enqueued.
+		g.flush()
+	}
+
+	switch {
+	case errors.Is(g.err, ErrDraining):
+		if g.total == 0 {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+		} else {
+			writeJSON(w, http.StatusServiceUnavailable,
+				IngestResponse{Accepted: g.total, Queued: true, Error: "draining"})
+		}
+		return
+	case errors.Is(g.err, errQueueFull):
+		s.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest queue full"})
+		return
+	case decodeErr != nil:
+		// Chunks already enqueued cannot be recalled; Accepted tells the
+		// client how far the stream got before the damage.
+		writeJSON(w, http.StatusBadRequest,
+			IngestResponse{Accepted: g.total, Queued: g.total > 0, Error: "decoding edges: " + decodeErr.Error()})
+		return
+	case g.capped:
+		// Streaming cannot un-accept the edges that fit under the cap, so —
+		// unlike the old decode-then-reject path — the response reports them.
+		writeJSON(w, http.StatusRequestEntityTooLarge, IngestResponse{
+			Accepted: g.total, Queued: g.total > 0,
+			Error: fmt.Sprintf("batch exceeds %d edges; split the upload", s.cfg.MaxBatchEdges),
+		})
+		return
+	}
+	if !wait || g.chunks == 0 {
+		writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: g.total, Queued: g.chunks > 0})
+		return
+	}
+	s.waitIngest(w, g)
+}
+
+// waitIngest enqueues the sentinel chunk that carries the wait=1 reply
+// channel (FIFO ordering means it completes only after every data chunk)
+// and answers with the authoritative result.
+func (s *Server) waitIngest(w http.ResponseWriter, g *ingester) {
+	done := make(chan ingestResult, 1)
+	if err := s.enqueue(ingestBatch{job: g.job, done: done}, true); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			IngestResponse{Accepted: g.total, Queued: true, Error: "draining"})
+		return
+	}
+	var res ingestResult
+	if s.cfg.IngestTimeout > 0 {
+		// Bound the wait so a stalled disk (WAL fsync hanging under the
+		// runner) cannot wedge HTTP workers. The chunks are queued and will
+		// still be processed; done is buffered, so the runner's send never
+		// blocks on an abandoned waiter.
+		t := time.NewTimer(s.cfg.IngestTimeout)
+		defer t.Stop()
+		select {
+		case res = <-done:
+		case <-t.C:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, IngestResponse{
+				Accepted: g.total, Queued: true,
+				Error: "ingest wait timed out; batch still queued",
+			})
+			return
+		}
+	} else {
+		res = <-done
+	}
+	resp := IngestResponse{Accepted: res.processed}
+	if res.err != nil {
+		resp.Error = res.err.Error()
+		writeJSON(w, http.StatusInternalServerError, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStream is the persistent-connection ingest session: one long-lived
+// POST whose body is a binary frame stream (magic + edge frames), decoded
+// and handed to the shards as frames arrive. Backpressure is the TCP
+// window — a full queue blocks the decoder, which stops reading the socket.
+// MaxBatchEdges does not apply (a session is a stream, not a batch); the
+// JSON summary answers at EOF.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var arrivedNS int64
+	if s.obsClock != nil {
+		arrivedNS = s.obsClock.Now()
+	}
+	if !strings.Contains(r.Header.Get("Content-Type"), wire.ContentTypeBinary) {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"stream sessions are binary only; set Content-Type: %s", wire.ContentTypeBinary)
+		return
+	}
+	if s.shedIngest(w) {
+		return
+	}
+	g := &ingester{s: s, arrived: arrivedNS, job: &ingestJob{}}
+	rd := wire.NewReader(r.Body)
+	var decodeErr error
+	// A session that keeps filling chunks to their target is saturating:
+	// double the next target (up to the cap) so the per-chunk routing
+	// overhead amortizes. A drain-triggered partial flush means the feeder
+	// is trickling — fall back to queue-depth-adaptive sizing.
+	grown := 0
+	for {
+		if len(g.chunk) > 0 && rd.Buffered() < streamFlushProbe {
+			// About to block on the socket: dispatch what we have so a
+			// trickling feeder still gets immediate detection.
+			if !g.flush() {
+				break
+			}
+			grown = 0
+		}
+		typ, payload, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		if typ != wire.FrameEdge {
+			decodeErr = wire.ErrCorrupt
+			break
+		}
+		se, err := wire.DecodeEdge(payload)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		g.total++ // sessions are uncapped; bypass push's MaxBatchEdges check
+		if g.chunk == nil {
+			g.chunk = getChunk()
+			g.target = max(s.adaptiveChunk(), grown)
+		}
+		g.chunk = append(g.chunk, se)
+		if len(g.chunk) >= g.target {
+			if !g.flush() {
+				break
+			}
+			grown = min(2*g.target, maxIngestChunk)
+		}
+	}
+	if g.err == nil {
+		g.flush()
+	}
+	switch {
+	case errors.Is(g.err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable,
+			IngestResponse{Accepted: g.total, Queued: true, Error: "draining"})
+		return
+	case g.err != nil: // first-chunk queue full: the session never started
+		s.batchesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest queue full"})
+		return
+	case decodeErr != nil:
+		writeJSON(w, http.StatusBadRequest,
+			IngestResponse{Accepted: g.total, Queued: g.total > 0, Error: "decoding stream: " + decodeErr.Error()})
+		return
+	}
+	if g.chunks == 0 {
+		writeJSON(w, http.StatusOK, IngestResponse{})
+		return
+	}
+	s.waitIngest(w, g)
+}

@@ -40,16 +40,32 @@ type runner struct {
 	obsTracer *obs.Tracer
 }
 
-// ingestBatch is one decoded /v1/edges request body. done is non-nil for
-// wait=true requests; the runner sends the result exactly once. enqNS is
-// the wall-clock arrival time of the ingest request, stamped only when
+// ingestBatch is one chunk of a streaming ingest request (the handler
+// enqueues chunks as the body decodes; a request usually spans several).
+// done is non-nil only on the final sentinel chunk of a wait=true request;
+// the runner sends the accumulated result exactly once. enqNS is the
+// wall-clock arrival time of the ingest request, stamped only when
 // observability is enabled — the ingest segment spans body decode plus
 // queue wait, everything between the daemon seeing the edge and the engine
 // starting on it.
 type ingestBatch struct {
 	edges []graph.StreamEdge
+	job   *ingestJob
 	done  chan ingestResult
 	enqNS int64
+	// pooled marks chunks the runner returns to chunkPool after processing:
+	// ProcessBatch has joined the WAL append and every downstream tier holds
+	// copies by then, so the slice is free to reuse.
+	pooled bool
+}
+
+// ingestJob accumulates the outcome of one multi-chunk ingest request.
+// Only the runner goroutine touches it between the first enqueue and the
+// done send on the final chunk — chunk order is FIFO — so no lock is
+// needed; the done send publishes the totals to the waiting handler.
+type ingestJob struct {
+	processed int
+	err       error
 }
 
 type ingestResult struct {
@@ -107,21 +123,37 @@ func (r *runner) process(b ingestBatch) {
 			}
 		}
 	}
-	var res ingestResult
-	for _, se := range b.edges {
+	var processed int
+	var err error
+	if len(b.edges) > 0 {
 		// The arrival stamp rides the edge envelope down through routing and
 		// the shard mailbox so the engine can stamp it onto any match this
 		// edge completes — the per-match journey measurement.
-		se.ArrivedWallNS = b.enqNS
-		if err := r.eng.Process(context.Background(), se); err != nil {
-			res.err = err
-			break
+		for i := range b.edges {
+			b.edges[i].ArrivedWallNS = b.enqNS
 		}
-		res.processed++
+		// One ProcessBatch per chunk: one WAL frame and one pass through the
+		// shard router, instead of a per-edge append.
+		if err = r.eng.ProcessBatch(context.Background(), b.edges); err == nil {
+			processed = len(b.edges)
+		}
+		r.edgesIngested.Add(uint64(processed))
+		r.batchesIngested.Add(1)
 	}
-	r.edgesIngested.Add(uint64(res.processed))
-	r.batchesIngested.Add(1)
+	if b.job != nil {
+		b.job.processed += processed
+		if err != nil && b.job.err == nil {
+			b.job.err = err
+		}
+	}
 	if b.done != nil {
+		res := ingestResult{processed: processed, err: err}
+		if b.job != nil {
+			res = ingestResult{processed: b.job.processed, err: b.job.err}
+		}
 		b.done <- res
+	}
+	if b.pooled {
+		putChunk(b.edges)
 	}
 }

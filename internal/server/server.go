@@ -6,13 +6,19 @@
 //
 // The serving layer fronts the public streamworks engine (a Sharded
 // backend). A single runner goroutine funnels all edge processing; ingest
-// requests enqueue decoded batches onto a bounded queue (HTTP 429 when full
-// — overload sheds at admission instead of stacking blocked request
-// goroutines), and control requests execute as closures on the runner,
-// serialized with edge processing. On the output side every match
-// subscriber is its own per-query push subscription on the engine, buffered
-// by the hub; a subscriber that cannot keep up is evicted, never waited on,
-// so a stalled dashboard cannot stall detection.
+// requests stream decoded chunks onto a bounded queue as the body decodes
+// (adaptive chunk sizing; HTTP 429 sheds overload at admission before the
+// first chunk, TCP backpressure paces the rest), and control requests
+// execute as closures on the runner, serialized with edge processing. On
+// the output side every match subscriber is its own per-query push
+// subscription on the engine, buffered by the hub; each match is flushed to
+// the subscriber's socket the moment it surfaces (coalescing only what is
+// already buffered), and a subscriber that cannot keep up is evicted, never
+// waited on, so a stalled dashboard cannot stall detection.
+//
+// Both ingest and match delivery negotiate between NDJSON and the binary
+// frame transport (internal/wire): Content-Type selects the ingest codec,
+// Accept selects the delivery codec.
 //
 // Endpoints:
 //
@@ -20,11 +26,15 @@
 //	GET    /v1/queries        list registered queries
 //	GET    /v1/queries/{name} fetch one query, rendered back as DSL text
 //	DELETE /v1/queries/{name} unregister
-//	POST   /v1/edges          ingest an NDJSON edge batch (?wait=1 to block
-//	                          until the batch is routed; 429 on overload)
+//	POST   /v1/edges          ingest an edge batch (NDJSON, or binary frames
+//	                          with Content-Type: application/x-streamworks-frame;
+//	                          ?wait=1 to block until routed; 429 on overload)
+//	POST   /v1/stream         persistent binary ingest session: the body is a
+//	                          long-lived frame stream, dispatched as it arrives
 //	POST   /v1/advance        advance stream time (body: {"ts": ns})
-//	GET    /v1/matches        stream matches (?query= filters; NDJSON, or SSE
-//	                          when Accept: text/event-stream)
+//	GET    /v1/matches        stream matches (?query= filters; NDJSON, SSE when
+//	                          Accept: text/event-stream, binary frames when
+//	                          Accept: application/x-streamworks-frame)
 //	GET    /v1/metrics        engine + per-shard + server counters
 //	GET    /healthz           liveness
 //
@@ -51,12 +61,11 @@ import (
 	"github.com/streamworks/streamworks/internal/api"
 	"github.com/streamworks/streamworks/internal/decompose"
 	"github.com/streamworks/streamworks/internal/graph"
-	"github.com/streamworks/streamworks/internal/loader"
 	"github.com/streamworks/streamworks/internal/obs"
 	"github.com/streamworks/streamworks/internal/query"
 	"github.com/streamworks/streamworks/internal/shard"
 	"github.com/streamworks/streamworks/internal/stats"
-	"github.com/streamworks/streamworks/internal/stream"
+	"github.com/streamworks/streamworks/internal/wire"
 )
 
 // Config sizes the serving layer around a sharded engine configuration.
@@ -248,6 +257,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/queries/{name}", s.handleGetQuery)
 	s.mux.HandleFunc("DELETE /v1/queries/{name}", s.handleUnregister)
 	s.mux.HandleFunc("POST /v1/edges", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
 	s.mux.HandleFunc("GET /v1/matches", s.handleMatches)
 	return s
@@ -515,115 +525,8 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 // api.IngestResponse).
 type IngestResponse = api.IngestResponse
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	// The ingest segment starts at request arrival, not at enqueue: the
-	// NDJSON decode below is a real part of the edge's journey (large
-	// batches decode for milliseconds), and stamping here is what lets the
-	// per-segment means account for the measured detect-and-deliver latency.
-	var arrivedNS int64
-	if s.obsClock != nil {
-		arrivedNS = s.obsClock.Now()
-	}
-	// Shed before decoding: during drain or sustained overload the expensive
-	// part of an ingest request is the JSON decode, so refuse up front. The
-	// queue-full probe here is only a fast path — the authoritative check is
-	// the non-blocking enqueue below.
-	s.mu.RLock()
-	draining := s.draining
-	s.mu.RUnlock()
-	if draining {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	if s.cfg.RequireDurability && s.eng.Durability().Mode == "degraded" {
-		// The operator asked for durable ingest or nothing: refuse rather
-		// than silently accept edges that would not survive a restart.
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: "durability degraded"})
-		return
-	}
-	if len(s.run.batches) == cap(s.run.batches) {
-		s.batchesRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest queue full"})
-		return
-	}
-	edges := make([]graph.StreamEdge, 0, 256)
-	src := loader.JSONLSource(r.Body)
-	_, err := stream.Replay(src, func(se graph.StreamEdge) bool {
-		if len(edges) >= s.cfg.MaxBatchEdges {
-			return false
-		}
-		edges = append(edges, se)
-		return true
-	})
-	if errors.Is(err, stream.ErrStopped) {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			"batch exceeds %d edges; split the upload", s.cfg.MaxBatchEdges)
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "decoding edges: %v", err)
-		return
-	}
-	wait := r.URL.Query().Get("wait") != ""
-
-	b := ingestBatch{edges: edges}
-	if wait {
-		b.done = make(chan ingestResult, 1)
-	}
-	b.enqNS = arrivedNS
-	s.mu.RLock()
-	if s.draining {
-		s.mu.RUnlock()
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	select {
-	case s.run.batches <- b:
-		s.mu.RUnlock()
-	default:
-		s.mu.RUnlock()
-		s.batchesRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, IngestResponse{
-			Error: "ingest queue full",
-		})
-		return
-	}
-	if !wait {
-		writeJSON(w, http.StatusAccepted, IngestResponse{Accepted: len(edges), Queued: true})
-		return
-	}
-	var res ingestResult
-	if s.cfg.IngestTimeout > 0 {
-		// Bound the wait so a stalled disk (WAL fsync hanging under the
-		// runner) cannot wedge HTTP workers. The batch is already queued and
-		// will still be processed; done is buffered, so the runner's send
-		// never blocks on an abandoned waiter.
-		t := time.NewTimer(s.cfg.IngestTimeout)
-		defer t.Stop()
-		select {
-		case res = <-b.done:
-		case <-t.C:
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, IngestResponse{
-				Accepted: len(edges), Queued: true,
-				Error: "ingest wait timed out; batch still queued",
-			})
-			return
-		}
-	} else {
-		res = <-b.done
-	}
-	resp := IngestResponse{Accepted: res.processed}
-	if res.err != nil {
-		resp.Error = res.err.Error()
-		writeJSON(w, http.StatusInternalServerError, resp)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
+// handleIngest and handleStream live in ingest.go: streaming decode with
+// adaptive chunking, NDJSON or binary frames by content negotiation.
 
 // AdvanceRequest is the body of POST /v1/advance (see api.AdvanceRequest).
 type AdvanceRequest = api.AdvanceRequest
@@ -675,70 +578,131 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.hub.unsubscribe(sub)
 
-	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
-	if sse {
+	accept := r.Header.Get("Accept")
+	binary := strings.Contains(accept, wire.ContentTypeBinary)
+	sse := !binary && strings.Contains(accept, "text/event-stream")
+	switch {
+	case binary:
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	case sse:
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
-	} else {
+	default:
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.WriteHeader(http.StatusOK)
+	if binary {
+		if _, err := w.Write(wire.StreamMagic); err != nil {
+			return
+		}
+	}
 	flusher.Flush()
 
+	// encode writes one match without flushing. The binary path reuses
+	// per-connection frame and payload buffers across matches, so steady
+	// delivery allocates nothing.
 	enc := json.NewEncoder(w)
-	write := func(rep streamworks.Match) bool {
+	var frameBuf, scratch []byte
+	encode := func(rep streamworks.Match) bool {
+		switch {
+		case binary:
+			frameBuf, scratch = wire.AppendMatchFrame(frameBuf[:0], scratch, rep)
+			_, err := w.Write(frameBuf)
+			return err == nil
+		case sse:
+			io.WriteString(w, "event: match\ndata: ")
+			if err := enc.Encode(rep); err != nil {
+				return false
+			}
+			io.WriteString(w, "\n")
+			return true
+		default:
+			return enc.Encode(rep) == nil
+		}
+	}
+
+	// Flush-on-match with coalescing: every group of matches is flushed the
+	// moment it is encoded — a detected match never waits for a batch
+	// boundary — but matches already buffered behind the first are written
+	// in the same flush, so a burst costs one syscall, not one per match.
+	pending := make([]streamworks.Match, 0, 16)
+	flushPending := func() bool {
+		if len(pending) == 0 {
+			return true
+		}
 		var t0 int64
 		if s.obsFlush != nil {
-			// Measure from the engine's delivery stamp when present: the
-			// flush segment then covers the subscriber-buffer wait as well
-			// as the encode+flush, picking up exactly where the dispatch
-			// segment ends so the per-segment means account for the whole
-			// detect-and-deliver journey.
-			if t0 = rep.DeliveredWallNS; t0 == 0 {
-				t0 = s.obsClock.Now()
+			t0 = s.obsClock.Now()
+		}
+		for _, rep := range pending {
+			if !encode(rep) {
+				return false
 			}
-		}
-		if sse {
-			io.WriteString(w, "event: match\ndata: ")
-		}
-		if err := enc.Encode(rep); err != nil {
-			return false
-		}
-		if sse {
-			io.WriteString(w, "\n")
 		}
 		flusher.Flush()
 		if s.cfg.DataDir != "" {
 			// Flushed to the subscriber's socket: the kernel delivers
-			// buffered data even if we crash now, so the match counts as
+			// buffered data even if we crash now, so each match counts as
 			// delivered and is suppressed (not redelivered) after recovery.
-			s.eng.AckDelivered(rep.Query, rep.Signature, rep.SpanStart)
+			for _, rep := range pending {
+				s.eng.AckDelivered(rep.Query, rep.Signature, rep.SpanStart)
+			}
 		}
 		if s.obsFlush != nil {
 			now := s.obsClock.Now()
-			d := now - t0
-			s.obsFlush.Observe(d)
-			if rep.ArrivedWallNS != 0 {
-				// The match-weighted closure check: the whole journey of this
-				// match, from its completing edge reaching the daemon to the
-				// flush that just delivered it.
-				s.obsJourney.Observe(now - rep.ArrivedWallNS)
-			}
-			// A deliver trace event is keyed to whichever of the match's
-			// data edges the sampler selects — the same ID-deterministic
-			// test every lower tier applies, so the journey stitches.
-			for _, id := range rep.EdgeIDs {
-				if s.obsTracer.SampleEdge(id) {
-					s.obsTracer.Record(obs.TraceEvent{
-						Stage:    obs.StageDeliver,
-						Shard:    -1,
-						EdgeID:   id,
-						StreamTS: rep.DetectedAt,
-						DurNS:    d,
-						Query:    rep.Query,
-					})
-					break
+			for _, rep := range pending {
+				// Measure from the engine's delivery stamp when present: the
+				// flush segment then covers the subscriber-buffer wait as
+				// well as the encode+flush, picking up exactly where the
+				// dispatch segment ends so the per-segment means account for
+				// the whole detect-and-deliver journey.
+				st := rep.DeliveredWallNS
+				if st == 0 {
+					st = t0
 				}
+				d := now - st
+				s.obsFlush.Observe(d)
+				if rep.ArrivedWallNS != 0 {
+					// The match-weighted closure check: the whole journey of
+					// this match, from its completing edge reaching the
+					// daemon to the flush that just delivered it.
+					s.obsJourney.Observe(now - rep.ArrivedWallNS)
+				}
+				// A deliver trace event is keyed to whichever of the match's
+				// data edges the sampler selects — the same ID-deterministic
+				// test every lower tier applies, so the journey stitches.
+				for _, id := range rep.EdgeIDs {
+					if s.obsTracer.SampleEdge(id) {
+						s.obsTracer.Record(obs.TraceEvent{
+							Stage:    obs.StageDeliver,
+							Shard:    -1,
+							EdgeID:   id,
+							StreamTS: rep.DetectedAt,
+							DurNS:    d,
+							Query:    rep.Query,
+						})
+						break
+					}
+				}
+			}
+		}
+		pending = pending[:0]
+		return true
+	}
+	// collect drains matches already buffered behind first without
+	// blocking, bounded so one flush never starves; reports whether the
+	// subscriber channel is still open.
+	collect := func(first streamworks.Match) bool {
+		pending = append(pending, first)
+		for len(pending) < 64 {
+			select {
+			case rep, open := <-sub.ch:
+				if !open {
+					return false
+				}
+				pending = append(pending, rep)
+			default:
+				return true
 			}
 		}
 		return true
@@ -751,7 +715,10 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 				// the client resubscribes.
 				return
 			}
-			if !write(rep) {
+			open = collect(rep)
+			// Deliver what was collected even if the hub closed the channel
+			// mid-drain — those matches were handed to this subscriber.
+			if !flushPending() || !open {
 				return
 			}
 		case <-sub.sub.Done():
@@ -760,7 +727,11 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 			for {
 				select {
 				case rep, open := <-sub.ch:
-					if !open || !write(rep) {
+					if !open {
+						return
+					}
+					open = collect(rep)
+					if !flushPending() || !open {
 						return
 					}
 				default:

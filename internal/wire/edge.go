@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/streamworks/streamworks/internal/graph"
+)
+
+// Edge payload layout (all integers varint/uvarint, strings uvarint-length
+// prefixed, attribute maps in sorted key order):
+//
+//	uvarint id, uvarint source, uvarint target
+//	string  type
+//	varint  timestamp (stream ns)
+//	string  source_type, string target_type
+//	attrs   attrs, source_attrs, target_attrs
+//
+// attrs = uvarint count, then per key (sorted): string key, byte kind,
+// kind-specific value (string | varint | 8-byte BE float bits | bool byte).
+// ArrivedWallNS is process-local observability state and never serialized.
+
+// AppendEdge appends the binary payload for se to dst. Invalid attribute
+// values (graph.KindInvalid) are skipped; everything else round-trips
+// exactly and the encoding is byte-deterministic.
+func AppendEdge(dst []byte, se graph.StreamEdge) []byte {
+	dst = binary.AppendUvarint(dst, uint64(se.Edge.ID))
+	dst = binary.AppendUvarint(dst, uint64(se.Edge.Source))
+	dst = binary.AppendUvarint(dst, uint64(se.Edge.Target))
+	dst = appendString(dst, se.Edge.Type)
+	dst = binary.AppendVarint(dst, int64(se.Edge.Timestamp))
+	dst = appendString(dst, se.SourceType)
+	dst = appendString(dst, se.TargetType)
+	dst = appendAttrs(dst, se.Edge.Attrs)
+	dst = appendAttrs(dst, se.SourceAttrs)
+	dst = appendAttrs(dst, se.TargetAttrs)
+	return dst
+}
+
+// AppendEdgeFrame appends the complete framed envelope for se to dst,
+// encoding the payload into scratch (reused across calls to avoid per-edge
+// allocation) and returning both grown slices.
+func AppendEdgeFrame(dst, scratch []byte, se graph.StreamEdge) ([]byte, []byte) {
+	scratch = AppendEdge(scratch[:0], se)
+	return AppendFrame(dst, FrameEdge, scratch), scratch
+}
+
+// DecodeEdge decodes an edge payload produced by AppendEdge.
+func DecodeEdge(payload []byte) (graph.StreamEdge, error) {
+	var se graph.StreamEdge
+	d := decoder{buf: payload}
+	se.Edge.ID = graph.EdgeID(d.uvarint())
+	se.Edge.Source = graph.VertexID(d.uvarint())
+	se.Edge.Target = graph.VertexID(d.uvarint())
+	se.Edge.Type = d.string()
+	se.Edge.Timestamp = graph.Timestamp(d.varint())
+	se.SourceType = d.string()
+	se.TargetType = d.string()
+	se.Edge.Attrs = d.attrs()
+	se.SourceAttrs = d.attrs()
+	se.TargetAttrs = d.attrs()
+	if d.err != nil {
+		return graph.StreamEdge{}, d.err
+	}
+	if len(d.buf) != 0 {
+		return graph.StreamEdge{}, fmt.Errorf("%w: %d trailing bytes after edge", ErrCorrupt, len(d.buf))
+	}
+	return se, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendAttrs(dst []byte, a graph.Attributes) []byte {
+	n := 0
+	for _, v := range a {
+		if v.IsValid() {
+			n++
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(n))
+	if n == 0 {
+		return dst
+	}
+	keys := make([]string, 0, len(a))
+	for k, v := range a {
+		if v.IsValid() {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		v := a[k]
+		dst = append(dst, byte(v.Kind()))
+		switch v.Kind() {
+		case graph.KindString:
+			dst = appendString(dst, v.Str())
+		case graph.KindInt:
+			dst = binary.AppendVarint(dst, v.Int64())
+		case graph.KindFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float64()))
+		case graph.KindBool:
+			b := byte(0)
+			if v.BoolVal() {
+				b = 1
+			}
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// decoder is a cursor over a frame payload. The first malformed field
+// latches err (always wrapping ErrCorrupt) and every later read is a no-op,
+// so codecs read straight through and check once.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail("string length %d exceeds %d remaining", n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail("unexpected end of payload")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) attrs() graph.Attributes {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(len(d.buf)) { // every entry takes ≥1 byte
+		d.fail("attr count %d exceeds %d remaining bytes", n, len(d.buf))
+		return nil
+	}
+	a := make(graph.Attributes, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := d.string()
+		kind := graph.Kind(d.byte())
+		switch kind {
+		case graph.KindString:
+			a[k] = graph.String(d.string())
+		case graph.KindInt:
+			a[k] = graph.Int(d.varint())
+		case graph.KindFloat:
+			if len(d.buf) < 8 {
+				d.fail("truncated float value")
+				return nil
+			}
+			a[k] = graph.Float(math.Float64frombits(binary.BigEndian.Uint64(d.buf)))
+			d.buf = d.buf[8:]
+		case graph.KindBool:
+			a[k] = graph.Bool(d.byte() != 0)
+		default:
+			d.fail("unknown attr kind %d", kind)
+			return nil
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return a
+}

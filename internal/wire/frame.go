@@ -1,0 +1,168 @@
+// Package wire is the binary frame transport shared by ingest and match
+// delivery. It reuses the WAL's framed-envelope style (internal/wal):
+// an 8-byte stream magic followed by frames of
+//
+//	uint32 length   — big-endian, covers the type byte + payload
+//	uint32 crc32    — IEEE, over the type byte + payload
+//	byte   type     — one of the Frame* types
+//	bytes  payload
+//
+// A frame is valid iff the declared length fits in the remaining bytes and
+// the CRC matches. Payload encodings (edge.go, match.go) are
+// byte-deterministic — attribute maps are emitted in sorted key order — so
+// encode is a pure function of the value and match sets can be compared
+// byte-for-byte across transports.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// StreamMagic identifies a StreamWorks binary wire stream, version 1. Both
+// the persistent ingest stream and the binary match stream start with it.
+var StreamMagic = []byte("SWIRE001")
+
+// ContentTypeBinary is the negotiated media type for the binary frame
+// transport, used as Content-Type on ingest and Accept on match delivery.
+const ContentTypeBinary = "application/x-streamworks-frame"
+
+// Frame types.
+const (
+	// FrameEdge carries one graph.StreamEdge (edge.go).
+	FrameEdge byte = 1
+	// FrameMatch carries one export.MatchReport (match.go).
+	FrameMatch byte = 2
+)
+
+const (
+	frameHeaderLen = 9 // 4 length + 4 crc + 1 type
+	// maxFramePayload rejects absurd declared lengths before allocating.
+	// Edges and match reports are small; 16 MiB is generous headroom.
+	maxFramePayload = 16 << 20
+)
+
+var (
+	// ErrTorn means the data ends before the frame it declares — a
+	// truncated stream or a partial read.
+	ErrTorn = errors.New("wire: torn frame")
+	// ErrCorrupt means the frame is structurally invalid: CRC mismatch,
+	// oversized length, unknown frame type or malformed payload.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrBadMagic means the stream does not start with StreamMagic.
+	ErrBadMagic = errors.New("wire: bad stream magic")
+)
+
+// AppendFrame appends the framed envelope for (typ, payload) to dst.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)+1))
+	hdr[8] = typ
+	crc := crc32.Update(crc32.Update(0, crc32.IEEETable, hdr[8:9]), crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes the first frame in data, returning the frame type,
+// its payload (aliasing data) and the total encoded size. It distinguishes
+// a torn tail (ErrTorn: data simply ends early) from corruption
+// (ErrCorrupt: CRC mismatch or nonsense header).
+func DecodeFrame(data []byte) (typ byte, payload []byte, n int, err error) {
+	if len(data) < frameHeaderLen {
+		return 0, nil, 0, ErrTorn
+	}
+	length := binary.BigEndian.Uint32(data[0:4])
+	if length == 0 || length > maxFramePayload {
+		return 0, nil, 0, ErrCorrupt
+	}
+	total := 8 + int(length)
+	if len(data) < total {
+		return 0, nil, 0, ErrTorn
+	}
+	body := data[8:total]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[4:8]) {
+		return 0, nil, 0, ErrCorrupt
+	}
+	typ = body[0]
+	if typ != FrameEdge && typ != FrameMatch {
+		return 0, nil, 0, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, typ)
+	}
+	return typ, body[1:], total, nil
+}
+
+// Reader decodes a frame stream incrementally from r: the 8-byte magic,
+// then one frame per Next call. The returned payload is valid only until
+// the next call — callers that retain data must copy.
+type Reader struct {
+	br    *bufio.Reader
+	buf   []byte
+	magic bool
+}
+
+// NewReader wraps r in a streaming frame decoder.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Buffered reports how many decoded-but-unread bytes sit in the reader's
+// buffer — a Next call that needs more than this will block on the
+// underlying reader. Streaming consumers use it to dispatch partial work
+// before blocking.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// Next reads the next frame. It returns io.EOF on a clean end-of-stream
+// (between frames), ErrTorn when the stream ends mid-frame, and ErrCorrupt
+// on structural damage. The magic header is consumed on the first call.
+func (r *Reader) Next() (typ byte, payload []byte, err error) {
+	if !r.magic {
+		var m [8]byte
+		if _, err := io.ReadFull(r.br, m[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return 0, nil, ErrBadMagic
+			}
+			return 0, nil, err
+		}
+		if !bytes.Equal(m[:], StreamMagic) {
+			return 0, nil, ErrBadMagic
+		}
+		r.magic = true
+	}
+	var hdr [frameHeaderLen - 1]byte // length + crc; type is part of body
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, ErrTorn
+		}
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	if length == 0 || length > maxFramePayload {
+		return 0, nil, ErrCorrupt
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	body := r.buf[:length]
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, ErrTorn
+		}
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return 0, nil, ErrCorrupt
+	}
+	typ = body[0]
+	if typ != FrameEdge && typ != FrameMatch {
+		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, typ)
+	}
+	return typ, body[1:], nil
+}

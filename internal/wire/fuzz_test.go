@@ -1,0 +1,96 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/streamworks/streamworks/internal/wire"
+)
+
+// FuzzFrameDecode mirrors FuzzWALDecode: whatever the bytes, the decoder
+// must classify every failure as torn or corrupt (never panic, never
+// mis-advance), and any payload that does decode must survive a re-encode
+// round trip (decode∘encode∘decode = decode).
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with real streams from the gen workloads: magic + edge frames
+	// from netflow and news, plus a match frame.
+	var scratch []byte
+	seed := append([]byte(nil), wire.StreamMagic...)
+	for _, se := range testNetflowWorkload().Edges[:32] {
+		seed, scratch = wire.AppendEdgeFrame(seed, scratch, se)
+	}
+	for _, se := range testNewsWorkload().Edges[:32] {
+		seed, scratch = wire.AppendEdgeFrame(seed, scratch, se)
+	}
+	seed, _ = wire.AppendMatchFrame(seed, scratch, testMatchReport())
+	f.Add(seed)
+	// Torn: truncate mid-frame.
+	f.Add(seed[:len(seed)-5])
+	// CRC-flipped: damage one byte in the middle.
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	// Magic alone, empty input, and a single handcrafted attr-heavy edge.
+	f.Add(append([]byte(nil), wire.StreamMagic...))
+	f.Add([]byte{})
+	one, _ := wire.AppendEdgeFrame(nil, nil, attrHeavyEdge())
+	f.Add(one)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		if len(data) >= len(wire.StreamMagic) && bytes.Equal(data[:len(wire.StreamMagic)], wire.StreamMagic) {
+			off = len(wire.StreamMagic)
+		}
+		for off < len(data) {
+			typ, payload, n, err := wire.DecodeFrame(data[off:])
+			if err != nil {
+				if !errors.Is(err, wire.ErrTorn) && !errors.Is(err, wire.ErrCorrupt) {
+					t.Fatalf("DecodeFrame: unexpected error class %v", err)
+				}
+				return
+			}
+			if n <= 8 {
+				t.Fatalf("DecodeFrame returned non-advancing size %d", n)
+			}
+			switch typ {
+			case wire.FrameEdge:
+				se, err := wire.DecodeEdge(payload)
+				if err != nil {
+					if !errors.Is(err, wire.ErrCorrupt) {
+						t.Fatalf("DecodeEdge: unexpected error class %v", err)
+					}
+					break
+				}
+				// Varint encodings in fuzzed input may be non-minimal, so
+				// bytes can differ — but the decoded value must be stable
+				// through our own canonical encoding.
+				re := wire.AppendEdge(nil, se)
+				se2, err := wire.DecodeEdge(re)
+				if err != nil {
+					t.Fatalf("re-decode of canonical encode failed: %v", err)
+				}
+				if !bytes.Equal(re, wire.AppendEdge(nil, se2)) {
+					t.Fatalf("canonical edge encoding not a fixed point")
+				}
+			case wire.FrameMatch:
+				rep, err := wire.DecodeMatch(payload)
+				if err != nil {
+					if !errors.Is(err, wire.ErrCorrupt) {
+						t.Fatalf("DecodeMatch: unexpected error class %v", err)
+					}
+					break
+				}
+				re := wire.AppendMatch(nil, rep)
+				rep2, err := wire.DecodeMatch(re)
+				if err != nil {
+					t.Fatalf("re-decode of canonical encode failed: %v", err)
+				}
+				if !bytes.Equal(re, wire.AppendMatch(nil, rep2)) {
+					t.Fatalf("canonical match encoding not a fixed point")
+				}
+			}
+			off += n
+		}
+	})
+}

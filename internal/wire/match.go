@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/streamworks/streamworks/internal/export"
+)
+
+// Match payload layout:
+//
+//	string  query
+//	varint  detected_at, span_start, span_end
+//	string  signature
+//	uvarint binding count, then per binding:
+//	        string variable, uvarint vertex_id, string vertex_type,
+//	        uvarint attr count, per attr (sorted): string key, string value
+//	uvarint edge-ID count, then uvarint per edge ID
+//
+// DeliveredWallNS / ArrivedWallNS are process-local and never serialized,
+// matching the JSON transport (`json:"-"`).
+
+// AppendMatch appends the binary payload for rep to dst. The encoding is
+// byte-deterministic: binding attrs are emitted in sorted key order.
+func AppendMatch(dst []byte, rep export.MatchReport) []byte {
+	dst = appendString(dst, rep.Query)
+	dst = binary.AppendVarint(dst, rep.DetectedAt)
+	dst = binary.AppendVarint(dst, rep.SpanStart)
+	dst = binary.AppendVarint(dst, rep.SpanEnd)
+	dst = appendString(dst, rep.Signature)
+	dst = binary.AppendUvarint(dst, uint64(len(rep.Bindings)))
+	for _, b := range rep.Bindings {
+		dst = appendString(dst, b.Variable)
+		dst = binary.AppendUvarint(dst, b.VertexID)
+		dst = appendString(dst, b.VertexType)
+		dst = binary.AppendUvarint(dst, uint64(len(b.Attrs)))
+		if len(b.Attrs) > 0 {
+			keys := make([]string, 0, len(b.Attrs))
+			for k := range b.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				dst = appendString(dst, k)
+				dst = appendString(dst, b.Attrs[k])
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rep.EdgeIDs)))
+	for _, id := range rep.EdgeIDs {
+		dst = binary.AppendUvarint(dst, id)
+	}
+	return dst
+}
+
+// AppendMatchFrame appends the complete framed envelope for rep to dst,
+// encoding the payload into scratch (reused across calls) and returning
+// both grown slices.
+func AppendMatchFrame(dst, scratch []byte, rep export.MatchReport) ([]byte, []byte) {
+	scratch = AppendMatch(scratch[:0], rep)
+	return AppendFrame(dst, FrameMatch, scratch), scratch
+}
+
+// DecodeMatch decodes a match payload produced by AppendMatch.
+func DecodeMatch(payload []byte) (export.MatchReport, error) {
+	var rep export.MatchReport
+	d := decoder{buf: payload}
+	rep.Query = d.string()
+	rep.DetectedAt = d.varint()
+	rep.SpanStart = d.varint()
+	rep.SpanEnd = d.varint()
+	rep.Signature = d.string()
+	nb := d.uvarint()
+	if d.err == nil && nb > uint64(len(d.buf)) { // every binding takes ≥1 byte
+		d.fail("binding count %d exceeds %d remaining bytes", nb, len(d.buf))
+	}
+	if d.err == nil && nb > 0 {
+		rep.Bindings = make([]export.Binding, 0, nb)
+		for i := uint64(0); i < nb && d.err == nil; i++ {
+			var b export.Binding
+			b.Variable = d.string()
+			b.VertexID = d.uvarint()
+			b.VertexType = d.string()
+			na := d.uvarint()
+			if d.err == nil && na > uint64(len(d.buf)) {
+				d.fail("attr count %d exceeds %d remaining bytes", na, len(d.buf))
+				break
+			}
+			if d.err == nil && na > 0 {
+				b.Attrs = make(map[string]string, na)
+				for j := uint64(0); j < na && d.err == nil; j++ {
+					k := d.string()
+					b.Attrs[k] = d.string()
+				}
+			}
+			rep.Bindings = append(rep.Bindings, b)
+		}
+	}
+	ne := d.uvarint()
+	if d.err == nil && ne > uint64(len(d.buf)) {
+		d.fail("edge-ID count %d exceeds %d remaining bytes", ne, len(d.buf))
+	}
+	if d.err == nil && ne > 0 {
+		rep.EdgeIDs = make([]uint64, 0, ne)
+		for i := uint64(0); i < ne && d.err == nil; i++ {
+			rep.EdgeIDs = append(rep.EdgeIDs, d.uvarint())
+		}
+	}
+	if d.err != nil {
+		return export.MatchReport{}, d.err
+	}
+	if len(d.buf) != 0 {
+		return export.MatchReport{}, fmt.Errorf("%w: %d trailing bytes after match", ErrCorrupt, len(d.buf))
+	}
+	return rep, nil
+}

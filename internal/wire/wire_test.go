@@ -1,0 +1,279 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/iotest"
+	"time"
+
+	"github.com/streamworks/streamworks/internal/export"
+	"github.com/streamworks/streamworks/internal/gen"
+	"github.com/streamworks/streamworks/internal/graph"
+	"github.com/streamworks/streamworks/internal/wire"
+)
+
+func testNetflowWorkload() gen.Workload {
+	cfg := gen.NetFlowConfig{
+		Hosts:       80,
+		Servers:     10,
+		Edges:       600,
+		Start:       graph.TimestampFromTime(time.Date(2013, 6, 22, 0, 0, 0, 0, time.UTC)),
+		MeanGap:     time.Millisecond,
+		ContactSkew: 1.4,
+		Seed:        51,
+	}
+	return gen.NetFlowWorkload(cfg, 90*time.Second)
+}
+
+func testNewsWorkload() gen.Workload {
+	cfg := gen.DefaultNewsConfig()
+	cfg.Articles = 80
+	cfg.Keywords = 40
+	cfg.Locations = 8
+	cfg.EventClusters = 1
+	return gen.NewsWorkload(cfg, 5*time.Minute, 2)
+}
+
+// attrHeavyEdge exercises every attribute kind on every attribute map.
+func attrHeavyEdge() graph.StreamEdge {
+	return graph.StreamEdge{
+		Edge: graph.Edge{
+			ID:        18446744073709551615, // max uint64
+			Source:    42,
+			Target:    7,
+			Type:      "flow",
+			Timestamp: -12345, // negative stream time must survive varint
+			Attrs: graph.Attributes{
+				"bytes":   graph.Int(-9e15),
+				"proto":   graph.String("tcp"),
+				"rate":    graph.Float(3.14159),
+				"flagged": graph.Bool(true),
+				"empty":   graph.String(""),
+			},
+		},
+		SourceType:  "host",
+		TargetType:  "server",
+		SourceAttrs: graph.Attributes{"os": graph.String("linux"), "up": graph.Bool(false)},
+		TargetAttrs: graph.Attributes{"load": graph.Float(0.5)},
+	}
+}
+
+func testMatchReport() export.MatchReport {
+	return export.MatchReport{
+		Query:      "exfil",
+		DetectedAt: 1371859200000000000,
+		SpanStart:  1371859100000000000,
+		SpanEnd:    1371859200000000000,
+		Signature:  "0:17|1:42|2:99",
+		Bindings: []export.Binding{
+			{Variable: "a", VertexID: 17, VertexType: "host", Attrs: map[string]string{"os": "linux", "dc": "east"}},
+			{Variable: "b", VertexID: 42, VertexType: "server"},
+		},
+		EdgeIDs: []uint64{17, 42, 99},
+	}
+}
+
+// TestEdgeRoundTrip is the decode∘encode = id property over generated
+// netflow/news edges plus a handcrafted attr-heavy edge.
+func TestEdgeRoundTrip(t *testing.T) {
+	edges := []graph.StreamEdge{attrHeavyEdge(), {}}
+	for _, w := range []gen.Workload{testNetflowWorkload(), testNewsWorkload()} {
+		edges = append(edges, w.Edges...)
+	}
+	var scratch []byte
+	for i, se := range edges {
+		se.ArrivedWallNS = 0 // process-local, never serialized
+		var frame []byte
+		frame, scratch = wire.AppendEdgeFrame(frame, scratch, se)
+		typ, payload, n, err := wire.DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("edge %d: DecodeFrame: %v", i, err)
+		}
+		if typ != wire.FrameEdge || n != len(frame) {
+			t.Fatalf("edge %d: typ=%d n=%d len=%d", i, typ, n, len(frame))
+		}
+		got, err := wire.DecodeEdge(payload)
+		if err != nil {
+			t.Fatalf("edge %d: DecodeEdge: %v", i, err)
+		}
+		// Byte-determinism doubles as structural equality, sidestepping
+		// nil-vs-empty map noise: identical re-encode ⇒ identical value.
+		re := wire.AppendEdge(nil, got)
+		if !bytes.Equal(re, wire.AppendEdge(nil, se)) {
+			t.Fatalf("edge %d: re-encode diverges\n got %+v\nwant %+v", i, got, se)
+		}
+	}
+	// Full structural equality on the handcrafted edge.
+	want := attrHeavyEdge()
+	var frame []byte
+	frame, _ = wire.AppendEdgeFrame(frame, nil, want)
+	_, payload, _, err := wire.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeEdge(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEncodeByteDeterministic re-encodes the same logical value built with
+// different map insertion orders and demands identical bytes.
+func TestEncodeByteDeterministic(t *testing.T) {
+	base := attrHeavyEdge()
+	ref := wire.AppendEdge(nil, base)
+	for i := 0; i < 32; i++ {
+		// Rebuild the attribute maps from scratch; Go map iteration order
+		// varies run to run, so 32 rebuilds exercise different layouts.
+		rebuilt := attrHeavyEdge()
+		if got := wire.AppendEdge(nil, rebuilt); !bytes.Equal(got, ref) {
+			t.Fatalf("encode not deterministic on rebuild %d", i)
+		}
+	}
+	rep := testMatchReport()
+	refM := wire.AppendMatch(nil, rep)
+	for i := 0; i < 32; i++ {
+		if got := wire.AppendMatch(nil, testMatchReport()); !bytes.Equal(got, refM) {
+			t.Fatalf("match encode not deterministic on rebuild %d", i)
+		}
+	}
+}
+
+func TestMatchRoundTrip(t *testing.T) {
+	for i, want := range []export.MatchReport{testMatchReport(), {}} {
+		var frame, scratch []byte
+		frame, _ = wire.AppendMatchFrame(frame, scratch, want)
+		typ, payload, n, err := wire.DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("match %d: DecodeFrame: %v", i, err)
+		}
+		if typ != wire.FrameMatch || n != len(frame) {
+			t.Fatalf("match %d: typ=%d n=%d len=%d", i, typ, n, len(frame))
+		}
+		got, err := wire.DecodeMatch(payload)
+		if err != nil {
+			t.Fatalf("match %d: DecodeMatch: %v", i, err)
+		}
+		if !bytes.Equal(wire.AppendMatch(nil, got), wire.AppendMatch(nil, want)) {
+			t.Fatalf("match %d: re-encode diverges\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	want := testMatchReport()
+	payload := wire.AppendMatch(nil, want)
+	got, err := wire.DecodeMatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReaderStream decodes a mixed stream through the incremental Reader,
+// via a one-byte-at-a-time reader to exercise partial reads.
+func TestReaderStream(t *testing.T) {
+	edges := testNetflowWorkload().Edges[:64]
+	rep := testMatchReport()
+	buf := append([]byte(nil), wire.StreamMagic...)
+	var scratch []byte
+	for _, se := range edges {
+		buf, scratch = wire.AppendEdgeFrame(buf, scratch, se)
+	}
+	buf, _ = wire.AppendMatchFrame(buf, scratch, rep)
+
+	r := wire.NewReader(iotest.OneByteReader(bytes.NewReader(buf)))
+	var gotEdges []graph.StreamEdge
+	var gotMatches []export.MatchReport
+	for {
+		typ, payload, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		switch typ {
+		case wire.FrameEdge:
+			se, err := wire.DecodeEdge(payload)
+			if err != nil {
+				t.Fatalf("DecodeEdge: %v", err)
+			}
+			gotEdges = append(gotEdges, se)
+		case wire.FrameMatch:
+			m, err := wire.DecodeMatch(payload)
+			if err != nil {
+				t.Fatalf("DecodeMatch: %v", err)
+			}
+			gotMatches = append(gotMatches, m)
+		}
+	}
+	if len(gotEdges) != len(edges) || len(gotMatches) != 1 {
+		t.Fatalf("decoded %d edges, %d matches; want %d, 1", len(gotEdges), len(gotMatches), len(edges))
+	}
+	for i := range edges {
+		want := edges[i]
+		want.ArrivedWallNS = 0
+		if !bytes.Equal(wire.AppendEdge(nil, gotEdges[i]), wire.AppendEdge(nil, want)) {
+			t.Fatalf("edge %d diverges through Reader", i)
+		}
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	valid := append([]byte(nil), wire.StreamMagic...)
+	valid, _ = wire.AppendEdgeFrame(valid, nil, attrHeavyEdge())
+
+	t.Run("bad-magic", func(t *testing.T) {
+		r := wire.NewReader(bytes.NewReader([]byte("NOTMAGIC")))
+		if _, _, err := r.Next(); !errors.Is(err, wire.ErrBadMagic) {
+			t.Fatalf("want ErrBadMagic, got %v", err)
+		}
+	})
+	t.Run("torn", func(t *testing.T) {
+		for cut := len(wire.StreamMagic) + 1; cut < len(valid); cut++ {
+			r := wire.NewReader(bytes.NewReader(valid[:cut]))
+			if _, _, err := r.Next(); !errors.Is(err, wire.ErrTorn) {
+				t.Fatalf("cut=%d: want ErrTorn, got %v", cut, err)
+			}
+		}
+	})
+	t.Run("crc-flip", func(t *testing.T) {
+		for bit := 0; bit < 8; bit++ {
+			damaged := append([]byte(nil), valid...)
+			damaged[len(damaged)-1] ^= 1 << bit // flip payload tail, CRC must catch it
+			r := wire.NewReader(bytes.NewReader(damaged))
+			if _, _, err := r.Next(); !errors.Is(err, wire.ErrCorrupt) {
+				t.Fatalf("bit=%d: want ErrCorrupt, got %v", bit, err)
+			}
+		}
+	})
+	t.Run("clean-eof", func(t *testing.T) {
+		r := wire.NewReader(bytes.NewReader(valid))
+		if _, _, err := r.Next(); err != nil {
+			t.Fatalf("first frame: %v", err)
+		}
+		if _, _, err := r.Next(); err != io.EOF {
+			t.Fatalf("want io.EOF between frames, got %v", err)
+		}
+	})
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	frame, _ := wire.AppendEdgeFrame(nil, nil, attrHeavyEdge())
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, err := wire.DecodeFrame(frame[:cut]); !errors.Is(err, wire.ErrTorn) && !errors.Is(err, wire.ErrCorrupt) {
+			t.Fatalf("cut=%d: want torn/corrupt, got %v", cut, err)
+		}
+	}
+	damaged := append([]byte(nil), frame...)
+	damaged[4] ^= 0xFF // CRC byte
+	if _, _, _, err := wire.DecodeFrame(damaged); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on CRC damage, got %v", err)
+	}
+}

@@ -19,6 +19,7 @@ type config struct {
 	shardBuffer  int
 	advanceEvery time.Duration
 	httpClient   *http.Client
+	transport    Transport
 	// strategy and adaptive are the engine-wide registration defaults; each
 	// RegisterQueryWith call can override them per query.
 	strategy string
@@ -292,4 +293,25 @@ func withWALFS(fs wal.FS) Option {
 // long-lived streams); use per-call contexts instead. Connect only.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *config) { c.httpClient = hc }
+}
+
+// Transport selects the wire encoding a Remote engine uses for ingest and
+// match subscriptions. Connect only.
+type Transport string
+
+const (
+	// TransportNDJSON is the default text transport: one JSON object per
+	// line, human-readable, curl-able.
+	TransportNDJSON Transport = "ndjson"
+	// TransportBinary is the length-prefixed binary frame transport:
+	// smaller bodies, no per-edge JSON encode/decode, measurably higher
+	// daemon throughput. Match sets are byte-identical across transports
+	// (enforced by the transport-equivalence matrix).
+	TransportBinary Transport = "binary"
+)
+
+// WithTransport selects the Remote wire encoding (default TransportNDJSON).
+// Connect only.
+func WithTransport(t Transport) Option {
+	return func(c *config) { c.transport = t }
 }

@@ -13,8 +13,9 @@ import (
 )
 
 // Remote is the HTTP backend: the same Engine surface served by a remote
-// streamworksd daemon. Queries travel as the text DSL, edges as NDJSON
-// batches, matches as a streaming subscription per Subscribe call.
+// streamworksd daemon. Queries travel as the text DSL, edges as NDJSON or
+// binary-frame batches (WithTransport), matches as a streaming subscription
+// per Subscribe call.
 type Remote struct {
 	c    *client.Client
 	info ServerInfo
@@ -39,6 +40,9 @@ func Connect(ctx context.Context, baseURL string, opts ...Option) (*Remote, erro
 	var copts []client.Option
 	if cfg.httpClient != nil {
 		copts = append(copts, client.WithHTTPClient(cfg.httpClient))
+	}
+	if cfg.transport != "" {
+		copts = append(copts, client.WithTransport(client.Transport(cfg.transport)))
 	}
 	c := client.New(baseURL, copts...)
 	h, err := c.Health(ctx)

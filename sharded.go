@@ -163,7 +163,13 @@ func (s *Sharded) fanout(ev core.MatchEvent) {
 	if s.dur != nil && !s.dur.manual {
 		// Every sink above has returned: the match is delivered, so it is
 		// safe to acknowledge it to the WAL (suppressing it on recovery).
-		s.dur.note(ev.Query, ev.Match.Signature(), int64(ev.Match.Span.Start))
+		// The report, when one was built, already carries the canonical
+		// signature — reuse it rather than recomputing the string.
+		sig := rep.Signature
+		if !built {
+			sig = ev.Match.Signature()
+		}
+		s.dur.note(ev.Query, sig, int64(ev.Match.Span.Start))
 	}
 }
 
